@@ -1,0 +1,154 @@
+// Command nymblec compiles a MiniC+OpenMP source through the HLS flow and
+// reports on the generated accelerator: kernel interface, dataflow graphs,
+// pipeline schedule and estimated hardware footprint (with and without the
+// profiling unit).
+//
+// Usage:
+//
+//	nymblec [-D NAME=VALUE]... [-dump-ir] [-json] file.mc
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paravis/internal/area"
+	"paravis/internal/core"
+	"paravis/internal/ir"
+	"paravis/internal/profile"
+)
+
+type defineFlags map[string]string
+
+func (d defineFlags) String() string { return "" }
+func (d defineFlags) Set(v string) error {
+	name, val, found := strings.Cut(v, "=")
+	if !found {
+		val = "1"
+	}
+	if name == "" {
+		return fmt.Errorf("empty define name")
+	}
+	d[name] = val
+	return nil
+}
+
+type report struct {
+	Kernel      string        `json:"kernel"`
+	Threads     int           `json:"threads"`
+	VectorLanes int           `json:"vector_lanes"`
+	Params      []string      `json:"params"`
+	Maps        []string      `json:"maps"`
+	Locals      []string      `json:"locals"`
+	Graphs      []graphReport `json:"graphs"`
+	Area        areaReport    `json:"area"`
+}
+
+type graphReport struct {
+	Name       string `json:"name"`
+	Nodes      int    `json:"nodes"`
+	Depth      int    `json:"pipeline_depth"`
+	CondStage  int    `json:"cond_stage"`
+	Reordering int    `json:"reordering_stages"`
+}
+
+type areaReport struct {
+	BaseALMs       int     `json:"base_alms"`
+	BaseRegisters  int     `json:"base_registers"`
+	BaseFmaxMHz    float64 `json:"base_fmax_mhz"`
+	RegOverheadPct float64 `json:"profiling_register_overhead_pct"`
+	ALMOverheadPct float64 `json:"profiling_alm_overhead_pct"`
+	FmaxDeltaMHz   float64 `json:"profiling_fmax_delta_mhz"`
+}
+
+func main() {
+	defines := defineFlags{}
+	flag.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
+	dumpIR := flag.Bool("dump-ir", false, "print the dataflow IR")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nymblec [-D NAME=VALUE] [-dump-ir] [-json] file.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := core.Build(string(src), core.BuildOptions{Defines: defines})
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpIR {
+		fmt.Print(ir.Dump(p.Kernel))
+	}
+
+	o := area.Overhead(p.Kernel, p.Sched, profile.DefaultConfig(), area.DefaultCoefficients())
+	rep := report{
+		Kernel:      p.Kernel.Name,
+		Threads:     p.Kernel.NumThreads,
+		VectorLanes: p.Kernel.VectorLanes,
+		Area: areaReport{
+			BaseALMs:       o.Without.ALMs,
+			BaseRegisters:  o.Without.Registers,
+			BaseFmaxMHz:    o.Without.FmaxMHz,
+			RegOverheadPct: o.RegisterPct(),
+			ALMOverheadPct: o.ALMPct(),
+			FmaxDeltaMHz:   o.FmaxDeltaMHz(),
+		},
+	}
+	for _, prm := range p.Kernel.Params {
+		kind := "int"
+		if prm.Pointer {
+			kind = "ptr"
+		} else if prm.Float {
+			kind = "float"
+		}
+		rep.Params = append(rep.Params, fmt.Sprintf("%s:%s", prm.Name, kind))
+	}
+	for _, m := range p.Kernel.Maps {
+		rep.Maps = append(rep.Maps, fmt.Sprintf("%s(%s)", m.Dir, m.Name))
+	}
+	for _, l := range p.Kernel.Locals {
+		rep.Locals = append(rep.Locals, fmt.Sprintf("%s[%d elems x %dB]", l.Name, l.NumElems, l.ElemWords*4))
+	}
+	for _, g := range p.Kernel.CollectGraphs() {
+		gs := p.Sched.ByGraph[g]
+		rep.Graphs = append(rep.Graphs, graphReport{
+			Name: g.Name, Nodes: len(g.Nodes), Depth: gs.Depth,
+			CondStage: gs.CondStage, Reordering: gs.NumReordering,
+		})
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("kernel %s: %d hardware threads, %d-lane vectors\n", rep.Kernel, rep.Threads, rep.VectorLanes)
+	fmt.Printf("params: %s\n", strings.Join(rep.Params, ", "))
+	fmt.Printf("maps:   %s\n", strings.Join(rep.Maps, ", "))
+	if len(rep.Locals) > 0 {
+		fmt.Printf("locals: %s\n", strings.Join(rep.Locals, ", "))
+	}
+	fmt.Println("graphs:")
+	for _, g := range rep.Graphs {
+		fmt.Printf("  %-16s %4d nodes, depth %3d, cond@%d, %d reordering stages\n",
+			g.Name, g.Nodes, g.Depth, g.CondStage, g.Reordering)
+	}
+	fmt.Printf("area:   %d ALMs, %d registers, Fmax %.0f MHz\n",
+		rep.Area.BaseALMs, rep.Area.BaseRegisters, rep.Area.BaseFmaxMHz)
+	fmt.Printf("profiling overhead: regs +%.2f%%, ALMs +%.2f%%, Fmax -%.1f MHz\n",
+		rep.Area.RegOverheadPct, rep.Area.ALMOverheadPct, rep.Area.FmaxDeltaMHz)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nymblec:", err)
+	os.Exit(1)
+}

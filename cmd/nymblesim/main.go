@@ -1,0 +1,190 @@
+// Command nymblesim compiles a MiniC+OpenMP kernel, simulates it on the
+// cycle-level Nymble-MT accelerator model with the profiling unit attached,
+// writes the Paraver trace bundle (.prv/.pcf/.row) and prints a run
+// summary.
+//
+// Arguments are passed as name=value pairs; pointer parameters get
+// zero-filled buffers whose sizes come from the map clauses (use
+// name=@file.f32 to load raw little-endian float32 data).
+//
+// Usage:
+//
+//	nymblesim [-D NAME=VALUE]... [-o dir] [-name base] [-noprofile] file.mc arg=value...
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"paravis/internal/advisor"
+	"paravis/internal/core"
+	"paravis/internal/paraver/analysis"
+	"paravis/internal/sim"
+)
+
+type defineFlags map[string]string
+
+func (d defineFlags) String() string { return "" }
+func (d defineFlags) Set(v string) error {
+	name, val, found := strings.Cut(v, "=")
+	if !found {
+		val = "1"
+	}
+	d[name] = val
+	return nil
+}
+
+func main() {
+	defines := defineFlags{}
+	flag.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
+	outDir := flag.String("o", "traces", "output directory for the Paraver bundle")
+	base := flag.String("name", "", "trace base name (default: kernel name)")
+	noProfile := flag.Bool("noprofile", false, "disable the profiling unit")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: nymblesim [-D N=V] [-o dir] [-name base] [-noprofile] file.mc arg=value...")
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := core.Build(string(srcBytes), core.BuildOptions{Defines: defines})
+	if err != nil {
+		fatal(err)
+	}
+
+	args := sim.Args{
+		Ints:    map[string]int64{},
+		Floats:  map[string]float64{},
+		Buffers: map[string]*sim.Buffer{},
+	}
+	bufFiles := map[string]string{}
+	for _, a := range flag.Args()[1:] {
+		name, val, found := strings.Cut(a, "=")
+		if !found {
+			fatal(fmt.Errorf("argument %q is not name=value", a))
+		}
+		if strings.HasPrefix(val, "@") {
+			bufFiles[name] = val[1:]
+			continue
+		}
+		if iv, err := strconv.ParseInt(val, 10, 64); err == nil {
+			args.Ints[name] = iv
+			continue
+		}
+		fv, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			fatal(fmt.Errorf("argument %q: %v", a, err))
+		}
+		args.Floats[name] = fv
+	}
+
+	// Size buffers from the map clauses.
+	env := map[string]int64{}
+	for k, v := range args.Ints {
+		env[k] = v
+	}
+	for _, m := range p.Kernel.Maps {
+		if m.Scalar {
+			continue
+		}
+		length, err := m.Len.Eval(env)
+		if err != nil {
+			fatal(fmt.Errorf("map %s: %v", m.Name, err))
+		}
+		low := int64(0)
+		if m.Low != nil {
+			low, _ = m.Low.Eval(env)
+		}
+		buf := sim.NewZeroBuffer(int(low + length))
+		if path, ok := bufFiles[m.Name]; ok {
+			data, err := loadF32(path)
+			if err != nil {
+				fatal(err)
+			}
+			copy(buf.Words, sim.NewFloatBuffer(data).Words)
+		}
+		args.Buffers[m.Name] = buf
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Profile.Enabled = !*noProfile
+	out, err := p.Run(args, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	r := out.Result
+	fmt.Printf("kernel %s: %d cycles (%.3f ms at %.0f MHz), %d threads\n",
+		p.Kernel.Name, r.Cycles, 1e3*out.Seconds(r.Cycles), out.FmaxMHz, p.Kernel.NumThreads)
+	fmt.Printf("stalls: %d, FLOPs: %d, lock acquisitions: %d (contended %d)\n",
+		r.TotalStalls(), r.TotalFpOps(), r.LockAcquisitions, r.LockContended)
+	if len(r.StallsByLoop) > 0 {
+		fmt.Println("stall hotspots by source loop:")
+		type row struct {
+			name string
+			n    int64
+		}
+		var rows []row
+		for name, n := range r.StallsByLoop {
+			rows = append(rows, row{name, n})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+		for _, rw := range rows {
+			fmt.Printf("  %-20s %12d stall cycles (%.1f%%)\n",
+				rw.name, rw.n, 100*float64(rw.n)/float64(r.TotalStalls()))
+		}
+	}
+	fmt.Printf("DRAM: %d transactions, %d B read, %d B written\n",
+		r.DRAM.Transactions, r.DRAM.ReadWordsMoved*4, r.DRAM.WriteWordsMoved*4)
+	for name, v := range r.ScalarsOut {
+		fmt.Printf("result %s = %g\n", name, v)
+	}
+	for name, v := range r.ScalarsOutInt {
+		fmt.Printf("result %s = %d\n", name, v)
+	}
+	if out.Trace != nil {
+		bw := analysis.AvgBandwidthBytesPerCycle(out.Trace)
+		fmt.Printf("avg external bandwidth: %.3f B/cycle (%.2f GB/s)\n",
+			bw, analysis.BandwidthGBs(bw, out.FmaxMHz))
+		fmt.Printf("sustained compute: %.3f GFLOP/s\n", analysis.GFlops(out.Trace, out.FmaxMHz))
+		name := *base
+		if name == "" {
+			name = p.Kernel.Name
+		}
+		prv, err := out.WriteTrace(*outDir, name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (+ .pcf/.row)\n", prv)
+		fmt.Println("\nadvisor findings:")
+		fmt.Print(advisor.Format(advisor.Advise(out, advisor.Thresholds{})))
+	}
+}
+
+func loadF32(path string) ([]float32, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("%s: size %d is not a multiple of 4", path, len(raw))
+	}
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nymblesim:", err)
+	os.Exit(1)
+}

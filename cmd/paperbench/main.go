@@ -1,0 +1,118 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	paperbench [-exp all|overhead|fig6|fig7|speedup|fig8|fig9|pi|threads]
+//	           [-dim N] [-pisteps a,b,c] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"paravis/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, overhead, fig6, fig7, speedup, fig8, fig9, pi, threads")
+	dim := flag.Int("dim", 64, "GEMM matrix dimension (multiple of 16)")
+	piSteps := flag.String("pisteps", "102400,409600,1024000", "comma-separated pi iteration counts")
+	quiet := flag.Bool("quiet", false, "suppress ASCII timeline/sparkline views")
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.GEMMDim = *dim
+	opts.Quiet = *quiet
+	opts.PiSteps = nil
+	for _, f := range strings.Split(*piSteps, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad -pisteps entry %q", f))
+		}
+		opts.PiSteps = append(opts.PiSteps, n)
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	run("overhead", func() error {
+		r, err := experiments.RunOverhead(opts.Threads)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		return nil
+	})
+	run("fig6", func() error {
+		r, err := experiments.RunFig6(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		return nil
+	})
+	speedups := func() error {
+		r, err := experiments.RunSpeedups(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		return nil
+	}
+	switch *exp {
+	case "all", "speedup":
+		run("speedup", speedups)
+	case "fig7":
+		run("fig7", speedups)
+	}
+	run("fig8", func() error {
+		r, err := experiments.RunPhases(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		return nil
+	})
+	if *exp == "fig9" {
+		run("fig9", func() error {
+			r, err := experiments.RunPhases(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Format())
+			return nil
+		})
+	}
+	run("pi", func() error {
+		r, err := experiments.RunPi(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		return nil
+	})
+	run("threads", func() error {
+		r, err := experiments.RunThreadScaling(opts, []int{1, 2, 4, 8, 12, 16})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		return nil
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}

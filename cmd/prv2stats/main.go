@@ -1,0 +1,116 @@
+// Command prv2stats parses a Paraver .prv trace and prints the data behind
+// the views the paper uses: per-thread state residency (the state view),
+// memory throughput over time, and compute performance over time.
+//
+// Usage:
+//
+//	prv2stats [-bins N] [-freq MHz] [-timeline] trace.prv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paravis/internal/paraver"
+	"paravis/internal/paraver/analysis"
+)
+
+func main() {
+	bins := flag.Int("bins", 64, "number of time bins for event series")
+	freq := flag.Float64("freq", 140, "accelerator clock in MHz for GB/s / GFLOP/s conversion")
+	timeline := flag.Bool("timeline", true, "render the ASCII state timeline")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: prv2stats [-bins N] [-freq MHz] [-timeline] trace.prv")
+		os.Exit(2)
+	}
+	tr, err := paraver.ParsePRVFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trace: %d task(s) x %d threads, %d cycles\n\n", tr.NumTasks(), tr.NumThreads, tr.EndTime)
+
+	if tr.NumTasks() > 1 {
+		for task := 0; task < tr.NumTasks(); task++ {
+			view := tr.TaskView(task)
+			p := analysis.StateProfileOf(view)
+			fmt.Printf("task %d (FPGA %d): %.1f%% running, %.1f%% idle\n",
+				task+1, task+1, 100*p.TotalFraction[1], 100*p.TotalFraction[0])
+		}
+		if len(tr.Comms) > 0 {
+			var bytes int64
+			var maxLat int64
+			for _, c := range tr.Comms {
+				bytes += c.Size
+				if l := c.RecvTime - c.SendTime; l > maxLat {
+					maxLat = l
+				}
+			}
+			fmt.Printf("communication: %d records, %d bytes, max latency %d cycles\n",
+				len(tr.Comms), bytes, maxLat)
+		}
+		fmt.Println()
+	}
+
+	if tr.NumTasks() == 1 {
+		prof := analysis.StateProfileOf(tr)
+		fmt.Println("state residency (% of execution time):")
+		fmt.Printf("%-8s %10s %10s %10s %10s\n", "thread", "Idle", "Running", "Critical", "Spinning")
+		for t := 0; t < prof.NumThreads; t++ {
+			fmt.Printf("T%-7d %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n", t,
+				100*prof.Fraction[t][0], 100*prof.Fraction[t][1],
+				100*prof.Fraction[t][2], 100*prof.Fraction[t][3])
+		}
+		fmt.Printf("%-8s %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n\n", "all",
+			100*prof.TotalFraction[0], 100*prof.TotalFraction[1],
+			100*prof.TotalFraction[2], 100*prof.TotalFraction[3])
+	}
+
+	if *timeline {
+		for task := 0; task < tr.NumTasks(); task++ {
+			view := tr
+			if tr.NumTasks() > 1 {
+				view = tr.TaskView(task)
+				fmt.Printf("state timeline, FPGA %d (R=Running C=Critical S=Spinning .=Idle):\n", task+1)
+			} else {
+				fmt.Println("state timeline (R=Running C=Critical S=Spinning .=Idle):")
+			}
+			for _, row := range analysis.RenderStateTimeline(view, 96) {
+				fmt.Println("  " + row)
+			}
+			fmt.Println()
+		}
+	}
+
+	binWidth := tr.EndTime / int64(*bins)
+	if binWidth < 1 {
+		binWidth = 1
+	}
+	mem := analysis.MemorySeries(tr, binWidth)
+	fp := analysis.FlopSeries(tr, binWidth)
+	stalls := analysis.EventSeries(tr, paraver.EventStalls, binWidth)
+	fmt.Printf("memory throughput |%s|\n", analysis.RenderSeries(mem, *bins))
+	fmt.Printf("compute (FLOPs)   |%s|\n", analysis.RenderSeries(fp, *bins))
+	fmt.Printf("pipeline stalls   |%s|\n\n", analysis.RenderSeries(stalls, *bins))
+
+	bw := analysis.AvgBandwidthBytesPerCycle(tr)
+	fmt.Printf("totals: %d B read, %d B written, %d FLOPs, %d stalls\n",
+		analysis.Totals(tr, paraver.EventReadBytes),
+		analysis.Totals(tr, paraver.EventWriteBytes),
+		analysis.Totals(tr, paraver.EventFpOps),
+		analysis.Totals(tr, paraver.EventStalls))
+	fmt.Printf("avg bandwidth: %.3f B/cycle = %.2f GB/s at %.0f MHz\n",
+		bw, analysis.BandwidthGBs(bw, *freq), *freq)
+	fmt.Printf("sustained compute: %.3f GFLOP/s at %.0f MHz\n",
+		analysis.GFlops(tr, *freq), *freq)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prv2stats:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module paravis
+
+go 1.22

@@ -1,0 +1,135 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"paravis/internal/core"
+	"paravis/internal/sim"
+	"paravis/internal/workloads"
+)
+
+func runVersion(t *testing.T, v workloads.GEMMVersion, dim int) *core.RunOutput {
+	t.Helper()
+	p, err := core.Build(workloads.GEMMSource(v), core.BuildOptions{
+		Defines: workloads.GEMMDefines(v),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := workloads.GEMMInputs(dim)
+	cfg := sim.DefaultConfig()
+	cfg.MaxCycles = 2_000_000_000
+	cfg.Profile.SamplePeriod = 256
+	out, err := p.Run(sim.Args{
+		Ints: map[string]int64{"DIM": int64(dim)},
+		Buffers: map[string]*sim.Buffer{
+			"A": sim.NewFloatBuffer(a), "B": sim.NewFloatBuffer(b),
+			"C": sim.NewZeroBuffer(dim * dim),
+		},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestAdvisorReproducesPaperNarrative checks that each GEMM version's
+// diagnosis names the optimization the paper applies next (§V-C).
+func TestAdvisorReproducesPaperNarrative(t *testing.T) {
+	dim := 32
+	t.Run("naive -> remove critical", func(t *testing.T) {
+		f := Advise(runVersion(t, workloads.GEMMNaive, dim), Thresholds{})
+		if !HasKind(f, KindLockSerialization) {
+			t.Fatalf("missing lock-serialization finding:\n%s", Format(f))
+		}
+	})
+	t.Run("no-critical -> vectorize", func(t *testing.T) {
+		f := Advise(runVersion(t, workloads.GEMMNoCritical, dim), Thresholds{})
+		if HasKind(f, KindLockSerialization) {
+			t.Fatalf("lock finding should be gone:\n%s", Format(f))
+		}
+		if !HasKind(f, KindNarrowAccesses) {
+			t.Fatalf("missing narrow-accesses finding:\n%s", Format(f))
+		}
+	})
+	t.Run("vectorized -> block", func(t *testing.T) {
+		f := Advise(runVersion(t, workloads.GEMMPartialVec, dim), Thresholds{})
+		if !HasKind(f, KindMemoryBound) {
+			t.Fatalf("missing memory-bound finding:\n%s", Format(f))
+		}
+	})
+	t.Run("blocked -> double buffer", func(t *testing.T) {
+		f := Advise(runVersion(t, workloads.GEMMBlocked, dim), Thresholds{})
+		if !HasKind(f, KindDistinctPhases) {
+			t.Fatalf("missing distinct-phases finding:\n%s", Format(f))
+		}
+	})
+	t.Run("double buffered -> no phase finding", func(t *testing.T) {
+		f := Advise(runVersion(t, workloads.GEMMDoubleBuffered, dim), Thresholds{})
+		if HasKind(f, KindDistinctPhases) {
+			t.Fatalf("distinct-phases finding should be gone:\n%s", Format(f))
+		}
+	})
+}
+
+func TestAdvisorLaunchOverhead(t *testing.T) {
+	// A trivially small kernel with large start overhead: the pi scenario.
+	p, err := core.Build(workloads.PiSource, core.BuildOptions{Defines: workloads.PiDefines()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.ThreadStart = 25_000
+	cfg.MaxCycles = 500_000_000
+	out, err := p.Run(sim.Args{
+		Ints:   map[string]int64{"steps": 25_600, "threads": 8},
+		Floats: map[string]float64{"step": 1.0 / 25_600, "final_sum": 0},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Advise(out, Thresholds{})
+	if !HasKind(f, KindLaunchOverhead) {
+		t.Fatalf("missing launch-overhead finding:\n%s", Format(f))
+	}
+	if Top(f).Kind != KindLaunchOverhead {
+		t.Errorf("launch overhead should dominate, got %s", Top(f).Kind)
+	}
+	if Top(f).Severity < Major {
+		t.Errorf("severity = %s", Top(f).Severity)
+	}
+}
+
+func TestAdvisorNoTrace(t *testing.T) {
+	f := Advise(&core.RunOutput{}, Thresholds{})
+	if len(f) != 1 || f[0].Kind != KindHealthy {
+		t.Fatalf("findings = %+v", f)
+	}
+	if !strings.Contains(f[0].Evidence, "no trace") {
+		t.Errorf("evidence = %s", f[0].Evidence)
+	}
+}
+
+func TestAdvisorOrderingAndFormat(t *testing.T) {
+	out := runVersion(t, workloads.GEMMNaive, 32)
+	f := Advise(out, Thresholds{})
+	for i := 1; i < len(f); i++ {
+		if f[i].Severity > f[i-1].Severity {
+			t.Fatalf("findings not ordered by severity: %v", f)
+		}
+	}
+	rep := Format(f)
+	if !strings.Contains(rep, "evidence:") || !strings.Contains(rep, "action:") {
+		t.Errorf("format missing fields:\n%s", rep)
+	}
+	if Top(nil).Kind != KindHealthy {
+		t.Error("Top(nil) should be healthy")
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	if Critical.String() != "critical" || Info.String() != "info" {
+		t.Error("severity strings")
+	}
+}

@@ -1,0 +1,549 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§V). Each experiment returns a structured result with the
+// paper's reported value next to the measured one, and a formatter that
+// prints the comparison. cmd/paperbench and the top-level benchmarks drive
+// these functions; EXPERIMENTS.md records their output.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"paravis/internal/area"
+	"paravis/internal/core"
+	"paravis/internal/paraver"
+	"paravis/internal/paraver/analysis"
+	"paravis/internal/profile"
+	"paravis/internal/sim"
+	"paravis/internal/workloads"
+)
+
+// Options scales the experiments. The paper uses 512x512 GEMM and up to
+// 10M-step pi on a 140-150 MHz FPGA; the cycle-level simulator defaults to
+// 64x64 and scaled step counts so the full suite runs in seconds. All
+// reported comparisons are ratios and shapes, which are size-stable.
+type Options struct {
+	GEMMDim int
+	PiSteps []int
+	Threads int
+	SimCfg  sim.Config
+	// Quiet suppresses ASCII view rendering.
+	Quiet bool
+}
+
+// DefaultOptions returns the fast default scaling.
+func DefaultOptions() Options {
+	cfg := sim.DefaultConfig()
+	cfg.MaxCycles = 2_000_000_000
+	return Options{
+		GEMMDim: 64,
+		// One tenth of the paper's 1M/4M/10M, rounded to multiples of
+		// threads*BS_compute=64 (the kernel, like the paper's Fig. 10,
+		// assumes divisibility).
+		PiSteps: []int{102_400, 409_600, 1_024_000},
+		Threads: 8,
+		SimCfg:  cfg,
+	}
+}
+
+// buildGEMM compiles one GEMM version.
+func buildGEMM(v workloads.GEMMVersion, threads int) (*core.Program, error) {
+	return core.Build(workloads.GEMMSource(v), core.BuildOptions{
+		Defines: workloads.GEMMDefinesThreads(v, threads),
+	})
+}
+
+// GEMMRun is one simulated GEMM version with its trace-derived metrics.
+type GEMMRun struct {
+	Version         workloads.GEMMVersion
+	Dim             int
+	Cycles          int64
+	Out             *core.RunOutput
+	BWBytesPerCycle float64
+	BWGBs           float64
+	GFlops          float64
+	Correct         bool
+}
+
+// RunGEMM simulates one version and checks the result against the
+// reference implementation.
+func RunGEMM(v workloads.GEMMVersion, dim, threads int, cfg sim.Config) (*GEMMRun, error) {
+	p, err := buildGEMM(v, threads)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", v, err)
+	}
+	a, b := workloads.GEMMInputs(dim)
+	cbuf := sim.NewZeroBuffer(dim * dim)
+	out, err := p.Run(sim.Args{
+		Ints: map[string]int64{"DIM": int64(dim)},
+		Buffers: map[string]*sim.Buffer{
+			"A": sim.NewFloatBuffer(a), "B": sim.NewFloatBuffer(b), "C": cbuf,
+		},
+	}, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", v, err)
+	}
+	want := workloads.GEMMRef(a, b, dim)
+	got := cbuf.Floats()
+	correct := true
+	for i := range want {
+		d := float64(got[i] - want[i])
+		if d < -0.05 || d > 0.05 {
+			correct = false
+			break
+		}
+	}
+	r := &GEMMRun{
+		Version: v, Dim: dim, Cycles: out.Result.Cycles, Out: out, Correct: correct,
+	}
+	if out.Trace != nil {
+		r.BWBytesPerCycle = analysis.AvgBandwidthBytesPerCycle(out.Trace)
+		r.BWGBs = analysis.BandwidthGBs(r.BWBytesPerCycle, out.FmaxMHz)
+		r.GFlops = analysis.GFlops(out.Trace, out.FmaxMHz)
+	}
+	return r, nil
+}
+
+// --- E1/E2: profiling overhead (§V-B) ---
+
+// OverheadRow is one design's footprint comparison.
+type OverheadRow struct {
+	Name   string
+	Report area.OverheadReport
+}
+
+// OverheadResult reproduces the §V-B study.
+type OverheadResult struct {
+	GEMM       []OverheadRow
+	Pi         OverheadRow
+	GeoMeanReg float64
+	GeoMeanALM float64
+	MaxReg     float64
+	MaxALM     float64
+}
+
+// RunOverhead estimates all six designs with and without profiling.
+func RunOverhead(threads int) (*OverheadResult, error) {
+	res := &OverheadResult{}
+	var regs, alms []float64
+	for _, v := range workloads.AllGEMMVersions {
+		p, err := buildGEMM(v, threads)
+		if err != nil {
+			return nil, err
+		}
+		o := p.AreaOverhead(profile.DefaultConfig())
+		res.GEMM = append(res.GEMM, OverheadRow{Name: v.String(), Report: o})
+		regs = append(regs, o.RegisterPct())
+		alms = append(alms, o.ALMPct())
+		if o.RegisterPct() > res.MaxReg {
+			res.MaxReg = o.RegisterPct()
+		}
+		if o.ALMPct() > res.MaxALM {
+			res.MaxALM = o.ALMPct()
+		}
+	}
+	res.GeoMeanReg = area.GeoMean(regs)
+	res.GeoMeanALM = area.GeoMean(alms)
+	pp, err := core.Build(workloads.PiSource, core.BuildOptions{Defines: workloads.PiDefines()})
+	if err != nil {
+		return nil, err
+	}
+	res.Pi = OverheadRow{Name: "pi", Report: pp.AreaOverhead(profile.DefaultConfig())}
+	return res, nil
+}
+
+// Format renders the paper-vs-measured table.
+func (r *OverheadResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("E1/E2 — Profiling overhead (paper §V-B)\n")
+	sb.WriteString("paper (GEMM study): regs +<=5.4% (geo-mean 2.41%), ALMs +<=4% (geo-mean 3.42%), Fmax -8 MHz @ 140 MHz\n")
+	sb.WriteString("paper (pi study):   regs +1.3%, ALMs +1.5%, Fmax -1 MHz @ 148 MHz\n")
+	fmt.Fprintf(&sb, "%-22s %10s %10s %10s %10s %12s\n",
+		"design", "regs+%", "ALMs+%", "dFmax MHz", "base MHz", "base ALMs")
+	for _, row := range append(append([]OverheadRow{}, r.GEMM...), r.Pi) {
+		o := row.Report
+		fmt.Fprintf(&sb, "%-22s %10.2f %10.2f %10.1f %10.0f %12d\n",
+			row.Name, o.RegisterPct(), o.ALMPct(), o.FmaxDeltaMHz(),
+			o.Without.FmaxMHz, o.Without.ALMs)
+	}
+	fmt.Fprintf(&sb, "measured geo-mean (GEMM): regs +%.2f%% (paper 2.41%%), ALMs +%.2f%% (paper 3.42%%)\n",
+		r.GeoMeanReg, r.GeoMeanALM)
+	fmt.Fprintf(&sb, "measured max (GEMM): regs +%.2f%% (paper 5.4%%), ALMs +%.2f%% (paper 4%%)\n",
+		r.MaxReg, r.MaxALM)
+	return sb.String()
+}
+
+// --- E3: Fig. 6 — state view of the naive GEMM ---
+
+// Fig6Result carries the state residency of the naive version.
+type Fig6Result struct {
+	Run          *GEMMRun
+	Profile      analysis.StateProfile
+	CriticalPct  float64
+	SpinningPct  float64
+	Timeline     []string
+	ZoomEvidence string
+}
+
+// RunFig6 reproduces the Fig. 6 state view.
+func RunFig6(opts Options) (*Fig6Result, error) {
+	run, err := RunGEMM(workloads.GEMMNaive, opts.GEMMDim, opts.Threads, opts.SimCfg)
+	if err != nil {
+		return nil, err
+	}
+	if run.Out.Trace == nil {
+		return nil, fmt.Errorf("fig6 needs profiling enabled")
+	}
+	prof := analysis.StateProfileOf(run.Out.Trace)
+	res := &Fig6Result{
+		Run:         run,
+		Profile:     prof,
+		CriticalPct: 100 * prof.TotalFraction[profile.StateCritical],
+		SpinningPct: 100 * prof.TotalFraction[profile.StateSpinning],
+	}
+	if !opts.Quiet {
+		res.Timeline = analysis.RenderStateTimeline(run.Out.Trace, 96)
+	}
+	// Zoom evidence: find a moment where one thread is Critical while
+	// another Spins (the paper zooms on thread 7 spinning on thread 6).
+	res.ZoomEvidence = findSpinWhileCritical(run.Out.Trace)
+	return res, nil
+}
+
+// findSpinWhileCritical locates overlapping Critical/Spinning intervals.
+func findSpinWhileCritical(tr *paraver.Trace) string {
+	var crit, spin []paraver.StateRec
+	for _, s := range tr.States {
+		switch s.State {
+		case int(profile.StateCritical):
+			crit = append(crit, s)
+		case int(profile.StateSpinning):
+			spin = append(spin, s)
+		}
+	}
+	for _, c := range crit {
+		for _, s := range spin {
+			if s.Thread != c.Thread && s.Begin < c.End && c.Begin < s.End {
+				return fmt.Sprintf("cycle %d: thread %d spinning on the lock held by thread %d (in critical)",
+					maxI64(s.Begin, c.Begin), s.Thread, c.Thread)
+			}
+		}
+	}
+	return "no overlapping critical/spin intervals found"
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Format renders the comparison.
+func (r *Fig6Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("E3 — Fig. 6: Paraver state view, naive GEMM\n")
+	fmt.Fprintf(&sb, "paper:    ~1.54%% of time in critical sections, ~1.57%% spinning (512x512)\n")
+	fmt.Fprintf(&sb, "measured: %.2f%% critical, %.2f%% spinning (%dx%d), %d cycles\n",
+		r.CriticalPct, r.SpinningPct, r.Run.Dim, r.Run.Dim, r.Run.Cycles)
+	fmt.Fprintf(&sb, "zoom:     %s\n", r.ZoomEvidence)
+	if len(r.Timeline) > 0 {
+		sb.WriteString("state timeline (R=Running C=Critical S=Spinning .=Idle):\n")
+		for _, row := range r.Timeline {
+			sb.WriteString("  " + row + "\n")
+		}
+	}
+	return sb.String()
+}
+
+// --- E4 + E5: Fig. 7 and the §V-C speedups ---
+
+// SpeedupResult holds all five versions' cycles and bandwidths.
+type SpeedupResult struct {
+	Runs []*GEMMRun
+	// Sparklines of memory throughput over time, per version (Fig. 7).
+	BWSeries []string
+}
+
+// PaperSpeedups are the paper's reported execution-time ratios vs naive.
+var PaperSpeedups = map[workloads.GEMMVersion]float64{
+	workloads.GEMMNaive:          1.0,
+	workloads.GEMMNoCritical:     1.14,
+	workloads.GEMMPartialVec:     1.14 * 1.93,
+	workloads.GEMMBlocked:        5.28,
+	workloads.GEMMDoubleBuffered: 19.0,
+}
+
+// RunSpeedups simulates all five versions.
+func RunSpeedups(opts Options) (*SpeedupResult, error) {
+	res := &SpeedupResult{}
+	for _, v := range workloads.AllGEMMVersions {
+		run, err := RunGEMM(v, opts.GEMMDim, opts.Threads, opts.SimCfg)
+		if err != nil {
+			return nil, err
+		}
+		if !run.Correct {
+			return nil, fmt.Errorf("%s produced wrong results", v)
+		}
+		res.Runs = append(res.Runs, run)
+		if !opts.Quiet && run.Out.Trace != nil {
+			bins := run.Cycles / 64
+			if bins < 1 {
+				bins = 1
+			}
+			s := analysis.MemorySeries(run.Out.Trace, bins)
+			res.BWSeries = append(res.BWSeries, analysis.RenderSeries(s, 64))
+		} else {
+			res.BWSeries = append(res.BWSeries, "")
+		}
+	}
+	return res, nil
+}
+
+// Speedup returns the measured ratio of version v over naive.
+func (r *SpeedupResult) Speedup(v workloads.GEMMVersion) float64 {
+	return float64(r.Runs[workloads.GEMMNaive].Cycles) / float64(r.Runs[v].Cycles)
+}
+
+// Format renders E4+E5.
+func (r *SpeedupResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("E5 — §V-C: GEMM optimization speedups (vs naive)\n")
+	fmt.Fprintf(&sb, "%-22s %12s %10s %12s %12s %10s\n",
+		"version", "cycles", "speedup", "paper", "BW B/cyc", "GB/s")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&sb, "%-22s %12d %9.2fx %11.2fx %12.3f %10.2f\n",
+			run.Version, run.Cycles, r.Speedup(run.Version),
+			PaperSpeedups[run.Version], run.BWBytesPerCycle, run.BWGBs)
+	}
+	sb.WriteString("\nE4 — Fig. 7: relative memory throughput over execution time\n")
+	sb.WriteString("paper: vectorization raises achieved bandwidth; blocking trades external for\n")
+	sb.WriteString("local bandwidth; double buffering reaches the highest external throughput\n")
+	for i, run := range r.Runs {
+		if r.BWSeries[i] != "" {
+			fmt.Fprintf(&sb, "%-22s |%s|\n", run.Version, r.BWSeries[i])
+		}
+	}
+	return sb.String()
+}
+
+// --- E6/E7: Figs. 8-9 — blocking phases vs double-buffer overlap ---
+
+// PhaseResult compares the load/compute structure of v4 and v5.
+type PhaseResult struct {
+	Blocked                         *GEMMRun
+	DoubleBuffered                  *GEMMRun
+	BlockedStats                    analysis.PhaseStats
+	DoubleStats                     analysis.PhaseStats
+	BlockedMemSpark, BlockedFpSpark string
+	DoubleMemSpark, DoubleFpSpark   string
+}
+
+// RunPhases reproduces Figs. 8 and 9. Like the paper's zoomed views, the
+// phase structure is analyzed on a single thread's event stream, sampled at
+// a fine period.
+func RunPhases(opts Options) (*PhaseResult, error) {
+	cfg := opts.SimCfg
+	cfg.Profile.SamplePeriod = 256
+	blocked, err := RunGEMM(workloads.GEMMBlocked, opts.GEMMDim, opts.Threads, cfg)
+	if err != nil {
+		return nil, err
+	}
+	double, err := RunGEMM(workloads.GEMMDoubleBuffered, opts.GEMMDim, opts.Threads, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &PhaseResult{Blocked: blocked, DoubleBuffered: double}
+	bin := cfg.Profile.SamplePeriod
+	const thread = 0
+	res.BlockedStats = analysis.PhaseStatsThread(blocked.Out.Trace, bin, 0.05, 0.05, thread)
+	res.DoubleStats = analysis.PhaseStatsThread(double.Out.Trace, bin, 0.05, 0.05, thread)
+	if !opts.Quiet {
+		width := 72
+		bb := blocked.Cycles / 96
+		if bb < 1 {
+			bb = 1
+		}
+		db := double.Cycles / 96
+		if db < 1 {
+			db = 1
+		}
+		mem := func(r *GEMMRun, b int64) string {
+			return analysis.RenderSeries(analysis.EventSeriesThread(r.Out.Trace, paraver.EventReadBytes, b, thread), width)
+		}
+		fp := func(r *GEMMRun, b int64) string {
+			return analysis.RenderSeries(analysis.EventSeriesThread(r.Out.Trace, paraver.EventFpOps, b, thread), width)
+		}
+		res.BlockedMemSpark = mem(blocked, bb)
+		res.BlockedFpSpark = fp(blocked, bb)
+		res.DoubleMemSpark = mem(double, db)
+		res.DoubleFpSpark = fp(double, db)
+	}
+	return res, nil
+}
+
+// Format renders E6/E7.
+func (r *PhaseResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("E6 — Fig. 8: blocked GEMM has distinct load and compute phases\n")
+	fmt.Fprintf(&sb, "measured: %s\n", r.BlockedStats)
+	if r.BlockedMemSpark != "" {
+		fmt.Fprintf(&sb, "  mem |%s|\n  fp  |%s|\n", r.BlockedMemSpark, r.BlockedFpSpark)
+	}
+	sb.WriteString("\nE7 — Fig. 9: double buffering overlaps prefetch with compute\n")
+	fmt.Fprintf(&sb, "measured: %s\n", r.DoubleStats)
+	if r.DoubleMemSpark != "" {
+		fmt.Fprintf(&sb, "  mem |%s|\n  fp  |%s|\n", r.DoubleMemSpark, r.DoubleFpSpark)
+	}
+	fmt.Fprintf(&sb, "\noverlap fraction: blocked %.2f -> double-buffered %.2f (paper: phases vs overlap)\n",
+		r.BlockedStats.Overlap(), r.DoubleStats.Overlap())
+	fmt.Fprintf(&sb, "avg external bandwidth: blocked %.3f B/cyc -> double-buffered %.3f B/cyc (paper: v5 highest)\n",
+		r.Blocked.BWBytesPerCycle, r.DoubleBuffered.BWBytesPerCycle)
+	return sb.String()
+}
+
+// --- E8: Figs. 11-13 — pi thread-start staggering and GFLOP/s scaling ---
+
+// PiRun is one pi execution.
+type PiRun struct {
+	Steps  int
+	Cycles int64
+	GFlops float64
+	Out    *core.RunOutput
+	// DisjointThreads is true when the earliest thread finished before the
+	// last one started (Fig. 11's observation).
+	DisjointThreads bool
+	// ParallelFraction is the fraction of the run during which all threads
+	// were simultaneously active.
+	ParallelFraction float64
+	Timeline         []string
+	Correct          bool
+}
+
+// PiResult is the three-point scaling study.
+type PiResult struct {
+	Runs []*PiRun
+}
+
+// PaperPiGFlops are the paper's measured GFLOP/s at 1M/4M/10M iterations.
+var PaperPiGFlops = []float64{0.146, 0.556, 1.507}
+
+// RunPi simulates the pi kernel for each step count.
+func RunPi(opts Options) (*PiResult, error) {
+	p, err := core.Build(workloads.PiSource, core.BuildOptions{Defines: workloads.PiDefines()})
+	if err != nil {
+		return nil, err
+	}
+	res := &PiResult{}
+	for _, steps := range opts.PiSteps {
+		out, err := p.Run(sim.Args{
+			Ints:   map[string]int64{"steps": int64(steps), "threads": int64(opts.Threads)},
+			Floats: map[string]float64{"step": 1.0 / float64(steps), "final_sum": 0},
+		}, opts.SimCfg)
+		if err != nil {
+			return nil, fmt.Errorf("pi %d: %w", steps, err)
+		}
+		run := &PiRun{Steps: steps, Cycles: out.Result.Cycles, Out: out}
+		if out.Trace != nil {
+			run.GFlops = analysis.GFlops(out.Trace, out.FmaxMHz)
+		}
+		r := out.Result
+		run.DisjointThreads = r.ThreadEnd[0] < r.ThreadStart[len(r.ThreadStart)-1]
+		lastStart := r.ThreadStart[len(r.ThreadStart)-1]
+		firstEnd := r.ThreadEnd[0]
+		for _, e := range r.ThreadEnd {
+			if e < firstEnd {
+				firstEnd = e
+			}
+		}
+		if overlap := firstEnd - lastStart; overlap > 0 && r.Cycles > 0 {
+			run.ParallelFraction = float64(overlap) / float64(r.Cycles)
+		}
+		got := r.ScalarsOut["final_sum"] / float64(steps)
+		run.Correct = got > 3.13 && got < 3.15
+		if !opts.Quiet && out.Trace != nil {
+			run.Timeline = analysis.RenderStateTimeline(out.Trace, 96)
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	return res, nil
+}
+
+// Format renders E8.
+func (r *PiResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("E8 — Figs. 11-13: pi scaling with iteration count\n")
+	sb.WriteString("paper: 1M iters -> 0.146 GFLOP/s (threads finish before later ones start),\n")
+	sb.WriteString("       4M -> 0.556 (partial overlap), 10M -> 1.507 (fully parallel)\n")
+	fmt.Fprintf(&sb, "%-12s %12s %10s %12s %10s %8s\n",
+		"steps", "cycles", "GFLOP/s", "parallel%", "disjoint", "pi ok")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&sb, "%-12d %12d %10.3f %11.1f%% %10v %8v\n",
+			run.Steps, run.Cycles, run.GFlops, 100*run.ParallelFraction,
+			run.DisjointThreads, run.Correct)
+	}
+	if len(r.Runs) >= 3 && r.Runs[0].GFlops > 0 {
+		fmt.Fprintf(&sb, "scaling: x%.2f then x%.2f (paper: x3.81 then x2.71)\n",
+			r.Runs[1].GFlops/r.Runs[0].GFlops, r.Runs[2].GFlops/r.Runs[1].GFlops)
+	}
+	for i, run := range r.Runs {
+		if len(run.Timeline) > 0 {
+			fmt.Fprintf(&sb, "state view, steps=%d:\n", run.Steps)
+			for _, row := range run.Timeline {
+				sb.WriteString("  " + row + "\n")
+			}
+			if i != len(r.Runs)-1 {
+				sb.WriteString("\n")
+			}
+		}
+	}
+	return sb.String()
+}
+
+// --- E9: thread scaling (§V-A) ---
+
+// ThreadScalingResult sweeps the hardware thread count.
+type ThreadScalingResult struct {
+	Threads []int
+	Cycles  []int64
+	// SaturationAt is the smallest thread count within 10% of the best.
+	SaturationAt int
+}
+
+// RunThreadScaling sweeps NT for the no-critical GEMM (the naive one
+// serializes on the lock, masking the effect).
+func RunThreadScaling(opts Options, counts []int) (*ThreadScalingResult, error) {
+	res := &ThreadScalingResult{}
+	var best int64 = 1<<62 - 1
+	for _, nt := range counts {
+		run, err := RunGEMM(workloads.GEMMNoCritical, opts.GEMMDim, nt, opts.SimCfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Threads = append(res.Threads, nt)
+		res.Cycles = append(res.Cycles, run.Cycles)
+		if run.Cycles < best {
+			best = run.Cycles
+		}
+	}
+	for i, c := range res.Cycles {
+		if float64(c) <= 1.10*float64(best) {
+			res.SaturationAt = res.Threads[i]
+			break
+		}
+	}
+	return res, nil
+}
+
+// Format renders E9.
+func (r *ThreadScalingResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("E9 — §V-A: thread scaling (paper: 8 threads saturate the accelerator)\n")
+	fmt.Fprintf(&sb, "%-10s %12s %10s\n", "threads", "cycles", "speedup")
+	base := float64(r.Cycles[0])
+	for i := range r.Threads {
+		fmt.Fprintf(&sb, "%-10d %12d %9.2fx\n", r.Threads[i], r.Cycles[i], base/float64(r.Cycles[i]))
+	}
+	fmt.Fprintf(&sb, "measured saturation at %d threads (paper: 8)\n", r.SaturationAt)
+	return sb.String()
+}

@@ -1,0 +1,394 @@
+// Package host interprets the MiniC code surrounding a target region: the
+// statements the CPU executes before the offload (computing kernel
+// arguments such as `step = 1.0/steps`), the launch itself, the write-back
+// of mapped scalars, and the statements after the region (including the
+// return value). This makes a compiled MiniC function callable end-to-end,
+// like the paper's host binary calling `pi(steps, threads)`. Host code is
+// restricted to scalar computation; array work belongs in the region.
+package host
+
+import (
+	"fmt"
+
+	"paravis/internal/minic"
+)
+
+// Value is one host scalar.
+type Value struct {
+	I     int64
+	F     float64
+	Float bool
+}
+
+// IntValue makes an int host value.
+func IntValue(v int64) Value { return Value{I: v} }
+
+// FloatValue makes a float host value.
+func FloatValue(v float64) Value { return Value{F: v, Float: true} }
+
+// AsFloat converts to float64.
+func (v Value) AsFloat() float64 {
+	if v.Float {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// AsInt converts to int64 (C truncation).
+func (v Value) AsInt() int64 {
+	if v.Float {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// Launcher runs the accelerator when the interpreter reaches the target
+// region. env holds the current values of all visible host scalars; the
+// returned map updates from/tofrom-mapped scalars.
+type Launcher interface {
+	LaunchTarget(ts *minic.TargetStmt, env map[string]Value) (map[string]Value, error)
+}
+
+// LauncherFunc adapts a function to the Launcher interface.
+type LauncherFunc func(ts *minic.TargetStmt, env map[string]Value) (map[string]Value, error)
+
+// LaunchTarget implements Launcher.
+func (f LauncherFunc) LaunchTarget(ts *minic.TargetStmt, env map[string]Value) (map[string]Value, error) {
+	return f(ts, env)
+}
+
+// returnSignal carries the return value through the interpreter.
+type returnSignal struct{ v Value }
+
+func (returnSignal) Error() string { return "return" }
+
+type interp struct {
+	vars   map[string]Value
+	launch Launcher
+}
+
+// Call interprets fn with the given positional scalar arguments. Pointer
+// parameters are opaque to host code (they may only flow into the region's
+// map clauses); pass a zero Value for them.
+func Call(fn *minic.FuncDecl, args []Value, launch Launcher) (Value, error) {
+	if len(args) != len(fn.Params) {
+		return Value{}, fmt.Errorf("host: %s takes %d arguments, got %d", fn.Name, len(fn.Params), len(args))
+	}
+	in := &interp{vars: map[string]Value{}, launch: launch}
+	for i, p := range fn.Params {
+		in.vars[p.Name] = args[i]
+	}
+	err := in.block(fn.Body)
+	if err != nil {
+		if r, ok := err.(returnSignal); ok {
+			return r.v, nil
+		}
+		return Value{}, err
+	}
+	return Value{}, nil
+}
+
+func (in *interp) block(b *minic.BlockStmt) error {
+	for _, s := range b.Stmts {
+		if err := in.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) stmt(s minic.Stmt) error {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		return in.block(st)
+	case *minic.DeclStmt:
+		if st.Typ.IsArray() {
+			return fmt.Errorf("host: %v: arrays are not supported in host code", st.Pos)
+		}
+		v := Value{Float: st.Typ.Basic == minic.Float}
+		if st.Init != nil {
+			iv, err := in.expr(st.Init)
+			if err != nil {
+				return err
+			}
+			v = coerce(iv, v.Float)
+		}
+		in.vars[st.Name] = v
+		return nil
+	case *minic.ExprStmt:
+		_, err := in.expr(st.X)
+		return err
+	case *minic.IfStmt:
+		c, err := in.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if c.AsInt() != 0 {
+			return in.block(st.Then)
+		}
+		if st.Else != nil {
+			return in.block(st.Else)
+		}
+		return nil
+	case *minic.ForStmt:
+		for _, is := range st.Init {
+			if err := in.stmt(is); err != nil {
+				return err
+			}
+		}
+		for iter := 0; ; iter++ {
+			if iter > 100_000_000 {
+				return fmt.Errorf("host: %v: runaway host loop", st.Pos)
+			}
+			if st.Cond != nil {
+				c, err := in.expr(st.Cond)
+				if err != nil {
+					return err
+				}
+				if c.AsInt() == 0 {
+					return nil
+				}
+			}
+			if err := in.block(st.Body); err != nil {
+				return err
+			}
+			for _, ps := range st.Post {
+				if err := in.stmt(ps); err != nil {
+					return err
+				}
+			}
+		}
+	case *minic.ReturnStmt:
+		var v Value
+		if st.X != nil {
+			x, err := in.expr(st.X)
+			if err != nil {
+				return err
+			}
+			v = x
+		}
+		return returnSignal{v}
+	case *minic.TargetStmt:
+		if in.launch == nil {
+			return fmt.Errorf("host: %v: no launcher for target region", st.Pos)
+		}
+		updates, err := in.launch.LaunchTarget(st, in.vars)
+		if err != nil {
+			return err
+		}
+		for name, v := range updates {
+			in.vars[name] = v
+		}
+		return nil
+	case *minic.CriticalStmt, *minic.BarrierStmt:
+		return fmt.Errorf("host: OpenMP synchronization outside a target region")
+	}
+	return fmt.Errorf("host: unhandled statement %T", s)
+}
+
+func coerce(v Value, wantFloat bool) Value {
+	if v.Float == wantFloat {
+		return v
+	}
+	if wantFloat {
+		return FloatValue(float64(v.I))
+	}
+	return IntValue(int64(v.F))
+}
+
+func (in *interp) expr(e minic.Expr) (Value, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return IntValue(x.Value), nil
+	case *minic.FloatLit:
+		return FloatValue(x.Value), nil
+	case *minic.Ident:
+		v, ok := in.vars[x.Name]
+		if !ok {
+			return Value{}, fmt.Errorf("host: %v: unknown variable %s", x.Pos, x.Name)
+		}
+		return v, nil
+	case *minic.Cast:
+		v, err := in.expr(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return coerce(v, x.To.Basic == minic.Float), nil
+	case *minic.Unary:
+		v, err := in.expr(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Neg {
+			if v.Float {
+				return FloatValue(-v.F), nil
+			}
+			return IntValue(-v.I), nil
+		}
+		if v.AsInt() == 0 {
+			return IntValue(1), nil
+		}
+		return IntValue(0), nil
+	case *minic.Cond:
+		c, err := in.expr(x.C)
+		if err != nil {
+			return Value{}, err
+		}
+		if c.AsInt() != 0 {
+			return in.expr(x.A)
+		}
+		return in.expr(x.B)
+	case *minic.Binary:
+		return in.binary(x)
+	case *minic.AssignExpr:
+		id, ok := x.LHS.(*minic.Ident)
+		if !ok {
+			return Value{}, fmt.Errorf("host: %v: only scalar variables are assignable in host code", x.Pos)
+		}
+		old, ok := in.vars[id.Name]
+		if !ok {
+			return Value{}, fmt.Errorf("host: %v: unknown variable %s", x.Pos, id.Name)
+		}
+		rhs, err := in.expr(x.RHS)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op != nil {
+			rhs, err = applyBin(*x.Op, old, rhs)
+			if err != nil {
+				return Value{}, err
+			}
+		}
+		nv := coerce(rhs, old.Float)
+		in.vars[id.Name] = nv
+		return nv, nil
+	case *minic.IncDec:
+		id, ok := x.X.(*minic.Ident)
+		if !ok {
+			return Value{}, fmt.Errorf("host: %v: ++/-- target must be a variable", x.Pos)
+		}
+		old := in.vars[id.Name]
+		d := int64(1)
+		if !x.Inc {
+			d = -1
+		}
+		nv := old
+		if old.Float {
+			nv.F += float64(d)
+		} else {
+			nv.I += d
+		}
+		in.vars[id.Name] = nv
+		return nv, nil
+	case *minic.Call:
+		return Value{}, fmt.Errorf("host: %v: %s may only be called inside a target region", x.Pos, x.Name)
+	}
+	return Value{}, fmt.Errorf("host: unsupported expression %T in host code", e)
+}
+
+func (in *interp) binary(x *minic.Binary) (Value, error) {
+	l, err := in.expr(x.L)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := in.expr(x.R)
+	if err != nil {
+		return Value{}, err
+	}
+	return applyBin(x.Op, l, r)
+}
+
+func applyBin(op minic.BinOp, l, r Value) (Value, error) {
+	if op.IsLogical() {
+		a, b := l.AsInt() != 0, r.AsInt() != 0
+		var res bool
+		if op == minic.OpLAnd {
+			res = a && b
+		} else {
+			res = a || b
+		}
+		if res {
+			return IntValue(1), nil
+		}
+		return IntValue(0), nil
+	}
+	isFloat := l.Float || r.Float
+	if op.IsComparison() {
+		var res bool
+		if isFloat {
+			a, b := l.AsFloat(), r.AsFloat()
+			switch op {
+			case minic.OpLt:
+				res = a < b
+			case minic.OpLe:
+				res = a <= b
+			case minic.OpGt:
+				res = a > b
+			case minic.OpGe:
+				res = a >= b
+			case minic.OpEq:
+				res = a == b
+			case minic.OpNe:
+				res = a != b
+			}
+		} else {
+			a, b := l.I, r.I
+			switch op {
+			case minic.OpLt:
+				res = a < b
+			case minic.OpLe:
+				res = a <= b
+			case minic.OpGt:
+				res = a > b
+			case minic.OpGe:
+				res = a >= b
+			case minic.OpEq:
+				res = a == b
+			case minic.OpNe:
+				res = a != b
+			}
+		}
+		if res {
+			return IntValue(1), nil
+		}
+		return IntValue(0), nil
+	}
+	if isFloat {
+		// Match the kernel's single-precision arithmetic.
+		a, b := float32(l.AsFloat()), float32(r.AsFloat())
+		var out float32
+		switch op {
+		case minic.OpAdd:
+			out = a + b
+		case minic.OpSub:
+			out = a - b
+		case minic.OpMul:
+			out = a * b
+		case minic.OpDiv:
+			out = a / b
+		case minic.OpRem:
+			return Value{}, fmt.Errorf("host: %% on float")
+		}
+		return FloatValue(float64(out)), nil
+	}
+	a, b := l.I, r.I
+	switch op {
+	case minic.OpAdd:
+		return IntValue(a + b), nil
+	case minic.OpSub:
+		return IntValue(a - b), nil
+	case minic.OpMul:
+		return IntValue(a * b), nil
+	case minic.OpDiv:
+		if b == 0 {
+			return Value{}, fmt.Errorf("host: integer division by zero")
+		}
+		return IntValue(a / b), nil
+	case minic.OpRem:
+		if b == 0 {
+			return Value{}, fmt.Errorf("host: integer modulo by zero")
+		}
+		return IntValue(a % b), nil
+	}
+	return Value{}, fmt.Errorf("host: unsupported operator %s", op)
+}

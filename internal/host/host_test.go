@@ -1,0 +1,201 @@
+package host
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"paravis/internal/minic"
+)
+
+func parseFn(t *testing.T, src, name string) *minic.FuncDecl {
+	t.Helper()
+	prog, err := minic.Parse(src, minic.Options{})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := prog.Func(name)
+	if fn == nil {
+		t.Fatalf("function %s not found", name)
+	}
+	return fn
+}
+
+func TestCallScalarFunction(t *testing.T) {
+	fn := parseFn(t, `
+float scale(int steps) {
+  float step = 1.0/(float)steps;
+  float x = step * 4.0f;
+  return x;
+}
+`, "scale")
+	v, err := Call(fn, []Value{IntValue(8)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.AsFloat()-0.5) > 1e-6 {
+		t.Fatalf("got %v, want 0.5", v.AsFloat())
+	}
+}
+
+func TestCallLoopsAndIfs(t *testing.T) {
+	fn := parseFn(t, `
+int collatzSteps(int n) {
+  int steps = 0;
+  for (; n != 1; ) {
+    if (n % 2 == 0) {
+      n = n / 2;
+    } else {
+      n = 3*n + 1;
+    }
+    steps++;
+  }
+  return steps;
+}
+`, "collatzSteps")
+	v, err := Call(fn, []Value{IntValue(6)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 -> 3 -> 10 -> 5 -> 16 -> 8 -> 4 -> 2 -> 1: 8 steps.
+	if v.AsInt() != 8 {
+		t.Fatalf("steps = %d, want 8", v.AsInt())
+	}
+}
+
+func TestCallWrongArity(t *testing.T) {
+	fn := parseFn(t, `int id(int x) { return x; }`, "id")
+	if _, err := Call(fn, nil, nil); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestLaunchUpdatesScalars(t *testing.T) {
+	fn := parseFn(t, `
+float pi(int steps, int threads) {
+  float final_sum = 0.0;
+  float step = 1.0/(float)steps;
+  #pragma omp target parallel map(to:step) map(tofrom:final_sum) num_threads(4)
+  {
+    #pragma omp critical
+    {
+      final_sum += 1.0f;
+    }
+  }
+  return final_sum * step;
+}
+`, "pi")
+	var sawStep float64
+	launch := LauncherFunc(func(ts *minic.TargetStmt, env map[string]Value) (map[string]Value, error) {
+		sawStep = env["step"].AsFloat()
+		return map[string]Value{"final_sum": FloatValue(12.56)}, nil
+	})
+	v, err := Call(fn, []Value{IntValue(4), IntValue(4)}, launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sawStep-0.25) > 1e-6 {
+		t.Errorf("launcher saw step=%v", sawStep)
+	}
+	if math.Abs(v.AsFloat()-12.56*0.25) > 1e-4 {
+		t.Errorf("return = %v", v.AsFloat())
+	}
+}
+
+func TestLaunchMissingLauncher(t *testing.T) {
+	fn := parseFn(t, `
+void f(float* A) {
+  #pragma omp target parallel map(tofrom:A[0:4]) num_threads(1)
+  { A[0] = 1.0f; }
+}
+`, "f")
+	_, err := Call(fn, []Value{{}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "no launcher") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestHostRejectsArrays(t *testing.T) {
+	fn := parseFn(t, `
+int f() {
+  int a[4];
+  a[0] = 1;
+  return a[0];
+}
+`, "f")
+	if _, err := Call(fn, nil, nil); err == nil {
+		t.Fatal("expected array rejection")
+	}
+}
+
+func TestHostDivByZero(t *testing.T) {
+	fn := parseFn(t, `int f(int n) { return 1 / n; }`, "f")
+	if _, err := Call(fn, []Value{IntValue(0)}, nil); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func TestHostFloat32Semantics(t *testing.T) {
+	// Host float math must round like the kernel's float32.
+	fn := parseFn(t, `
+float f() {
+  float x = 16777216.0f;
+  float y = x + 1.0f;
+  return y - x;
+}
+`, "f")
+	v, err := Call(fn, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsFloat() != 0 {
+		t.Fatalf("float32 rounding not applied: got %v", v.AsFloat())
+	}
+}
+
+func TestHostTernaryAndCompare(t *testing.T) {
+	fn := parseFn(t, `
+int f(int a, int b) {
+  int m = a > b ? a : b;
+  return m;
+}
+`, "f")
+	v, err := Call(fn, []Value{IntValue(3), IntValue(9)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 9 {
+		t.Fatalf("max = %d", v.AsInt())
+	}
+}
+
+func TestHostCompoundAssignAndIncDec(t *testing.T) {
+	fn := parseFn(t, `
+int f() {
+  int x = 10;
+  x += 5;
+  x *= 2;
+  x -= 4;
+  x /= 13;
+  x++;
+  --x;
+  return x;
+}
+`, "f")
+	v, err := Call(fn, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 2 {
+		t.Fatalf("x = %d, want 2", v.AsInt())
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if IntValue(7).AsFloat() != 7 {
+		t.Error("int->float")
+	}
+	if FloatValue(3.9).AsInt() != 3 {
+		t.Error("float->int truncation")
+	}
+}

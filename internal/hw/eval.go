@@ -1,0 +1,218 @@
+package hw
+
+import (
+	"fmt"
+
+	"paravis/internal/ir"
+)
+
+// ensureVec makes v.V a lanes-wide scratch slice, reusing prior storage.
+func ensureVec(v *Value, lanes int) []float32 {
+	if cap(v.V) < lanes {
+		v.V = make([]float32, lanes)
+	}
+	v.V = v.V[:lanes]
+	return v.V
+}
+
+// wrapLane reduces a lane select into range, as a hardware mux would.
+func wrapLane(lane int64, n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	lane %= int64(n)
+	if lane < 0 {
+		lane += int64(n)
+	}
+	return lane
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EvalPure evaluates one pure (non-VLO) node into vals[pos]. Invariant
+// leaves (constants, params, thread ids) are normally pre-evaluated at
+// frame setup; this function still handles them for completeness. LoopOut
+// nodes are no-ops here: the engine stores loop results directly.
+func (cg *CGraph) EvalPure(pos int32, vals []Value, params []Value, threadID, numThreads int64) error {
+	n := &cg.Nodes[pos]
+	dst := &vals[pos]
+	switch n.Op {
+	case ir.OpConstInt:
+		dst.I = n.IVal
+	case ir.OpConstFloat:
+		dst.F = n.FVal
+	case ir.OpParam:
+		*dst = params[n.ParamIdx]
+	case ir.OpThreadID:
+		dst.I = threadID
+	case ir.OpNumThreads:
+		dst.I = numThreads
+	case ir.OpLiveIn, ir.OpCarry, ir.OpLoopOut:
+		// Written by the engine (iteration entry / loop completion).
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem:
+		return cg.evalArith(n, dst, vals)
+	case ir.OpLt:
+		a, b := &vals[n.A0], &vals[n.A1]
+		if cg.Nodes[n.A0].Kind == ir.KindFloat {
+			dst.I = boolToInt(a.F < b.F)
+		} else {
+			dst.I = boolToInt(a.I < b.I)
+		}
+	case ir.OpLe:
+		a, b := &vals[n.A0], &vals[n.A1]
+		if cg.Nodes[n.A0].Kind == ir.KindFloat {
+			dst.I = boolToInt(a.F <= b.F)
+		} else {
+			dst.I = boolToInt(a.I <= b.I)
+		}
+	case ir.OpGt:
+		a, b := &vals[n.A0], &vals[n.A1]
+		if cg.Nodes[n.A0].Kind == ir.KindFloat {
+			dst.I = boolToInt(a.F > b.F)
+		} else {
+			dst.I = boolToInt(a.I > b.I)
+		}
+	case ir.OpGe:
+		a, b := &vals[n.A0], &vals[n.A1]
+		if cg.Nodes[n.A0].Kind == ir.KindFloat {
+			dst.I = boolToInt(a.F >= b.F)
+		} else {
+			dst.I = boolToInt(a.I >= b.I)
+		}
+	case ir.OpEq:
+		a, b := &vals[n.A0], &vals[n.A1]
+		if cg.Nodes[n.A0].Kind == ir.KindFloat {
+			dst.I = boolToInt(a.F == b.F)
+		} else {
+			dst.I = boolToInt(a.I == b.I)
+		}
+	case ir.OpNe:
+		a, b := &vals[n.A0], &vals[n.A1]
+		if cg.Nodes[n.A0].Kind == ir.KindFloat {
+			dst.I = boolToInt(a.F != b.F)
+		} else {
+			dst.I = boolToInt(a.I != b.I)
+		}
+	case ir.OpAnd:
+		dst.I = boolToInt(vals[n.A0].I != 0 && vals[n.A1].I != 0)
+	case ir.OpOr:
+		dst.I = boolToInt(vals[n.A0].I != 0 || vals[n.A1].I != 0)
+	case ir.OpNot:
+		dst.I = boolToInt(vals[n.A0].I == 0)
+	case ir.OpSelect:
+		if vals[n.A0].I != 0 {
+			cg.copyValue(dst, &vals[n.A1], n)
+		} else {
+			cg.copyValue(dst, &vals[n.A2], n)
+		}
+	case ir.OpIntToFloat:
+		dst.F = float32(vals[n.A0].I)
+	case ir.OpFloatToInt:
+		dst.I = int64(vals[n.A0].F)
+	case ir.OpSplat:
+		v := ensureVec(dst, int(n.Lanes))
+		f := vals[n.A0].F
+		for i := range v {
+			v[i] = f
+		}
+	case ir.OpExtract:
+		// A hardware lane mux wraps out-of-range selects; speculative
+		// evaluation on loop-exit passes relies on this.
+		src := vals[n.A0].V
+		lane := wrapLane(vals[n.A1].I, len(src))
+		dst.F = src[lane]
+	case ir.OpInsert:
+		src := vals[n.A0].V
+		lane := wrapLane(vals[n.A1].I, len(src))
+		v := ensureVec(dst, len(src))
+		copy(v, src)
+		v[lane] = vals[n.A2].F
+	default:
+		return fmt.Errorf("hw: EvalPure on non-pure op %s", n.Op)
+	}
+	return nil
+}
+
+// copyValue copies by kind (vectors deep-copy into dst scratch).
+func (cg *CGraph) copyValue(dst, src *Value, n *CNode) {
+	switch n.Kind {
+	case ir.KindVec:
+		v := ensureVec(dst, len(src.V))
+		copy(v, src.V)
+	case ir.KindFloat:
+		dst.F = src.F
+	default:
+		dst.I = src.I
+	}
+}
+
+func (cg *CGraph) evalArith(n *CNode, dst *Value, vals []Value) error {
+	a, b := &vals[n.A0], &vals[n.A1]
+	switch n.Kind {
+	case ir.KindInt:
+		switch n.Op {
+		case ir.OpAdd:
+			dst.I = a.I + b.I
+		case ir.OpSub:
+			dst.I = a.I - b.I
+		case ir.OpMul:
+			dst.I = a.I * b.I
+		case ir.OpDiv:
+			// A hardware divider produces a defined garbage value for a
+			// zero divisor; speculative evaluation must not abort.
+			if b.I == 0 {
+				dst.I = 0
+			} else {
+				dst.I = a.I / b.I
+			}
+		case ir.OpRem:
+			if b.I == 0 {
+				dst.I = 0
+			} else {
+				dst.I = a.I % b.I
+			}
+		}
+	case ir.KindFloat:
+		switch n.Op {
+		case ir.OpAdd:
+			dst.F = a.F + b.F
+		case ir.OpSub:
+			dst.F = a.F - b.F
+		case ir.OpMul:
+			dst.F = a.F * b.F
+		case ir.OpDiv:
+			dst.F = a.F / b.F
+		case ir.OpRem:
+			return fmt.Errorf("hw: float modulo")
+		}
+	case ir.KindVec:
+		av, bv := a.V, b.V
+		v := ensureVec(dst, len(av))
+		switch n.Op {
+		case ir.OpAdd:
+			for i := range v {
+				v[i] = av[i] + bv[i]
+			}
+		case ir.OpSub:
+			for i := range v {
+				v[i] = av[i] - bv[i]
+			}
+		case ir.OpMul:
+			for i := range v {
+				v[i] = av[i] * bv[i]
+			}
+		case ir.OpDiv:
+			for i := range v {
+				v[i] = av[i] / bv[i]
+			}
+		case ir.OpRem:
+			return fmt.Errorf("hw: vector modulo")
+		}
+	}
+	return nil
+}

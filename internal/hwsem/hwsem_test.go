@@ -1,0 +1,134 @@
+package hwsem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSemaphoreBasic(t *testing.T) {
+	s := NewSemaphore()
+	ok, err := s.TryAcquire(3)
+	if err != nil || !ok {
+		t.Fatalf("first acquire: ok=%v err=%v", ok, err)
+	}
+	if s.Holder() != 3 {
+		t.Errorf("holder = %d", s.Holder())
+	}
+	ok, err = s.TryAcquire(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("second acquire should fail")
+	}
+	if s.Contended != 1 {
+		t.Errorf("contended = %d", s.Contended)
+	}
+	if err := s.Release(5); err == nil {
+		t.Error("non-holder release should error")
+	}
+	if err := s.Release(3); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = s.TryAcquire(5)
+	if err != nil || !ok {
+		t.Fatalf("acquire after release: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestSemaphoreReacquireErrors(t *testing.T) {
+	s := NewSemaphore()
+	if _, err := s.TryAcquire(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TryAcquire(1); err == nil {
+		t.Error("re-acquire by holder should error")
+	}
+	if _, err := s.TryAcquire(-1); err == nil {
+		t.Error("negative thread should error")
+	}
+}
+
+// Property: mutual exclusion — simulating random acquire/release schedules
+// never yields two simultaneous holders and all successful acquires
+// alternate with releases.
+func TestSemaphoreMutualExclusionProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := NewSemaphore()
+		holder := -1
+		for _, op := range ops {
+			thread := int(op % 4)
+			if op%2 == 0 {
+				if thread == holder {
+					continue // holder re-acquire is an API violation
+				}
+				ok, err := s.TryAcquire(thread)
+				if err != nil {
+					return false
+				}
+				if ok {
+					if holder != -1 {
+						return false // two holders
+					}
+					holder = thread
+				} else if holder == -1 {
+					return false // failed acquire on a free lock
+				}
+			} else if holder == thread {
+				if err := s.Release(thread); err != nil {
+					return false
+				}
+				holder = -1
+			}
+		}
+		return s.Holder() == holder
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	b := NewBarrier(3)
+	g0 := b.Arrive()
+	g1 := b.Arrive()
+	if b.Generation() != 0 {
+		t.Fatalf("generation advanced early")
+	}
+	g2 := b.Arrive()
+	if g0 != 0 || g1 != 0 || g2 != 0 {
+		t.Errorf("arrival generations %d %d %d, want 0", g0, g1, g2)
+	}
+	if b.Generation() != 1 {
+		t.Errorf("generation = %d, want 1", b.Generation())
+	}
+	if b.Releases != 1 || b.Waits != 3 {
+		t.Errorf("releases=%d waits=%d", b.Releases, b.Waits)
+	}
+	// Second round.
+	for i := 0; i < 3; i++ {
+		if g := b.Arrive(); g != 1 {
+			t.Errorf("round-2 arrival generation %d, want 1", g)
+		}
+	}
+	if b.Generation() != 2 {
+		t.Errorf("generation = %d, want 2", b.Generation())
+	}
+}
+
+// Property: for any thread count n>=1, n*k arrivals produce exactly k
+// generation advances.
+func TestBarrierGenerationProperty(t *testing.T) {
+	f := func(n, k uint8) bool {
+		threads := int(n%8) + 1
+		rounds := int(k % 16)
+		b := NewBarrier(threads)
+		for i := 0; i < threads*rounds; i++ {
+			b.Arrive()
+		}
+		return b.Generation() == int64(rounds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+package ir
+
+import "fmt"
+
+// Validate checks the structural invariants of a kernel:
+//
+//   - every graph's nodes are in topological order (args, effect deps and
+//     predicates refer to earlier nodes in the same graph);
+//   - live-in and carry indices are in range;
+//   - carry updates exist for every carried register and are kind-correct;
+//   - memory ops carry an ArrayRef with a positive width;
+//   - LoopOp argument counts match the body graph's live-in + carry counts;
+//   - value kinds of operands are consistent with each operation.
+//
+// The lowering pass must produce kernels that validate; the scheduler and
+// simulator rely on these invariants.
+func Validate(k *Kernel) error {
+	if k.Top == nil {
+		return fmt.Errorf("ir: kernel %s has no top-level graph", k.Name)
+	}
+	if k.NumThreads <= 0 {
+		return fmt.Errorf("ir: kernel %s has NumThreads=%d", k.Name, k.NumThreads)
+	}
+	for _, g := range k.CollectGraphs() {
+		if err := validateGraph(k, g); err != nil {
+			return fmt.Errorf("ir: kernel %s graph %s(#%d): %w", k.Name, g.Name, g.ID, err)
+		}
+	}
+	return nil
+}
+
+func validateGraph(k *Kernel, g *Graph) error {
+	pos := make(map[*Node]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if n == nil {
+			return fmt.Errorf("node %d is nil", i)
+		}
+		if _, dup := pos[n]; dup {
+			return fmt.Errorf("node n%d appears twice", n.ID)
+		}
+		pos[n] = i
+	}
+	before := func(user *Node, dep *Node) error {
+		di, ok := pos[dep]
+		if !ok {
+			return fmt.Errorf("n%d references node n%d outside this graph", user.ID, dep.ID)
+		}
+		if di >= pos[user] {
+			return fmt.Errorf("n%d references later node n%d (not topological)", user.ID, dep.ID)
+		}
+		return nil
+	}
+	for _, n := range g.Nodes {
+		for _, a := range n.Args {
+			if err := before(n, a); err != nil {
+				return err
+			}
+		}
+		for _, d := range n.EffectDeps {
+			if err := before(n, d); err != nil {
+				return err
+			}
+		}
+		if n.Pred != nil {
+			if err := before(n, n.Pred); err != nil {
+				return err
+			}
+			if n.Pred.Kind != KindInt {
+				return fmt.Errorf("n%d predicate must be int, got %s", n.ID, n.Pred.Kind)
+			}
+		}
+		if err := validateNode(k, g, n); err != nil {
+			return err
+		}
+	}
+	if g.Cond != nil {
+		if _, ok := pos[g.Cond]; !ok {
+			return fmt.Errorf("cond node n%d not in graph", g.Cond.ID)
+		}
+		if g.Cond.Kind != KindInt {
+			return fmt.Errorf("cond node n%d must be int, got %s", g.Cond.ID, g.Cond.Kind)
+		}
+	}
+	if len(g.CarryUpdate) != g.NumCarry {
+		return fmt.Errorf("carry updates %d != carried registers %d", len(g.CarryUpdate), g.NumCarry)
+	}
+	for i, u := range g.CarryUpdate {
+		if u == nil {
+			return fmt.Errorf("carry %d has no update", i)
+		}
+		if _, ok := pos[u]; !ok {
+			return fmt.Errorf("carry %d update n%d not in graph", i, u.ID)
+		}
+	}
+	return nil
+}
+
+func wantArgs(n *Node, want int) error {
+	if len(n.Args) != want {
+		return fmt.Errorf("n%d %s has %d args, want %d", n.ID, n.Op, len(n.Args), want)
+	}
+	return nil
+}
+
+func validateNode(k *Kernel, g *Graph, n *Node) error {
+	switch n.Op {
+	case OpConstInt:
+		return wantArgs(n, 0)
+	case OpConstFloat:
+		return wantArgs(n, 0)
+	case OpParam:
+		if n.Name == "" {
+			return fmt.Errorf("n%d param without name", n.ID)
+		}
+		return wantArgs(n, 0)
+	case OpThreadID, OpNumThreads:
+		return wantArgs(n, 0)
+	case OpLiveIn:
+		if n.Idx < 0 || n.Idx >= g.NumLiveIn {
+			return fmt.Errorf("n%d live-in index %d out of range [0,%d)", n.ID, n.Idx, g.NumLiveIn)
+		}
+		return wantArgs(n, 0)
+	case OpCarry:
+		if n.Idx < 0 || n.Idx >= g.NumCarry {
+			return fmt.Errorf("n%d carry index %d out of range [0,%d)", n.ID, n.Idx, g.NumCarry)
+		}
+		return wantArgs(n, 0)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpLt, OpLe, OpGt, OpGe,
+		OpEq, OpNe, OpAnd, OpOr:
+		if err := wantArgs(n, 2); err != nil {
+			return err
+		}
+		if n.Args[0].Kind != n.Args[1].Kind {
+			return fmt.Errorf("n%d %s mixes kinds %s and %s", n.ID, n.Op, n.Args[0].Kind, n.Args[1].Kind)
+		}
+		return nil
+	case OpNot:
+		return wantArgs(n, 1)
+	case OpSelect:
+		if err := wantArgs(n, 3); err != nil {
+			return err
+		}
+		if n.Args[0].Kind != KindInt {
+			return fmt.Errorf("n%d select condition must be int", n.ID)
+		}
+		if n.Args[1].Kind != n.Args[2].Kind {
+			return fmt.Errorf("n%d select arms disagree: %s vs %s", n.ID, n.Args[1].Kind, n.Args[2].Kind)
+		}
+		return nil
+	case OpIntToFloat, OpFloatToInt, OpSplat:
+		return wantArgs(n, 1)
+	case OpExtract:
+		if err := wantArgs(n, 2); err != nil {
+			return err
+		}
+		if n.Args[0].Kind != KindVec {
+			return fmt.Errorf("n%d extract from non-vector", n.ID)
+		}
+		return nil
+	case OpInsert:
+		if err := wantArgs(n, 3); err != nil {
+			return err
+		}
+		if n.Args[0].Kind != KindVec {
+			return fmt.Errorf("n%d insert into non-vector", n.ID)
+		}
+		return nil
+	case OpLoad:
+		if err := wantArgs(n, 1); err != nil {
+			return err
+		}
+		return validateMem(k, n)
+	case OpStore:
+		if err := wantArgs(n, 2); err != nil {
+			return err
+		}
+		return validateMem(k, n)
+	case OpLock, OpUnlock:
+		if n.SemID < 0 || n.SemID >= k.NumSems {
+			return fmt.Errorf("n%d %s semaphore %d out of range [0,%d)", n.ID, n.Op, n.SemID, k.NumSems)
+		}
+		return wantArgs(n, 0)
+	case OpBarrier:
+		return wantArgs(n, 0)
+	case OpLoopOp:
+		if n.Sub == nil {
+			return fmt.Errorf("n%d loop without body graph", n.ID)
+		}
+		want := n.Sub.NumLiveIn + n.Sub.NumCarry
+		if len(n.Args) != want {
+			return fmt.Errorf("n%d loop has %d args, body needs %d (livein %d + carry %d)",
+				n.ID, len(n.Args), want, n.Sub.NumLiveIn, n.Sub.NumCarry)
+		}
+		return nil
+	case OpLoopOut:
+		if err := wantArgs(n, 1); err != nil {
+			return err
+		}
+		lp := n.Args[0]
+		if lp.Op != OpLoopOp {
+			return fmt.Errorf("n%d loopout of non-loop n%d", n.ID, lp.ID)
+		}
+		if n.Idx < 0 || n.Idx >= lp.Sub.NumCarry {
+			return fmt.Errorf("n%d loopout index %d out of range [0,%d)", n.ID, n.Idx, lp.Sub.NumCarry)
+		}
+		return nil
+	}
+	return fmt.Errorf("n%d has unknown op %d", n.ID, int(n.Op))
+}
+
+func validateMem(k *Kernel, n *Node) error {
+	if n.Arr == nil {
+		return fmt.Errorf("n%d %s without array ref", n.ID, n.Op)
+	}
+	if n.Width <= 0 {
+		return fmt.Errorf("n%d %s width %d", n.ID, n.Op, n.Width)
+	}
+	if n.Arr.Space == SpaceLocal {
+		if n.Arr.LocalID < 0 || n.Arr.LocalID >= len(k.Locals) {
+			return fmt.Errorf("n%d local array id %d out of range", n.ID, n.Arr.LocalID)
+		}
+	} else {
+		found := false
+		for _, p := range k.Params {
+			if p.Pointer && p.Name == n.Arr.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("n%d references unmapped global array %q", n.ID, n.Arr.Name)
+		}
+	}
+	if n.Args[0].Kind != KindInt {
+		return fmt.Errorf("n%d memory index must be int", n.ID)
+	}
+	return nil
+}

@@ -1,0 +1,435 @@
+// Package lower translates a type-checked MiniC program into the dataflow
+// IR consumed by the scheduler and simulator. It performs the classic HLS
+// frontend duties: SSA construction for scalars, if-conversion
+// (predication), loop-nest extraction (each loop body becomes its own
+// dataflow graph embedded as a variable-latency node in its parent), loop
+// unrolling, memory-dependence edges, and OpenMP construct lowering
+// (critical sections to hardware-semaphore lock/unlock pairs, map clauses
+// to host transfer descriptors).
+package lower
+
+import (
+	"fmt"
+
+	"paravis/internal/ir"
+	"paravis/internal/minic"
+)
+
+// Error is a lowering error.
+type Error struct {
+	Pos minic.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lower finds the unique target region in prog and lowers it to a kernel.
+func Lower(prog *minic.Program) (*ir.Kernel, error) {
+	fn, ts, err := minic.FindTarget(prog)
+	if err != nil {
+		return nil, err
+	}
+	lw := &lowerer{
+		prog: prog,
+		fn:   fn,
+		ts:   ts,
+		k: &ir.Kernel{
+			Name:       fn.Name,
+			NumThreads: ts.NumThreads,
+		},
+		localByDecl: make(map[*minic.DeclStmt]*ir.ArrayRef),
+	}
+	if lw.k.NumThreads == 0 {
+		lw.k.NumThreads = 1
+	}
+	if err := lw.run(); err != nil {
+		return nil, err
+	}
+	if err := ir.Validate(lw.k); err != nil {
+		return nil, fmt.Errorf("lower: produced invalid IR: %w", err)
+	}
+	return lw.k, nil
+}
+
+// storage classifies how a variable is realized in the accelerator.
+type storage int
+
+const (
+	stSSA          storage = iota // scalar/vector register (SSA value)
+	stGlobalArr                   // mapped external-DRAM array (pointer param)
+	stLocalArr                    // per-thread BRAM array
+	stScalarGlobal                // from/tofrom-mapped scalar: 1-element DRAM buffer
+	stScalarParam                 // to-mapped or firstprivate scalar: kernel argument
+)
+
+// slot is one resolved variable.
+type slot struct {
+	name string
+	typ  *minic.Type
+	st   storage
+	arr  *ir.ArrayRef // arrays and scalar globals
+	gdef *gctx        // graph context the SSA value was declared in
+}
+
+// scopeFrame is one lexical scope.
+type scopeFrame struct {
+	vars   map[string]*slot
+	parent *scopeFrame
+}
+
+func (s *scopeFrame) lookup(name string) *slot {
+	for c := s; c != nil; c = c.parent {
+		if sl, ok := c.vars[name]; ok {
+			return sl
+		}
+	}
+	return nil
+}
+
+// effState tracks memory/synchronization ordering within one graph.
+type effState struct {
+	lastFence  *ir.Node
+	lastStore  map[string]*ir.Node
+	loadsSince map[string][]*ir.Node
+	sinceFence []*ir.Node
+}
+
+func newEffState() *effState {
+	return &effState{
+		lastStore:  make(map[string]*ir.Node),
+		loadsSince: make(map[string][]*ir.Node),
+	}
+}
+
+// gctx is the lowering context of one graph (loop body or top region).
+type gctx struct {
+	parent *gctx
+	b      *ir.Builder
+	// local maps slots to their current SSA node within this graph
+	// (carry reads at entry, live-in reads on demand, updated on writes).
+	local map[*slot]*ir.Node
+	// liveArgs are the parent-graph nodes feeding this graph's live-ins,
+	// in live-in index order.
+	liveArgs []*ir.Node
+	// carried lists the slots carried across iterations, in carry index
+	// order; carryInits are the parent-side initial values.
+	carried    []*slot
+	carryInits []*ir.Node
+	// pred is the current if-conversion predicate (nil = unconditional).
+	pred *ir.Node
+	// writes journals slot writes when a branch is being lowered.
+	writes map[*slot]bool
+	eff    *effState
+}
+
+// read returns the current value of an SSA slot in this graph,
+// materializing live-in chains through parent graphs on demand.
+func (g *gctx) read(s *slot) (*ir.Node, error) {
+	if n, ok := g.local[s]; ok {
+		return n, nil
+	}
+	if g.parent == nil {
+		return nil, fmt.Errorf("internal: slot %q has no value in top graph", s.name)
+	}
+	pn, err := g.parent.read(s)
+	if err != nil {
+		return nil, err
+	}
+	kind, lanes := irKind(s.typ)
+	li := g.b.LiveIn(len(g.liveArgs), kind, lanes)
+	g.liveArgs = append(g.liveArgs, pn)
+	g.local[s] = li
+	return li, nil
+}
+
+// write updates the SSA value of a slot in this graph.
+func (g *gctx) write(s *slot, n *ir.Node) {
+	g.local[s] = n
+	if g.writes != nil {
+		g.writes[s] = true
+	}
+}
+
+// irKind maps a MiniC type to an IR value kind.
+func irKind(t *minic.Type) (ir.ValKind, int) {
+	switch {
+	case t.IsVector():
+		return ir.KindVec, t.Lanes
+	case t.IsScalar() && t.Basic == minic.Float:
+		return ir.KindFloat, 0
+	default:
+		return ir.KindInt, 0
+	}
+}
+
+type lowerer struct {
+	prog *minic.Program
+	fn   *minic.FuncDecl
+	ts   *minic.TargetStmt
+	k    *ir.Kernel
+
+	nextNodeID  int
+	nextGraphID int
+
+	scope       *scopeFrame
+	localByDecl map[*minic.DeclStmt]*ir.ArrayRef
+
+	// loopEffects caches read/write/sync summaries of lowered loop bodies.
+}
+
+func (lw *lowerer) errf(p minic.Pos, format string, args ...any) error {
+	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lw *lowerer) pushScope() { lw.scope = &scopeFrame{vars: map[string]*slot{}, parent: lw.scope} }
+func (lw *lowerer) popScope()  { lw.scope = lw.scope.parent }
+
+func (lw *lowerer) run() error {
+	lw.pushScope()
+	defer lw.popScope()
+
+	if err := lw.bindParamsAndMaps(); err != nil {
+		return err
+	}
+
+	top := lw.newGctx(nil, "top")
+	if err := lw.lowerBlock(top, lw.ts.Body); err != nil {
+		return err
+	}
+	lw.k.Top = top.b.Graph()
+	lw.k.Top.Cond = nil
+	return nil
+}
+
+func (lw *lowerer) newGctx(parent *gctx, name string) *gctx {
+	b := ir.NewBuilder(lw.nextGraphID, name, &lw.nextNodeID)
+	lw.nextGraphID++
+	return &gctx{
+		parent: parent,
+		b:      b,
+		local:  make(map[*slot]*ir.Node),
+		eff:    newEffState(),
+	}
+}
+
+// bindParamsAndMaps resolves the kernel interface: function parameters, map
+// clauses and captured host locals.
+func (lw *lowerer) bindParamsAndMaps() error {
+	lw.k.VectorLanes = lw.vectorLanes()
+
+	mapped := make(map[string]*minic.MapClause)
+	for i := range lw.ts.Maps {
+		mc := &lw.ts.Maps[i]
+		if _, dup := mapped[mc.Name]; dup {
+			return lw.errf(mc.Pos, "variable %s mapped twice", mc.Name)
+		}
+		mapped[mc.Name] = mc
+	}
+
+	// Host-visible scalars: function parameters and locals declared before
+	// the target region. hostVarType finds their types.
+	hostTypes := lw.hostVarTypes()
+
+	// Pointer parameters must be mapped.
+	for _, prm := range lw.fn.Params {
+		if prm.Type.IsPointer() {
+			mc, ok := mapped[prm.Name]
+			if !ok {
+				// Unmapped pointers are simply not available in the region.
+				continue
+			}
+			dir, err := mapDir(mc.Dir)
+			if err != nil {
+				return lw.errf(mc.Pos, "%v", err)
+			}
+			low, err := lw.scalarExpr(mc.Low)
+			if err != nil {
+				return err
+			}
+			length, err := lw.scalarExpr(mc.Len)
+			if err != nil {
+				return err
+			}
+			lw.k.Params = append(lw.k.Params, ir.Param{Name: prm.Name, Pointer: true})
+			lw.k.Maps = append(lw.k.Maps, ir.Map{Dir: dir, Name: prm.Name, Low: low, Len: length})
+			elemWords := 1
+			arr := &ir.ArrayRef{Space: ir.SpaceExternal, Name: prm.Name, ElemWords: elemWords}
+			lw.scope.vars[prm.Name] = &slot{name: prm.Name, typ: prm.Type, st: stGlobalArr, arr: arr}
+			delete(mapped, prm.Name)
+		}
+	}
+
+	// Remaining map clauses are scalars (host locals or scalar params).
+	for name, mc := range mapped {
+		t, ok := hostTypes[name]
+		if !ok {
+			return lw.errf(mc.Pos, "mapped variable %s is not visible at the target region", name)
+		}
+		if !t.IsScalar() {
+			return lw.errf(mc.Pos, "mapped variable %s has unsupported type %s", name, t)
+		}
+		dir, err := mapDir(mc.Dir)
+		if err != nil {
+			return lw.errf(mc.Pos, "%v", err)
+		}
+		isFloat := t.Basic == minic.Float
+		if dir == ir.MapTo {
+			// Firstprivate-style: a scalar kernel argument.
+			lw.k.Params = append(lw.k.Params, ir.Param{Name: name, Float: isFloat})
+			lw.k.Maps = append(lw.k.Maps, ir.Map{Dir: dir, Name: name, Scalar: true, Float: isFloat})
+			lw.scope.vars[name] = &slot{name: name, typ: t, st: stScalarParam}
+		} else {
+			// from/tofrom scalars live in a one-element DRAM buffer so all
+			// threads share them and the host reads the result back.
+			arr := &ir.ArrayRef{Space: ir.SpaceExternal, Name: name, ElemWords: 1}
+			lw.k.Params = append(lw.k.Params, ir.Param{Name: name, Pointer: true})
+			lw.k.Maps = append(lw.k.Maps, ir.Map{Dir: dir, Name: name, Scalar: true, Float: isFloat})
+			lw.scope.vars[name] = &slot{name: name, typ: t, st: stScalarGlobal, arr: arr}
+		}
+	}
+
+	// Scalar function parameters referenced inside the region are
+	// implicitly firstprivate (OpenMP default for scalars).
+	for _, prm := range lw.fn.Params {
+		if prm.Type.IsScalar() {
+			if _, already := lw.scope.vars[prm.Name]; !already {
+				lw.k.Params = append(lw.k.Params, ir.Param{Name: prm.Name, Float: prm.Type.Basic == minic.Float})
+				lw.scope.vars[prm.Name] = &slot{name: prm.Name, typ: prm.Type, st: stScalarParam}
+			}
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) vectorLanes() int {
+	// Find any vector type in the region to learn the configured lane
+	// count; default 4 if the kernel uses no vectors.
+	lanes := 4
+	var scan func(b *minic.BlockStmt)
+	found := false
+	scan = func(b *minic.BlockStmt) {
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *minic.DeclStmt:
+				t := st.Typ
+				if t.IsVector() {
+					lanes, found = t.Lanes, true
+				}
+				if t.IsArray() && t.Elem.IsVector() {
+					lanes, found = t.Elem.Lanes, true
+				}
+			case *minic.BlockStmt:
+				scan(st)
+			case *minic.ForStmt:
+				for _, is := range st.Init {
+					if d, ok := is.(*minic.DeclStmt); ok && d.Typ.IsVector() {
+						lanes, found = d.Typ.Lanes, true
+					}
+				}
+				scan(st.Body)
+			case *minic.IfStmt:
+				scan(st.Then)
+				if st.Else != nil {
+					scan(st.Else)
+				}
+			case *minic.CriticalStmt:
+				scan(st.Body)
+			}
+			if found {
+				return
+			}
+		}
+	}
+	scan(lw.ts.Body)
+	return lanes
+}
+
+// hostVarTypes collects the types of function parameters and of locals
+// declared in the function body before the target region (the variables a
+// map clause may refer to).
+func (lw *lowerer) hostVarTypes() map[string]*minic.Type {
+	types := make(map[string]*minic.Type)
+	for _, prm := range lw.fn.Params {
+		types[prm.Name] = prm.Type
+	}
+	var walk func(b *minic.BlockStmt) bool // returns true when target found
+	walk = func(b *minic.BlockStmt) bool {
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *minic.DeclStmt:
+				types[st.Name] = st.Typ
+			case *minic.TargetStmt:
+				return true
+			case *minic.BlockStmt:
+				if walk(st) {
+					return true
+				}
+			case *minic.ForStmt:
+				if walk(st.Body) {
+					return true
+				}
+			case *minic.IfStmt:
+				if walk(st.Then) {
+					return true
+				}
+				if st.Else != nil && walk(st.Else) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	walk(lw.fn.Body)
+	return types
+}
+
+func mapDir(d minic.MapDir) (ir.MapDir, error) {
+	switch d {
+	case minic.MapTo:
+		return ir.MapTo, nil
+	case minic.MapFrom:
+		return ir.MapFrom, nil
+	case minic.MapToFrom:
+		return ir.MapToFrom, nil
+	}
+	return 0, fmt.Errorf("unknown map direction %v", d)
+}
+
+// scalarExpr lowers a map-clause size expression to a host-evaluated
+// ScalarExpr over the function's scalar arguments.
+func (lw *lowerer) scalarExpr(e minic.Expr) (ir.ScalarExpr, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return ir.ConstExpr(x.Value), nil
+	case *minic.Ident:
+		return ir.ParamExpr(x.Name), nil
+	case *minic.Binary:
+		l, err := lw.scalarExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lw.scalarExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		var op ir.Op
+		switch x.Op {
+		case minic.OpAdd:
+			op = ir.OpAdd
+		case minic.OpSub:
+			op = ir.OpSub
+		case minic.OpMul:
+			op = ir.OpMul
+		case minic.OpDiv:
+			op = ir.OpDiv
+		case minic.OpRem:
+			op = ir.OpRem
+		default:
+			return nil, lw.errf(x.Pos, "unsupported operator %s in map size expression", x.Op)
+		}
+		return &ir.BinExpr{Op: op, L: l, R: r}, nil
+	case *minic.Cast:
+		return lw.scalarExpr(x.X)
+	}
+	return nil, fmt.Errorf("lower: unsupported map size expression %T", e)
+}

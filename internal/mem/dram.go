@@ -1,0 +1,320 @@
+// Package mem models the accelerator's memory system: the external DRAM
+// behind the Avalon bus (512-bit data path, banked, fixed access latency,
+// one request accepted per cycle), per-thread local BRAM, and the burst
+// preloader from the paper's architecture template. Requests are accepted
+// in FIFO order, which defines the global memory order; data is mutated at
+// accept time so that program-order and lock-protected accesses behave like
+// hardware.
+package mem
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// WordBytes is the byte size of one memory word (32-bit words everywhere).
+const WordBytes = 4
+
+// Request is one memory transaction submitted by the datapath (or the
+// profiling unit's flush engine).
+type Request struct {
+	Thread   int // issuing hardware thread; -1 for non-thread engines
+	Write    bool
+	WordAddr int64    // address in 32-bit words
+	Words    int      // number of words transferred
+	Data     []uint32 // payload for writes (len == Words)
+	// OnComplete is invoked when the transaction's data has returned
+	// (reads) or the write has been accepted (posted writes). For reads,
+	// value holds the data.
+	OnComplete func(cycle int64, value []uint32)
+}
+
+// AccessListener observes accepted requests, exactly like the paper's
+// memory performance counters snooping the Avalon interface ("we decided to
+// place the memory performance counters in the central Avalon interface and
+// evaluate the memory requests coming from the operators").
+type AccessListener func(cycle int64, thread int, bytes int, write bool)
+
+// DRAMConfig configures the external memory model.
+type DRAMConfig struct {
+	// LatencyCycles is the request->data latency of the DRAM+controller.
+	LatencyCycles int
+	// BeatBytes is the bus width in bytes (512-bit = 64 bytes).
+	BeatBytes int
+	// Banks is the number of interleaved DDR banks (D5005: 4 DDR4 banks).
+	Banks int
+	// BankRecovery is extra cycles a bank is busy after a transaction.
+	BankRecovery int
+	// MaxPending bounds the transactions in flight (accepted but without
+	// returned data), like an Avalon interconnect's maximum-pending-reads
+	// limit. The arbiter stalls accepts at the bound; this is what makes
+	// thread counts beyond ~MaxPending add congestion instead of speed
+	// (§V-A). Zero means unlimited.
+	MaxPending int
+	// Words is the total capacity in 32-bit words.
+	Words int
+}
+
+// DefaultDRAMConfig returns a model of the paper's board: ~60-cycle access
+// latency at the accelerator clock, 64-byte bus beats, 4 banks.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		LatencyCycles: 60,
+		BeatBytes:     64,
+		Banks:         4,
+		BankRecovery:  2,
+		MaxPending:    8,
+		Words:         1 << 24, // 64 MiB
+	}
+}
+
+// DRAMStats aggregates traffic counters.
+type DRAMStats struct {
+	Transactions    int64
+	ReadWordsMoved  int64
+	WriteWordsMoved int64
+	BusBeats        int64
+	// ThreadTransactions / ThreadWordsMoved count only datapath traffic
+	// (requests from hardware threads, excluding e.g. the profiling
+	// unit's flush engine), for access-granularity analysis.
+	ThreadTransactions int64
+	ThreadWordsMoved   int64
+	// QueuePeak is the maximum arbiter queue occupancy observed.
+	QueuePeak int
+}
+
+type completion struct {
+	cycle int64
+	req   *Request
+	value []uint32
+	seq   int64
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h completionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)   { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// DRAM is the external memory model.
+type DRAM struct {
+	cfg   DRAMConfig
+	words []uint32
+
+	queue    []*Request
+	busFree  int64
+	bankFree []int64
+
+	completions completionHeap
+	seq         int64
+	inFlight    int
+
+	listeners []AccessListener
+	stats     DRAMStats
+}
+
+// NewDRAM creates the external memory.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	if cfg.BeatBytes <= 0 {
+		cfg.BeatBytes = 64
+	}
+	if cfg.Banks <= 0 {
+		cfg.Banks = 1
+	}
+	if cfg.Words <= 0 {
+		cfg.Words = 1 << 20
+	}
+	return &DRAM{
+		cfg:      cfg,
+		words:    make([]uint32, cfg.Words),
+		bankFree: make([]int64, cfg.Banks),
+	}
+}
+
+// Config returns the active configuration.
+func (d *DRAM) Config() DRAMConfig { return d.cfg }
+
+// Stats returns a copy of the traffic counters.
+func (d *DRAM) Stats() DRAMStats { return d.stats }
+
+// AddListener registers a snoop on accepted requests.
+func (d *DRAM) AddListener(l AccessListener) { d.listeners = append(d.listeners, l) }
+
+// Submit enqueues a request. The queue is unbounded; callers bound
+// outstanding requests through their port model (one read and one write
+// port per thread, as in the paper).
+func (d *DRAM) Submit(r *Request) error {
+	if r.Words <= 0 {
+		return fmt.Errorf("mem: request with %d words", r.Words)
+	}
+	if r.WordAddr < 0 || r.WordAddr+int64(r.Words) > int64(len(d.words)) {
+		return fmt.Errorf("mem: request [%d,%d) outside capacity %d words",
+			r.WordAddr, r.WordAddr+int64(r.Words), len(d.words))
+	}
+	if r.Write && len(r.Data) != r.Words {
+		return fmt.Errorf("mem: write of %d words with %d data words", r.Words, len(r.Data))
+	}
+	d.queue = append(d.queue, r)
+	if len(d.queue) > d.stats.QueuePeak {
+		d.stats.QueuePeak = len(d.queue)
+	}
+	return nil
+}
+
+// Tick advances the memory one cycle: accepts at most one queued request
+// (if the pending window allows) and delivers due completions.
+func (d *DRAM) Tick(cycle int64) {
+	for len(d.completions) > 0 && d.completions[0].cycle <= cycle {
+		c := heap.Pop(&d.completions).(completion)
+		d.inFlight--
+		if c.req.OnComplete != nil {
+			c.req.OnComplete(c.cycle, c.value)
+		}
+	}
+	if len(d.queue) > 0 && (d.cfg.MaxPending <= 0 || d.inFlight < d.cfg.MaxPending) {
+		r := d.queue[0]
+		d.queue = d.queue[1:]
+		d.accept(cycle, r)
+	}
+}
+
+func (d *DRAM) accept(cycle int64, r *Request) {
+	bytes := r.Words * WordBytes
+	beats := (bytes + d.cfg.BeatBytes - 1) / d.cfg.BeatBytes
+	bank := int((r.WordAddr * WordBytes / int64(d.cfg.BeatBytes))) % d.cfg.Banks
+
+	d.stats.Transactions++
+	d.stats.BusBeats += int64(beats)
+	if r.Thread >= 0 {
+		d.stats.ThreadTransactions++
+		d.stats.ThreadWordsMoved += int64(r.Words)
+	}
+	for _, l := range d.listeners {
+		l(cycle, r.Thread, bytes, r.Write)
+	}
+
+	// Memory order = accept order: mutate/read data now.
+	var value []uint32
+	if r.Write {
+		copy(d.words[r.WordAddr:], r.Data)
+		d.stats.WriteWordsMoved += int64(r.Words)
+	} else {
+		value = make([]uint32, r.Words)
+		copy(value, d.words[r.WordAddr:])
+		d.stats.ReadWordsMoved += int64(r.Words)
+	}
+
+	start := cycle + int64(d.cfg.LatencyCycles)
+	if d.busFree > start {
+		start = d.busFree
+	}
+	if d.bankFree[bank] > start {
+		start = d.bankFree[bank]
+	}
+	dataReady := start + int64(beats)
+	d.busFree = dataReady
+	d.bankFree[bank] = dataReady + int64(d.cfg.BankRecovery)
+
+	done := dataReady
+	if r.Write {
+		// Posted write: the datapath's store completes at acceptance.
+		done = cycle + 1
+	}
+	d.seq++
+	d.inFlight++
+	heap.Push(&d.completions, completion{cycle: done, req: r, value: value, seq: d.seq})
+}
+
+// Busy reports whether requests are queued or in flight.
+func (d *DRAM) Busy() bool { return len(d.queue) > 0 || len(d.completions) > 0 }
+
+// NextEventCycle returns the earliest cycle at which something happens
+// (a queued accept next cycle, or the first completion), or -1 if idle.
+// The simulator uses it to skip dead cycles.
+func (d *DRAM) NextEventCycle(now int64) int64 {
+	next := int64(-1)
+	if len(d.queue) > 0 {
+		next = now + 1
+	}
+	if len(d.completions) > 0 {
+		c := d.completions[0].cycle
+		if next < 0 || c < next {
+			next = c
+		}
+	}
+	return next
+}
+
+// --- Direct (untimed) host access for map transfers and test setup ---
+
+// WriteWords copies data into memory directly (host DMA outside the
+// simulated accelerator timeline).
+func (d *DRAM) WriteWords(wordAddr int64, data []uint32) error {
+	if wordAddr < 0 || wordAddr+int64(len(data)) > int64(len(d.words)) {
+		return fmt.Errorf("mem: host write [%d,%d) out of range", wordAddr, wordAddr+int64(len(data)))
+	}
+	copy(d.words[wordAddr:], data)
+	return nil
+}
+
+// ReadWords copies memory contents out directly.
+func (d *DRAM) ReadWords(wordAddr int64, n int) ([]uint32, error) {
+	if wordAddr < 0 || wordAddr+int64(n) > int64(len(d.words)) {
+		return nil, fmt.Errorf("mem: host read [%d,%d) out of range", wordAddr, wordAddr+int64(n))
+	}
+	out := make([]uint32, n)
+	copy(out, d.words[wordAddr:])
+	return out, nil
+}
+
+// Float helpers for host buffers.
+
+// FloatsToWords converts float32 data to raw words.
+func FloatsToWords(fs []float32) []uint32 {
+	out := make([]uint32, len(fs))
+	for i, f := range fs {
+		out[i] = math.Float32bits(f)
+	}
+	return out
+}
+
+// WordsToFloats converts raw words to float32 data.
+func WordsToFloats(ws []uint32) []float32 {
+	out := make([]float32, len(ws))
+	for i, w := range ws {
+		out[i] = math.Float32frombits(w)
+	}
+	return out
+}
+
+// IntsToWords converts int32 data to raw words.
+func IntsToWords(is []int32) []uint32 {
+	out := make([]uint32, len(is))
+	for i, v := range is {
+		out[i] = uint32(v)
+	}
+	return out
+}
+
+// WordsToInts converts raw words to int32 data.
+func WordsToInts(ws []uint32) []int32 {
+	out := make([]int32, len(ws))
+	for i, w := range ws {
+		out[i] = int32(w)
+	}
+	return out
+}

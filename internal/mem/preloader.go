@@ -1,0 +1,97 @@
+package mem
+
+import "fmt"
+
+// Preloader is the burst DMA engine from the paper's architecture template
+// ("the preloader can be used to efficiently pre-load data from the
+// external memory to the local memory for faster access"). It streams a
+// DRAM range into a BRAM in bus-width chunks, sharing the Avalon bus with
+// the datapath.
+type Preloader struct {
+	dram *DRAM
+
+	// ChunkWords is the burst granularity in words (default: one bus beat).
+	ChunkWords int
+
+	active    bool
+	remaining int
+	nextAddr  int64
+	dstAddr   int64
+	dst       *BRAM
+	inFlight  int
+	onDone    func(cycle int64)
+
+	// Stats.
+	Transfers  int64
+	WordsMoved int64
+}
+
+// NewPreloader creates a preloader attached to the external memory.
+func NewPreloader(d *DRAM) *Preloader {
+	return &Preloader{dram: d, ChunkWords: d.cfg.BeatBytes / WordBytes}
+}
+
+// Busy reports whether a transfer is in progress.
+func (p *Preloader) Busy() bool { return p.active }
+
+// Start begins copying words [srcWordAddr, srcWordAddr+words) from DRAM
+// into dst at dstWordAddr. onDone fires when the last chunk has landed.
+func (p *Preloader) Start(srcWordAddr, dstWordAddr int64, words int, dst *BRAM, onDone func(cycle int64)) error {
+	if p.active {
+		return fmt.Errorf("mem: preloader already busy")
+	}
+	if words <= 0 {
+		return fmt.Errorf("mem: preload of %d words", words)
+	}
+	if dstWordAddr+int64(words) > int64(dst.Size()) {
+		return fmt.Errorf("mem: preload overflows BRAM (%d words into %d)", words, dst.Size())
+	}
+	p.active = true
+	p.remaining = words
+	p.nextAddr = srcWordAddr
+	p.dstAddr = dstWordAddr
+	p.dst = dst
+	p.onDone = onDone
+	return nil
+}
+
+// Tick issues at most one chunk request per cycle while a transfer is
+// active. Call every cycle, before the DRAM's own Tick.
+func (p *Preloader) Tick(cycle int64) error {
+	if !p.active || p.remaining == 0 {
+		return nil
+	}
+	n := p.ChunkWords
+	if n > p.remaining {
+		n = p.remaining
+	}
+	src := p.nextAddr
+	dstAddr := p.dstAddr
+	dst := p.dst
+	req := &Request{
+		Thread:   -1,
+		WordAddr: src,
+		Words:    n,
+		OnComplete: func(c int64, value []uint32) {
+			// Data lands in the BRAM as each chunk returns.
+			_ = dst.WriteWords(dstAddr, value)
+			p.inFlight--
+			p.WordsMoved += int64(len(value))
+			if p.remaining == 0 && p.inFlight == 0 {
+				p.active = false
+				p.Transfers++
+				if p.onDone != nil {
+					p.onDone(c)
+				}
+			}
+		},
+	}
+	if err := p.dram.Submit(req); err != nil {
+		return err
+	}
+	p.inFlight++
+	p.remaining -= n
+	p.nextAddr += int64(n)
+	p.dstAddr += int64(n)
+	return nil
+}

@@ -1,0 +1,255 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func lexAll(t *testing.T, src string, defines map[string]string) []Token {
+	t.Helper()
+	toks, err := Lex(src, defines)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lexAll(t, "int x = 42;", nil)
+	want := []Kind{KwInt, IDENT, Assign, INTLIT, Semicolon, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+	if toks[1].Text != "x" || toks[3].Text != "42" {
+		t.Errorf("unexpected token texts: %v", toks)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := map[string]Kind{
+		"+": Plus, "-": Minus, "*": Star, "/": Slash, "%": Percent,
+		"+=": PlusAssign, "-=": MinusAssign, "*=": StarAssign, "/=": SlashAssign,
+		"++": Inc, "--": Dec, "<": Lt, "<=": Le, ">": Gt, ">=": Ge,
+		"==": EqEq, "!=": NotEq, "!": Not, "&&": AndAnd, "||": OrOr, "&": Amp,
+		"?": Question, ":": Colon,
+	}
+	for src, want := range cases {
+		toks := lexAll(t, src, nil)
+		if toks[0].Kind != want {
+			t.Errorf("lex %q: got %s, want %s", src, toks[0].Kind, want)
+		}
+	}
+}
+
+func TestLexFloatLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"0.5f", "0.5"},
+		{"4.0f", "4.0"},
+		{"1.0", "1.0"},
+		{"2e3", "2e3"},
+		{"1.5e-2", "1.5e-2"},
+	}
+	for _, c := range cases {
+		toks := lexAll(t, c.src, nil)
+		if toks[0].Kind != FLOATLIT {
+			t.Errorf("lex %q: got kind %s, want FLOATLIT", c.src, toks[0].Kind)
+			continue
+		}
+		if toks[0].Text != c.want {
+			t.Errorf("lex %q: got text %q, want %q", c.src, toks[0].Text, c.want)
+		}
+	}
+	// Plain integers must stay integers.
+	toks := lexAll(t, "17", nil)
+	if toks[0].Kind != INTLIT {
+		t.Errorf("lex 17: got %s, want INTLIT", toks[0].Kind)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// a line comment
+int /* inline */ x; /* multi
+line */ float y;
+`
+	toks := lexAll(t, src, nil)
+	want := []Kind{KwInt, IDENT, Semicolon, KwFloat, IDENT, Semicolon, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	if _, err := Lex("int x; /* oops", nil); err == nil {
+		t.Fatal("expected error for unterminated block comment")
+	}
+}
+
+func TestLexDefineExpansion(t *testing.T) {
+	src := "#define DIM 64\nint x = DIM;"
+	toks := lexAll(t, src, nil)
+	if toks[3].Kind != INTLIT || toks[3].Text != "64" {
+		t.Fatalf("macro not expanded: %v", toks)
+	}
+}
+
+func TestLexInjectedDefines(t *testing.T) {
+	toks := lexAll(t, "int x = SIZE;", map[string]string{"SIZE": "128"})
+	if toks[3].Kind != INTLIT || toks[3].Text != "128" {
+		t.Fatalf("injected define not expanded: %v", toks)
+	}
+}
+
+func TestLexDefineToKeyword(t *testing.T) {
+	// The paper's kernels use `#define DTYPE float`.
+	toks := lexAll(t, "#define DTYPE float\nDTYPE x;", nil)
+	if toks[0].Kind != KwFloat {
+		t.Fatalf("DTYPE should expand to float keyword, got %v", toks[0])
+	}
+}
+
+func TestLexDefineExpression(t *testing.T) {
+	toks := lexAll(t, "#define N (4*2)\nint x = N;", nil)
+	got := kinds(toks)
+	want := []Kind{KwInt, IDENT, Assign, LParen, INTLIT, Star, INTLIT, RParen, Semicolon, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexRecursiveMacro(t *testing.T) {
+	if _, err := Lex("#define A B\n#define B A\nint x = A;", nil); err == nil {
+		t.Fatal("expected recursive macro error")
+	}
+}
+
+func TestLexPragmaLine(t *testing.T) {
+	toks := lexAll(t, "#pragma omp critical\nint x;", nil)
+	if toks[0].Kind != PRAGMA || toks[0].Text != "omp critical" {
+		t.Fatalf("got %v", toks[0])
+	}
+}
+
+func TestLexPragmaLineContinuation(t *testing.T) {
+	src := "#pragma omp target parallel map(from:C[0:4])\\\n  map(to:A[0:4]) num_threads(8)\nint x;"
+	toks := lexAll(t, src, nil)
+	if toks[0].Kind != PRAGMA {
+		t.Fatalf("got %v", toks[0])
+	}
+	if !strings.Contains(toks[0].Text, "map(to:A[0:4])") {
+		t.Fatalf("continuation not joined: %q", toks[0].Text)
+	}
+	if toks[1].Kind != KwInt {
+		t.Fatalf("token after pragma: %v", toks[1])
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexAll(t, "int\n  x;", nil)
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrorsOnUnsupportedChars(t *testing.T) {
+	for _, src := range []string{"@", "$", "int x = a | b;", "#include <x>"} {
+		if _, err := Lex(src, nil); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+// TestLexIdentifierRoundTrip property: any valid identifier-shaped string
+// lexes to a single IDENT token with identical text (unless it collides
+// with a keyword).
+func TestLexIdentifierRoundTrip(t *testing.T) {
+	letters := "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+	digits := "0123456789"
+	f := func(seed uint64, length uint8) bool {
+		n := int(length%24) + 1
+		name := make([]byte, n)
+		s := seed
+		for i := range name {
+			s = s*6364136223846793005 + 1442695040888963407
+			if i == 0 {
+				name[i] = letters[int(s>>33)%len(letters)]
+			} else {
+				all := letters + digits
+				name[i] = all[int(s>>33)%len(all)]
+			}
+		}
+		text := string(name)
+		if _, isKw := keywords[text]; isKw {
+			return true
+		}
+		toks, err := Lex(text, nil)
+		if err != nil || len(toks) != 2 {
+			return false
+		}
+		return toks[0].Kind == IDENT && toks[0].Text == text && toks[1].Kind == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLexIntRoundTrip property: any non-negative int literal round-trips.
+func TestLexIntRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		text := uintToString(uint64(v))
+		toks, err := Lex(text, nil)
+		if err != nil || len(toks) != 2 {
+			return false
+		}
+		return toks[0].Kind == INTLIT && toks[0].Text == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func uintToString(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"paravis/internal/paraver"
+)
+
+func mkTrace() *paraver.Trace {
+	tr := &paraver.Trace{
+		NumThreads: 2,
+		EndTime:    1000,
+		States: []paraver.StateRec{
+			{Thread: 0, Begin: 0, End: 500, State: 1},
+			{Thread: 0, Begin: 500, End: 600, State: 3},
+			{Thread: 0, Begin: 600, End: 700, State: 2},
+			{Thread: 0, Begin: 700, End: 1000, State: 1},
+			{Thread: 1, Begin: 0, End: 900, State: 1},
+			{Thread: 1, Begin: 900, End: 1000, State: 0},
+		},
+		Events: []paraver.EventRec{
+			{Thread: 0, Time: 50, Type: paraver.EventReadBytes, Value: 100},
+			{Thread: 0, Time: 150, Type: paraver.EventReadBytes, Value: 300},
+			{Thread: 1, Time: 150, Type: paraver.EventWriteBytes, Value: 100},
+			{Thread: 0, Time: 250, Type: paraver.EventFpOps, Value: 64},
+			{Thread: 0, Time: 850, Type: paraver.EventFpOps, Value: 32},
+			{Thread: 0, Time: 999, Type: paraver.EventStalls, Value: 11},
+		},
+	}
+	tr.Normalize()
+	return tr
+}
+
+func TestStateProfile(t *testing.T) {
+	p := StateProfileOf(mkTrace())
+	if got := p.Fraction[0][3]; math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("thread 0 spinning fraction = %v, want 0.1", got)
+	}
+	if got := p.Fraction[0][2]; math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("thread 0 critical fraction = %v, want 0.1", got)
+	}
+	if got := p.Fraction[1][0]; math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("thread 1 idle fraction = %v, want 0.1", got)
+	}
+	// Totals: (100+100)/2000 = 0.05 spinning+critical split evenly.
+	if got := p.TotalFraction[3]; math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("total spinning = %v, want 0.05", got)
+	}
+	var sum float64
+	for s := 0; s < 4; s++ {
+		sum += p.TotalFraction[s]
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+}
+
+func TestEventSeries(t *testing.T) {
+	tr := mkTrace()
+	s := EventSeries(tr, paraver.EventReadBytes, 100)
+	if s.Bins() != 10 {
+		t.Fatalf("bins = %d", s.Bins())
+	}
+	if s.Values[0] != 100 || s.Values[1] != 300 {
+		t.Errorf("series = %v", s.Values[:3])
+	}
+	if s.Sum() != 400 {
+		t.Errorf("sum = %v", s.Sum())
+	}
+	if s.Max() != 300 {
+		t.Errorf("max = %v", s.Max())
+	}
+}
+
+func TestMemoryAndFlopSeries(t *testing.T) {
+	tr := mkTrace()
+	memSeries := MemorySeries(tr, 100)
+	if memSeries.Values[1] != 400 { // 300 read + 100 write
+		t.Errorf("mem bin 1 = %v, want 400", memSeries.Values[1])
+	}
+	fp := FlopSeries(tr, 100)
+	if fp.Values[2] != 64 || fp.Values[8] != 32 {
+		t.Errorf("flop series = %v", fp.Values)
+	}
+}
+
+func TestBandwidthAndGFlops(t *testing.T) {
+	tr := mkTrace()
+	bpc := AvgBandwidthBytesPerCycle(tr)
+	if math.Abs(bpc-0.5) > 1e-9 { // 500 bytes / 1000 cycles
+		t.Errorf("bytes/cycle = %v, want 0.5", bpc)
+	}
+	// 0.5 B/cycle at 200 MHz = 0.1 GB/s.
+	if got := BandwidthGBs(bpc, 200); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("GB/s = %v, want 0.1", got)
+	}
+	// 96 FLOPs over 1000 cycles at 100 MHz: 96 / 10us / 1e9 = 0.0096 GFLOP/s.
+	if got := GFlops(tr, 100); math.Abs(got-0.0096) > 1e-9 {
+		t.Errorf("GFLOP/s = %v, want 0.0096", got)
+	}
+}
+
+func TestPhaseStats(t *testing.T) {
+	// Alternating: mem in even bins, compute in odd bins.
+	tr := &paraver.Trace{NumThreads: 1, EndTime: 1000}
+	for b := int64(0); b < 10; b++ {
+		tm := b*100 + 50
+		if b%2 == 0 {
+			tr.Events = append(tr.Events, paraver.EventRec{Thread: 0, Time: tm, Type: paraver.EventReadBytes, Value: 64})
+		} else {
+			tr.Events = append(tr.Events, paraver.EventRec{Thread: 0, Time: tm, Type: paraver.EventFpOps, Value: 64})
+		}
+	}
+	tr.Normalize()
+	st := PhaseStatsOf(tr, 100, 0, 0)
+	if st.Both != 0 || st.MemOnly != 5 || st.ComputeOnly != 5 {
+		t.Errorf("alternating phases: %+v", st)
+	}
+	if st.Overlap() != 0 {
+		t.Errorf("overlap = %v, want 0", st.Overlap())
+	}
+
+	// Overlapped: both in every bin.
+	tr2 := &paraver.Trace{NumThreads: 1, EndTime: 1000}
+	for b := int64(0); b < 10; b++ {
+		tm := b*100 + 50
+		tr2.Events = append(tr2.Events,
+			paraver.EventRec{Thread: 0, Time: tm, Type: paraver.EventReadBytes, Value: 64},
+			paraver.EventRec{Thread: 0, Time: tm, Type: paraver.EventFpOps, Value: 64})
+	}
+	tr2.Normalize()
+	st2 := PhaseStatsOf(tr2, 100, 0, 0)
+	if st2.Overlap() != 1 {
+		t.Errorf("overlap = %v, want 1 (%+v)", st2.Overlap(), st2)
+	}
+}
+
+func TestRenderStateTimeline(t *testing.T) {
+	rows := RenderStateTimeline(mkTrace(), 100)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.Contains(rows[0], "S") || !strings.Contains(rows[0], "C") {
+		t.Errorf("thread 0 row missing spin/critical: %s", rows[0])
+	}
+	if !strings.HasSuffix(rows[1], "|") || !strings.Contains(rows[1], "R") {
+		t.Errorf("thread 1 row malformed: %s", rows[1])
+	}
+	// Thread 1 idles at the end: last columns '.'.
+	body := rows[1][strings.Index(rows[1], "|")+1:]
+	if body[len(body)-2] != '.' {
+		t.Errorf("thread 1 should end idle: %s", rows[1])
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	s := Series{BinWidth: 10, Values: []float64{0, 1, 2, 4, 8, 4, 2, 1, 0}}
+	out := RenderSeries(s, 9)
+	if len([]rune(out)) != 9 {
+		t.Fatalf("width = %d", len([]rune(out)))
+	}
+	runes := []rune(out)
+	if runes[4] != '█' {
+		t.Errorf("peak glyph = %q", string(runes[4]))
+	}
+	if runes[0] != ' ' {
+		t.Errorf("zero glyph = %q", string(runes[0]))
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := &paraver.Trace{NumThreads: 1, EndTime: 0}
+	if got := AvgBandwidthBytesPerCycle(tr); got != 0 {
+		t.Errorf("bandwidth of empty trace = %v", got)
+	}
+	if got := GFlops(tr, 100); got != 0 {
+		t.Errorf("gflops of empty trace = %v", got)
+	}
+	p := StateProfileOf(tr)
+	if p.NumThreads != 1 {
+		t.Errorf("profile = %+v", p)
+	}
+	_ = RenderStateTimeline(tr, 10)
+}

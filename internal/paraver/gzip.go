@@ -1,0 +1,69 @@
+package paraver
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+)
+
+// WriteBundleGz writes the trace bundle with a gzip-compressed trace body
+// (trace.prv.gz + plain .pcf/.row), addressing the trace-volume problem the
+// paper's background section raises ("how to manage the often tens of GBs
+// of trace-data") — Paraver's wxparaver opens .prv.gz directly.
+func (t *Trace) WriteBundleGz(dir, base string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	prvPath := filepath.Join(dir, base+".prv.gz")
+	f, err := os.Create(prvPath)
+	if err != nil {
+		return "", err
+	}
+	zw, err := gzip.NewWriterLevel(f, gzip.BestSpeed)
+	if err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := t.WritePRV(zw); err != nil {
+		zw.Close()
+		f.Close()
+		return "", err
+	}
+	if err := zw.Close(); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	write := func(ext string, fn func(w *os.File) error) error {
+		out, err := os.Create(filepath.Join(dir, base+ext))
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		return fn(out)
+	}
+	if err := write(".pcf", func(w *os.File) error { return t.WritePCF(w) }); err != nil {
+		return "", err
+	}
+	if err := write(".row", func(w *os.File) error { return t.WriteROW(w) }); err != nil {
+		return "", err
+	}
+	return prvPath, nil
+}
+
+// ParsePRVGzFile parses a gzip-compressed .prv.gz trace.
+func ParsePRVGzFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return ParsePRV(zr)
+}

@@ -1,0 +1,451 @@
+package paraver
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"paravis/internal/profile"
+)
+
+func sampleTrace() *Trace {
+	tr := &Trace{
+		AppName:    "test",
+		NumThreads: 2,
+		EndTime:    1000,
+		States: []StateRec{
+			{Thread: 0, Begin: 0, End: 400, State: 1},
+			{Thread: 0, Begin: 400, End: 500, State: 3},
+			{Thread: 0, Begin: 500, End: 1000, State: 1},
+			{Thread: 1, Begin: 0, End: 800, State: 1},
+			{Thread: 1, Begin: 800, End: 1000, State: 0},
+		},
+		Events: []EventRec{
+			{Thread: 0, Time: 100, Type: EventStalls, Value: 5},
+			{Thread: 0, Time: 100, Type: EventFpOps, Value: 32},
+			{Thread: 1, Time: 200, Type: EventReadBytes, Value: 256},
+		},
+	}
+	tr.Normalize()
+	return tr
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePRV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumThreads != tr.NumThreads || got.EndTime != tr.EndTime {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.States) != len(tr.States) {
+		t.Fatalf("states: got %d want %d", len(got.States), len(tr.States))
+	}
+	for i := range tr.States {
+		if got.States[i] != tr.States[i] {
+			t.Errorf("state %d: got %+v want %+v", i, got.States[i], tr.States[i])
+		}
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("events: got %d want %d", len(got.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Errorf("event %d: got %+v want %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestPRVFormatLines(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.HasPrefix(lines[0], "#Paraver") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(lines[0], ":1000:1(2):1:1(2:1)") {
+		t.Errorf("header fields wrong: %s", lines[0])
+	}
+	// First state record.
+	if lines[1] != "1:1:1:1:1:0:400:1" {
+		t.Errorf("state line = %q", lines[1])
+	}
+	// Grouped event record: thread 0 at t=100 has two events on one line.
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "2:1:1:1:1:100:") {
+			found = true
+			if !strings.Contains(l, "100001:5") || !strings.Contains(l, "100003:32") {
+				t.Errorf("grouped event line missing counters: %q", l)
+			}
+		}
+	}
+	if !found {
+		t.Error("event record for thread 0 missing")
+	}
+}
+
+func TestPCFAndROW(t *testing.T) {
+	tr := sampleTrace()
+	var pcf, row bytes.Buffer
+	if err := tr.WritePCF(&pcf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteROW(&row); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"STATES", "STATES_COLOR", "Running", "Spinning", "EVENT_TYPE", "Pipeline stalls", "Memory bytes read"} {
+		if !strings.Contains(pcf.String(), want) {
+			t.Errorf("pcf missing %q", want)
+		}
+	}
+	for _, want := range []string{"LEVEL CPU SIZE 2", "LEVEL THREAD SIZE 2", "HW THREAD 1.1.2"} {
+		if !strings.Contains(row.String(), want) {
+			t.Errorf("row missing %q", want)
+		}
+	}
+}
+
+func TestParseRejectsMalformedComm(t *testing.T) {
+	src := "#Paraver (01/01/00 at 00:00):100:1(2):1:1(2:1)\n3:1:1:1:1:0:1:1:1:0:0:0:0\n"
+	if _, err := ParsePRV(strings.NewReader(src)); err == nil {
+		t.Fatal("expected error for truncated communication record")
+	}
+}
+
+func multiTaskTrace() *Trace {
+	tr := &Trace{
+		AppName:    "cluster",
+		Tasks:      2,
+		NumThreads: 2,
+		EndTime:    500,
+		States: []StateRec{
+			{Task: 0, Thread: 0, Begin: 0, End: 500, State: 1},
+			{Task: 0, Thread: 1, Begin: 0, End: 400, State: 1},
+			{Task: 1, Thread: 0, Begin: 50, End: 500, State: 1},
+			{Task: 1, Thread: 1, Begin: 50, End: 450, State: 1},
+		},
+		Events: []EventRec{
+			{Task: 0, Thread: 0, Time: 100, Type: EventFpOps, Value: 64},
+			{Task: 1, Thread: 1, Time: 200, Type: EventReadBytes, Value: 128},
+		},
+		Comms: []CommRec{
+			{SendTask: 0, SendThread: 0, RecvTask: 1, RecvThread: 0,
+				SendTime: 250, RecvTime: 300, Size: 16, Tag: 7},
+			{SendTask: 1, SendThread: 1, RecvTask: 0, RecvThread: 1,
+				SendTime: 260, RecvTime: 310, Size: 16, Tag: 8},
+		},
+	}
+	tr.Normalize()
+	return tr
+}
+
+func TestMultiTaskRoundTrip(t *testing.T) {
+	tr := multiTaskTrace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, ":2(2:1,2:1)") {
+		t.Errorf("header missing two-task list: %s", strings.SplitN(text, "\n", 2)[0])
+	}
+	// CPU ids: task 1 threads map to CPUs 3 and 4.
+	if !strings.Contains(text, "1:3:1:2:1:50:500:1") {
+		t.Errorf("task-2 state record wrong:\n%s", text)
+	}
+	// Comm record present with both endpoints.
+	if !strings.Contains(text, "3:1:1:1:1:250:250:3:1:2:1:300:300:16:7") {
+		t.Errorf("comm record wrong:\n%s", text)
+	}
+	got, err := ParsePRV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTasks() != 2 || got.NumThreads != 2 {
+		t.Fatalf("parsed %d tasks x %d threads", got.NumTasks(), got.NumThreads)
+	}
+	if len(got.States) != len(tr.States) || len(got.Events) != len(tr.Events) || len(got.Comms) != len(tr.Comms) {
+		t.Fatalf("record counts: %d/%d/%d", len(got.States), len(got.Events), len(got.Comms))
+	}
+	for i := range tr.Comms {
+		if got.Comms[i] != tr.Comms[i] {
+			t.Errorf("comm %d: got %+v want %+v", i, got.Comms[i], tr.Comms[i])
+		}
+	}
+	for i := range tr.States {
+		if got.States[i] != tr.States[i] {
+			t.Errorf("state %d: got %+v want %+v", i, got.States[i], tr.States[i])
+		}
+	}
+}
+
+func TestTaskView(t *testing.T) {
+	tr := multiTaskTrace()
+	v := tr.TaskView(1)
+	if len(v.States) != 2 || len(v.Events) != 1 {
+		t.Fatalf("view records: %d states %d events", len(v.States), len(v.Events))
+	}
+	for _, s := range v.States {
+		if s.Task != 0 {
+			t.Error("task view must renumber to task 0")
+		}
+	}
+}
+
+func TestMergeTask(t *testing.T) {
+	single := sampleTrace() // 2 threads, end 1000
+	merged := &Trace{Tasks: 2, NumThreads: 2}
+	if err := merged.MergeTask(single, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.MergeTask(single, 1, 500); err != nil {
+		t.Fatal(err)
+	}
+	merged.Normalize()
+	if merged.EndTime != 1500 {
+		t.Errorf("end = %d", merged.EndTime)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched thread counts rejected.
+	bad := &Trace{Tasks: 2, NumThreads: 3}
+	if err := bad.MergeTask(single, 0, 0); err == nil {
+		t.Error("expected thread-count mismatch error")
+	}
+}
+
+func TestValidateCommErrors(t *testing.T) {
+	tr := multiTaskTrace()
+	tr.Comms = append(tr.Comms, CommRec{SendTask: 0, RecvTask: 1, SendTime: 400, RecvTime: 300, Size: 8})
+	if err := tr.Validate(); err == nil {
+		t.Error("expected recv-before-send error")
+	}
+	tr = multiTaskTrace()
+	tr.Comms = append(tr.Comms, CommRec{SendTask: 5, RecvTask: 1, SendTime: 10, RecvTime: 20, Size: 8})
+	if err := tr.Validate(); err == nil {
+		t.Error("expected task-range error")
+	}
+	tr = multiTaskTrace()
+	tr.Comms = append(tr.Comms, CommRec{SendTask: 0, RecvTask: 1, SendTime: 10, RecvTime: 20, Size: 0})
+	if err := tr.Validate(); err == nil {
+		t.Error("expected size error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n",
+		"#Paraver (x):abc:1(2):1:1(2:1)\n",
+		"#Paraver (01/01/00 at 00:00):100:1(2):1:1(2:1)\n1:1:1:1:1:0:50\n",      // short state
+		"#Paraver (01/01/00 at 00:00):100:1(2):1:1(2:1)\n9:1:1:1:1:0:50:1\n",    // unknown type
+		"#Paraver (01/01/00 at 00:00):100:1(2):1:1(2:1)\n2:1:1:1:1:10:100001\n", // odd event fields
+	}
+	for _, src := range cases {
+		if _, err := ParsePRV(strings.NewReader(src)); err == nil {
+			t.Errorf("ParsePRV(%q) should fail", src)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := sampleTrace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *tr
+	bad.States = append([]StateRec{}, tr.States...)
+	bad.States[0].End = 2000 // beyond EndTime
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation error for out-of-range interval")
+	}
+}
+
+func TestNormalizeCoalesces(t *testing.T) {
+	tr := &Trace{
+		NumThreads: 1,
+		EndTime:    100,
+		States: []StateRec{
+			{Thread: 0, Begin: 0, End: 50, State: 1},
+			{Thread: 0, Begin: 50, End: 100, State: 1},
+		},
+	}
+	tr.Normalize()
+	if len(tr.States) != 1 {
+		t.Fatalf("coalesce failed: %d records", len(tr.States))
+	}
+	if tr.States[0].Begin != 0 || tr.States[0].End != 100 {
+		t.Errorf("merged interval = %+v", tr.States[0])
+	}
+}
+
+func TestFromProfile(t *testing.T) {
+	u := profile.New(profile.DefaultConfig(), 2, nil)
+	u.SetState(0, 0, profile.StateRunning)
+	u.SetState(10, 1, profile.StateRunning)
+	u.SetState(50, 0, profile.StateSpinning)
+	u.SetState(60, 0, profile.StateCritical)
+	u.SetState(70, 0, profile.StateRunning)
+	u.AddCompute(0, 100, 200)
+	u.AddStalls(1, 7)
+	u.Finalize(2000)
+
+	tr := FromProfile(u, "app", 2000)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Thread 0: idle [0,0)(empty), running [0,50), spin [50,60), crit
+	// [60,70), running [70,2000).
+	var t0 []StateRec
+	for _, s := range tr.States {
+		if s.Thread == 0 {
+			t0 = append(t0, s)
+		}
+	}
+	if len(t0) != 4 {
+		t.Fatalf("thread 0 intervals = %+v", t0)
+	}
+	if t0[1].State != int(profile.StateSpinning) || t0[1].Begin != 50 || t0[1].End != 60 {
+		t.Errorf("spin interval = %+v", t0[1])
+	}
+	// Events present.
+	if len(tr.Events) == 0 {
+		t.Fatal("no events converted")
+	}
+	var fp, stalls int64
+	for _, ev := range tr.Events {
+		switch ev.Type {
+		case EventFpOps:
+			fp += ev.Value
+		case EventStalls:
+			stalls += ev.Value
+		}
+	}
+	if fp != 200 || stalls != 7 {
+		t.Errorf("fp=%d stalls=%d", fp, stalls)
+	}
+}
+
+// Property: write-parse round trip preserves arbitrary well-formed traces.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nIntervals uint8, nEvents uint8) bool {
+		rng := seed
+		next := func(n int64) int64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int64(rng >> 33)
+			if v < 0 {
+				v = -v
+			}
+			return v % n
+		}
+		tr := &Trace{NumThreads: 4, EndTime: 10000}
+		for th := 0; th < 4; th++ {
+			cur := int64(0)
+			for i := 0; i < int(nIntervals%8)+1 && cur < 9000; i++ {
+				d := next(1000) + 1
+				tr.States = append(tr.States, StateRec{
+					Thread: th, Begin: cur, End: cur + d, State: int(next(4)),
+				})
+				cur += d
+			}
+		}
+		for i := 0; i < int(nEvents%16); i++ {
+			tr.Events = append(tr.Events, EventRec{
+				Thread: int(next(4)), Time: next(10000),
+				Type: EventStalls + int(next(5)), Value: next(1 << 30),
+			})
+		}
+		tr.Normalize()
+		if tr.Validate() != nil {
+			return true // skip degenerate
+		}
+		var buf bytes.Buffer
+		if tr.WritePRV(&buf) != nil {
+			return false
+		}
+		got, err := ParsePRV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.States) != len(tr.States) || len(got.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range tr.States {
+			if got.States[i] != tr.States[i] {
+				return false
+			}
+		}
+		for i := range tr.Events {
+			if got.Events[i] != tr.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGzipBundleRoundTrip(t *testing.T) {
+	tr := multiTaskTrace()
+	dir := t.TempDir()
+	path, err := tr.WriteBundleGz(dir, "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, ".prv.gz") {
+		t.Fatalf("path = %s", path)
+	}
+	got, err := ParsePRVGzFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTasks() != tr.NumTasks() || len(got.States) != len(tr.States) ||
+		len(got.Comms) != len(tr.Comms) {
+		t.Fatalf("round trip lost records")
+	}
+	// The companion .pcf/.row must exist uncompressed.
+	for _, ext := range []string{".pcf", ".row"} {
+		if _, err := os.Stat(filepath.Join(dir, "z"+ext)); err != nil {
+			t.Errorf("missing %s: %v", ext, err)
+		}
+	}
+	// Compressed body must be smaller than plain for a nontrivial trace.
+	big := &Trace{NumThreads: 2, EndTime: 1_000_000}
+	for i := int64(0); i < 2000; i++ {
+		big.States = append(big.States, StateRec{Thread: int(i % 2), Begin: i * 100, End: i*100 + 100, State: int(i % 4)})
+	}
+	big.Normalize()
+	var plain bytes.Buffer
+	if err := big.WritePRV(&plain); err != nil {
+		t.Fatal(err)
+	}
+	gzPath, err := big.WriteBundleGz(dir, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() >= int64(plain.Len()) {
+		t.Errorf("gzip did not shrink trace: %d vs %d", st.Size(), plain.Len())
+	}
+}

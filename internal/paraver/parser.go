@@ -1,0 +1,160 @@
+package paraver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParsePRV reads a .prv stream back into a Trace. It accepts the subset
+// this package writes (state and event records; communication records are
+// rejected with a clear error since the paper excludes them too).
+func ParsePRV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("paraver: empty trace")
+	}
+	header := sc.Text()
+	tr, err := parseHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ":")
+		rec, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("paraver: line %d: bad record type %q", lineNo, fields[0])
+		}
+		switch rec {
+		case 1:
+			if len(fields) != 8 {
+				return nil, fmt.Errorf("paraver: line %d: state record needs 8 fields, got %d", lineNo, len(fields))
+			}
+			vals, err := atoiAll(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("paraver: line %d: %v", lineNo, err)
+			}
+			tr.States = append(tr.States, StateRec{
+				Task:   int(vals[2]) - 1,
+				Thread: int(vals[3]) - 1,
+				Begin:  vals[4],
+				End:    vals[5],
+				State:  int(vals[6]),
+			})
+		case 2:
+			if len(fields) < 8 || (len(fields)-6)%2 != 0 {
+				return nil, fmt.Errorf("paraver: line %d: malformed event record", lineNo)
+			}
+			vals, err := atoiAll(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("paraver: line %d: %v", lineNo, err)
+			}
+			task := int(vals[2]) - 1
+			thread := int(vals[3]) - 1
+			time := vals[4]
+			for i := 5; i+1 < len(vals); i += 2 {
+				tr.Events = append(tr.Events, EventRec{
+					Task: task, Thread: thread, Time: time,
+					Type: int(vals[i]), Value: vals[i+1],
+				})
+			}
+		case 3:
+			if len(fields) != 15 {
+				return nil, fmt.Errorf("paraver: line %d: communication record needs 15 fields, got %d", lineNo, len(fields))
+			}
+			vals, err := atoiAll(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("paraver: line %d: %v", lineNo, err)
+			}
+			tr.Comms = append(tr.Comms, CommRec{
+				SendTask:   int(vals[2]) - 1,
+				SendThread: int(vals[3]) - 1,
+				SendTime:   vals[4],
+				RecvTask:   int(vals[8]) - 1,
+				RecvThread: int(vals[9]) - 1,
+				RecvTime:   vals[10],
+				Size:       vals[12],
+				Tag:        vals[13],
+			})
+		default:
+			return nil, fmt.Errorf("paraver: line %d: unknown record type %d", lineNo, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	tr.Normalize()
+	return tr, nil
+}
+
+// ParsePRVFile parses a .prv file from disk.
+func ParsePRVFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParsePRV(f)
+}
+
+// parseHeader decodes "#Paraver (...):endTime:1(N):1:1(N:1)".
+func parseHeader(h string) (*Trace, error) {
+	if !strings.HasPrefix(h, "#Paraver") {
+		return nil, fmt.Errorf("paraver: missing #Paraver header")
+	}
+	close := strings.Index(h, ")")
+	if close < 0 || close+2 > len(h) {
+		return nil, fmt.Errorf("paraver: malformed header %q", h)
+	}
+	rest := h[close+2:] // skip "):"
+	parts := strings.SplitN(rest, ":", 4)
+	if len(parts) < 4 {
+		return nil, fmt.Errorf("paraver: header needs endTime:nodes:nAppl:appl, got %q", rest)
+	}
+	endTime, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("paraver: bad end time %q", parts[0])
+	}
+	// Task and thread counts from the application list "K(N:1,N:1,...)".
+	appl := parts[3]
+	lp := strings.Index(appl, "(")
+	rp := strings.Index(appl, ")")
+	if lp < 0 || rp < lp {
+		return nil, fmt.Errorf("paraver: malformed application list %q", appl)
+	}
+	tasks, err := strconv.Atoi(appl[:lp])
+	if err != nil || tasks <= 0 {
+		return nil, fmt.Errorf("paraver: bad task count in %q", appl)
+	}
+	nStr := strings.Split(appl[lp+1:rp], ",")[0]
+	if c := strings.Index(nStr, ":"); c >= 0 {
+		nStr = nStr[:c]
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("paraver: bad thread count in %q", appl)
+	}
+	return &Trace{Tasks: tasks, NumThreads: n, EndTime: endTime}, nil
+}
+
+func atoiAll(fields []string) ([]int64, error) {
+	out := make([]int64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer field %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

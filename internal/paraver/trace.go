@@ -1,0 +1,232 @@
+// Package paraver reads and writes Paraver trace bundles (.prv trace,
+// .pcf configuration, .row labels) and converts the profiling unit's raw
+// records into them. Paraver cannot express cycles, so — exactly as the
+// paper does — one trace time unit is one accelerator clock cycle ("for all
+// cases in the graphs where microseconds are used, these are in fact
+// cycles").
+package paraver
+
+import (
+	"fmt"
+	"sort"
+
+	"paravis/internal/profile"
+)
+
+// Event type identifiers used in .prv/.pcf files. The numbering follows
+// Paraver conventions for user-defined counters.
+const (
+	EventStalls     = 100001
+	EventIntOps     = 100002
+	EventFpOps      = 100003
+	EventReadBytes  = 100004
+	EventWriteBytes = 100005
+)
+
+// EventTypeNames maps event types to their .pcf labels.
+var EventTypeNames = map[int]string{
+	EventStalls:     "Pipeline stalls",
+	EventIntOps:     "Integer operations",
+	EventFpOps:      "Floating-point operations",
+	EventReadBytes:  "Memory bytes read",
+	EventWriteBytes: "Memory bytes written",
+}
+
+// StateNames maps the 2-bit hardware states to Paraver state labels. The
+// numbering matches the paper's encoding (00 idle, 01 running, 10 critical,
+// 11 spinning).
+var StateNames = [4]string{"Idle", "Running", "Critical", "Spinning"}
+
+// StateColors are the RGB colors of Fig. 6: black idle, green running,
+// blue critical, red spinning.
+var StateColors = [4][3]int{
+	{0, 0, 0},
+	{0, 170, 0},
+	{0, 0, 200},
+	{200, 0, 0},
+}
+
+// StateRec is one thread-state interval [Begin, End).
+type StateRec struct {
+	Task   int // 0-based; 0 in single-accelerator traces
+	Thread int // 0-based
+	Begin  int64
+	End    int64
+	State  int
+}
+
+// EventRec is one punctual event sample.
+type EventRec struct {
+	Task   int // 0-based; 0 in single-accelerator traces
+	Thread int // 0-based
+	Time   int64
+	Type   int
+	Value  int64
+}
+
+// Trace is an in-memory Paraver trace: one application with Tasks tasks
+// (one per accelerator; 0 means 1) of NumThreads hardware threads each.
+// Communication records connect tasks in multi-FPGA traces.
+type Trace struct {
+	AppName    string
+	Tasks      int // 0 or 1 = single accelerator
+	NumThreads int
+	EndTime    int64
+	States     []StateRec
+	Events     []EventRec
+	Comms      []CommRec
+}
+
+// FromProfile converts the profiling unit's host-readback records into a
+// trace. endTime is the final cycle of the run.
+func FromProfile(u *profile.Unit, appName string, endTime int64) *Trace {
+	tr := &Trace{AppName: appName, NumThreads: u.NumThreads(), EndTime: endTime}
+
+	// State snapshots -> per-thread intervals.
+	n := u.NumThreads()
+	prev := make([]profile.ThreadState, n)
+	prevCycle := int64(0)
+	emit := func(upTo int64, states []profile.ThreadState) {
+		if upTo > prevCycle {
+			for t := 0; t < n; t++ {
+				tr.States = append(tr.States, StateRec{
+					Thread: t, Begin: prevCycle, End: upTo, State: int(prev[t]),
+				})
+			}
+			prevCycle = upTo
+		}
+		if states != nil {
+			copy(prev, states)
+		}
+	}
+	for _, rec := range u.StateRecords() {
+		emit(rec.Cycle, rec.States)
+	}
+	emit(endTime, nil)
+
+	// Event samples -> punctual counter events at window end. The final
+	// window may close a cycle or two after the last thread finished
+	// (drain of the flush traffic); clamp into the trace range.
+	for _, s := range u.EventSamples() {
+		at := s.End
+		if at > endTime {
+			at = endTime
+		}
+		add := func(typ int, v int64) {
+			if v != 0 {
+				tr.Events = append(tr.Events, EventRec{Thread: s.Thread, Time: at, Type: typ, Value: v})
+			}
+		}
+		add(EventStalls, s.Stalls)
+		add(EventIntOps, s.IntOps)
+		add(EventFpOps, s.FpOps)
+		add(EventReadBytes, s.ReadBytes)
+		add(EventWriteBytes, s.WriteBytes)
+	}
+	tr.Normalize()
+	return tr
+}
+
+// Normalize sorts records into canonical order (time-major, then thread)
+// and coalesces adjacent equal-state intervals per thread.
+func (t *Trace) Normalize() {
+	sort.SliceStable(t.States, func(i, j int) bool {
+		a, b := t.States[i], t.States[j]
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		return a.Begin < b.Begin
+	})
+	merged := t.States[:0]
+	for _, s := range t.States {
+		if s.End <= s.Begin {
+			continue
+		}
+		if len(merged) > 0 {
+			last := &merged[len(merged)-1]
+			if last.Task == s.Task && last.Thread == s.Thread && last.State == s.State && last.End == s.Begin {
+				last.End = s.End
+				continue
+			}
+		}
+		merged = append(merged, s)
+	}
+	t.States = merged
+	sort.SliceStable(t.Events, func(i, j int) bool {
+		a, b := t.Events[i], t.Events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		return a.Type < b.Type
+	})
+	t.SortComms()
+}
+
+// Validate checks trace invariants: intervals within [0, EndTime], tasks
+// and threads in range, per-(task,thread) interval monotonicity, and
+// communication-record sanity.
+func (t *Trace) Validate() error {
+	lastEnd := make([]int64, t.NumTasks()*t.NumThreads)
+	for i := range lastEnd {
+		lastEnd[i] = -1
+	}
+	for _, s := range t.States {
+		if s.Task < 0 || s.Task >= t.NumTasks() {
+			return fmt.Errorf("paraver: state record task %d out of range", s.Task)
+		}
+		if s.Thread < 0 || s.Thread >= t.NumThreads {
+			return fmt.Errorf("paraver: state record thread %d out of range", s.Thread)
+		}
+		if s.Begin < 0 || s.End > t.EndTime || s.End <= s.Begin {
+			return fmt.Errorf("paraver: bad state interval [%d,%d) (end %d)", s.Begin, s.End, t.EndTime)
+		}
+		if s.State < 0 || s.State > 3 {
+			return fmt.Errorf("paraver: unknown state %d", s.State)
+		}
+		slot := s.Task*t.NumThreads + s.Thread
+		if lastEnd[slot] > s.Begin {
+			return fmt.Errorf("paraver: overlapping intervals for task %d thread %d at %d", s.Task, s.Thread, s.Begin)
+		}
+		lastEnd[slot] = s.End
+	}
+	for _, ev := range t.Events {
+		if ev.Task < 0 || ev.Task >= t.NumTasks() {
+			return fmt.Errorf("paraver: event task %d out of range", ev.Task)
+		}
+		if ev.Thread < 0 || ev.Thread >= t.NumThreads {
+			return fmt.Errorf("paraver: event thread %d out of range", ev.Thread)
+		}
+		if ev.Time < 0 || ev.Time > t.EndTime {
+			return fmt.Errorf("paraver: event time %d outside [0,%d]", ev.Time, t.EndTime)
+		}
+	}
+	return t.ValidateComms()
+}
+
+// TaskView extracts one task's records as a single-task trace, for the
+// per-accelerator analyses (state profiles, event series).
+func (t *Trace) TaskView(task int) *Trace {
+	out := &Trace{AppName: t.AppName, NumThreads: t.NumThreads, EndTime: t.EndTime}
+	for _, s := range t.States {
+		if s.Task == task {
+			s.Task = 0
+			out.States = append(out.States, s)
+		}
+	}
+	for _, ev := range t.Events {
+		if ev.Task == task {
+			ev.Task = 0
+			out.Events = append(out.Events, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package paraver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WritePRV writes the trace body in Paraver .prv format:
+//
+//	#Paraver (dd/mm/yy at hh:mm):endTime:nNodes(nCpus):nAppl:applList
+//	1:cpu:appl:task:thread:begin:end:state
+//	2:cpu:appl:task:thread:time:type:value[:type:value...]
+//
+// One node with NumThreads CPUs, one application with one task of
+// NumThreads threads; thread i runs on cpu i+1. The timestamp in the header
+// is fixed for reproducibility (Paraver ignores it).
+func (t *Trace) WritePRV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#Paraver (01/01/00 at 00:00):%d:1(%d):1:%s\n",
+		t.EndTime, t.totalCPUs(), t.applList())
+	for _, s := range t.States {
+		fmt.Fprintf(bw, "1:%d:1:%d:%d:%d:%d:%d\n",
+			t.cpuOf(s.Task, s.Thread), s.Task+1, s.Thread+1, s.Begin, s.End, s.State)
+	}
+	// Group events that share (task, thread, time) into one record.
+	i := 0
+	for i < len(t.Events) {
+		ev := t.Events[i]
+		j := i
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "2:%d:1:%d:%d:%d", t.cpuOf(ev.Task, ev.Thread), ev.Task+1, ev.Thread+1, ev.Time)
+		for j < len(t.Events) && t.Events[j].Task == ev.Task && t.Events[j].Thread == ev.Thread && t.Events[j].Time == ev.Time {
+			fmt.Fprintf(&sb, ":%d:%d", t.Events[j].Type, t.Events[j].Value)
+			j++
+		}
+		sb.WriteByte('\n')
+		if _, err := bw.WriteString(sb.String()); err != nil {
+			return err
+		}
+		i = j
+	}
+	for _, c := range t.Comms {
+		fmt.Fprintf(bw, "3:%d:1:%d:%d:%d:%d:%d:1:%d:%d:%d:%d:%d:%d\n",
+			t.cpuOf(c.SendTask, c.SendThread), c.SendTask+1, c.SendThread+1, c.SendTime, c.SendTime,
+			t.cpuOf(c.RecvTask, c.RecvThread), c.RecvTask+1, c.RecvThread+1, c.RecvTime, c.RecvTime,
+			c.Size, c.Tag)
+	}
+	return bw.Flush()
+}
+
+// WritePCF writes the Paraver configuration file describing states, their
+// colors, and the event types.
+func (t *Trace) WritePCF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "DEFAULT_OPTIONS")
+	fmt.Fprintln(bw, "")
+	fmt.Fprintln(bw, "LEVEL               THREAD")
+	fmt.Fprintln(bw, "UNITS               NANOSEC")
+	fmt.Fprintln(bw, "LOOK_BACK           100")
+	fmt.Fprintln(bw, "SPEED               1")
+	fmt.Fprintln(bw, "FLAG_ICONS          ENABLED")
+	fmt.Fprintln(bw, "NUM_OF_STATE_COLORS 1000")
+	fmt.Fprintln(bw, "YMAX_SCALE          37")
+	fmt.Fprintln(bw, "")
+	fmt.Fprintln(bw, "DEFAULT_SEMANTIC")
+	fmt.Fprintln(bw, "")
+	fmt.Fprintln(bw, "THREAD_FUNC         State As Is")
+	fmt.Fprintln(bw, "")
+	fmt.Fprintln(bw, "STATES")
+	for i, name := range StateNames {
+		fmt.Fprintf(bw, "%d    %s\n", i, name)
+	}
+	fmt.Fprintln(bw, "")
+	fmt.Fprintln(bw, "STATES_COLOR")
+	for i, c := range StateColors {
+		fmt.Fprintf(bw, "%d    {%d,%d,%d}\n", i, c[0], c[1], c[2])
+	}
+	fmt.Fprintln(bw, "")
+	for _, typ := range []int{EventStalls, EventIntOps, EventFpOps, EventReadBytes, EventWriteBytes} {
+		fmt.Fprintln(bw, "EVENT_TYPE")
+		fmt.Fprintf(bw, "0    %d    %s\n", typ, EventTypeNames[typ])
+		fmt.Fprintln(bw, "")
+	}
+	return bw.Flush()
+}
+
+// WriteROW writes the Paraver label file naming CPUs, nodes and threads.
+func (t *Trace) WriteROW(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "LEVEL CPU SIZE %d\n", t.totalCPUs())
+	for i := 0; i < t.totalCPUs(); i++ {
+		fmt.Fprintf(bw, "CPU %d.%d\n", 1, i+1)
+	}
+	fmt.Fprintln(bw, "")
+	fmt.Fprintln(bw, "LEVEL NODE SIZE 1")
+	fmt.Fprintln(bw, "fpga-accelerator")
+	fmt.Fprintln(bw, "")
+	fmt.Fprintf(bw, "LEVEL THREAD SIZE %d\n", t.totalCPUs())
+	for task := 0; task < t.NumTasks(); task++ {
+		for i := 0; i < t.NumThreads; i++ {
+			fmt.Fprintf(bw, "FPGA%d HW THREAD 1.%d.%d\n", task+1, task+1, i+1)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteBundle writes trace.prv/.pcf/.row under dir with the given base
+// name and returns the .prv path.
+func (t *Trace) WriteBundle(dir, base string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	write := func(ext string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, base+ext))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := write(".prv", t.WritePRV); err != nil {
+		return "", err
+	}
+	if err := write(".pcf", t.WritePCF); err != nil {
+		return "", err
+	}
+	if err := write(".row", t.WriteROW); err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, base+".prv"), nil
+}

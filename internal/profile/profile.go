@@ -1,0 +1,361 @@
+// Package profile implements the hardware profiling unit the paper adds to
+// the Nymble accelerator: per-thread state tracking (Idle / Running /
+// Spinning / Critical, 2 bits each, a full-width record written whenever any
+// thread changes state), and periodically sampled event counters (pipeline
+// stalls, integer and floating-point operation counts, memory bytes read
+// and written). Records accumulate in an on-chip buffer sized in 512-bit
+// lines and are flushed to external memory when the buffer is nearly full;
+// the flush traffic shares the memory system with the datapath, so the
+// profiling perturbation is observable exactly as on the FPGA.
+package profile
+
+import "fmt"
+
+// ThreadState is the paper's 2-bit thread state encoding: 00 idle,
+// 01 running, 10 critical, 11 spinning.
+type ThreadState uint8
+
+// Thread states.
+const (
+	StateIdle     ThreadState = 0
+	StateRunning  ThreadState = 1
+	StateCritical ThreadState = 2
+	StateSpinning ThreadState = 3
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateRunning:
+		return "Running"
+	case StateCritical:
+		return "Critical"
+	case StateSpinning:
+		return "Spinning"
+	}
+	return fmt.Sprintf("ThreadState(%d)", uint8(s))
+}
+
+// Config configures the profiling unit.
+type Config struct {
+	// Enabled turns the whole unit on; a disabled unit records nothing and
+	// generates no flush traffic (the "without profiling" baseline).
+	Enabled bool
+	// SamplePeriod is the event sampling period in cycles ("this period is
+	// user-adjustable"). Larger periods coarsen the trace but shrink it.
+	SamplePeriod int64
+	// StateBufferLines / EventBufferLines size the on-chip buffers in
+	// 512-bit lines.
+	StateBufferLines int
+	EventBufferLines int
+}
+
+// DefaultConfig returns the configuration used in the paper's case studies.
+func DefaultConfig() Config {
+	return Config{
+		Enabled:          true,
+		SamplePeriod:     1024,
+		StateBufferLines: 64,
+		EventBufferLines: 64,
+	}
+}
+
+// StateRecord is one state-change record: the states of all threads plus
+// the 32-bit clock count (2*Nthreads+32 bits in hardware).
+type StateRecord struct {
+	Cycle  int64
+	States []ThreadState
+}
+
+// EventSample is one closed sampling window for one thread.
+type EventSample struct {
+	Start, End int64
+	Thread     int
+	Stalls     int64
+	IntOps     int64
+	FpOps      int64 // FP lane-operations (the FLOP count)
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+// FlushFunc models the buffer flush to external memory: it is handed the
+// flush size in bytes and the cycle it is issued.
+type FlushFunc func(cycle int64, bytes int)
+
+type threadCounters struct {
+	stalls, intOps, fpOps, readBytes, writeBytes int64
+}
+
+// Unit is the profiling unit instance attached to one accelerator.
+type Unit struct {
+	cfg      Config
+	nThreads int
+	flush    FlushFunc
+
+	cur          []ThreadState
+	stateRecords []StateRecord
+	statesInBuf  int
+
+	counters    []threadCounters
+	totals      []threadCounters
+	events      []EventSample
+	eventsInBuf int
+	windowStart int64
+
+	// stallsBySite attributes stall cycles to pipeline sites (the loop a
+	// token was stalled in). The hardware analogue is one counter per
+	// stage group; it enables the source-linked hotspot report.
+	stallsBySite map[string]int64
+
+	// Stats.
+	FlushedBytes int64
+	Flushes      int64
+}
+
+// New creates a profiling unit for nThreads hardware threads. flush may be
+// nil (no memory-traffic modeling).
+func New(cfg Config, nThreads int, flush FlushFunc) *Unit {
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = 1024
+	}
+	if cfg.StateBufferLines <= 0 {
+		cfg.StateBufferLines = 64
+	}
+	if cfg.EventBufferLines <= 0 {
+		cfg.EventBufferLines = 64
+	}
+	u := &Unit{
+		cfg:      cfg,
+		nThreads: nThreads,
+		flush:    flush,
+		cur:      make([]ThreadState, nThreads),
+		counters: make([]threadCounters, nThreads),
+		totals:   make([]threadCounters, nThreads),
+	}
+	return u
+}
+
+// Config returns the active configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// NumThreads returns the monitored thread count.
+func (u *Unit) NumThreads() int { return u.nThreads }
+
+// StateRecordBits is the width of one state record: 2 bits per thread plus
+// a 32-bit cycle count.
+func (u *Unit) StateRecordBits() int { return 2*u.nThreads + 32 }
+
+// EventRecordBits is the width of one event sample record: five 32-bit
+// counters, a 32-bit window stamp and an 8-bit thread id, rounded to bytes.
+func (u *Unit) EventRecordBits() int { return 5*32 + 32 + 8 }
+
+// stateRecordsPerBuffer returns how many records fit the state buffer.
+func (u *Unit) stateRecordsPerBuffer() int {
+	per := (u.cfg.StateBufferLines * 512) / u.StateRecordBits()
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+func (u *Unit) eventRecordsPerBuffer() int {
+	per := (u.cfg.EventBufferLines * 512) / u.EventRecordBits()
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// SetState records a state change of one thread. Per the paper, the states
+// of all threads are recorded together whenever any one changes.
+func (u *Unit) SetState(cycle int64, thread int, st ThreadState) {
+	if !u.cfg.Enabled {
+		return
+	}
+	if u.cur[thread] == st {
+		return
+	}
+	u.cur[thread] = st
+	rec := StateRecord{Cycle: cycle, States: append([]ThreadState(nil), u.cur...)}
+	u.stateRecords = append(u.stateRecords, rec)
+	u.statesInBuf++
+	if u.statesInBuf >= u.stateRecordsPerBuffer() {
+		u.flushStates(cycle)
+	}
+}
+
+// CurrentState returns a thread's current state.
+func (u *Unit) CurrentState(thread int) ThreadState { return u.cur[thread] }
+
+// AddStalls accumulates stall cycles for a thread.
+func (u *Unit) AddStalls(thread int, n int64) {
+	u.AddStallsAt(thread, "", n)
+}
+
+// AddStallsAt accumulates stall cycles for a thread and attributes them to
+// a pipeline site (a loop's name, carrying its source position). Empty
+// sites count only toward the per-thread totals.
+func (u *Unit) AddStallsAt(thread int, site string, n int64) {
+	if !u.cfg.Enabled || n == 0 {
+		return
+	}
+	u.counters[thread].stalls += n
+	u.totals[thread].stalls += n
+	if site != "" {
+		if u.stallsBySite == nil {
+			u.stallsBySite = make(map[string]int64)
+		}
+		u.stallsBySite[site] += n
+	}
+}
+
+// StallsBySite returns stall cycles per pipeline site (loop), the data
+// behind the hotspot report.
+func (u *Unit) StallsBySite() map[string]int64 {
+	out := make(map[string]int64, len(u.stallsBySite))
+	for k, v := range u.stallsBySite {
+		out[k] = v
+	}
+	return out
+}
+
+// AddCompute accumulates arithmetic activity for a thread (integer ops and
+// FP lane-operations).
+func (u *Unit) AddCompute(thread int, intOps, fpOps int64) {
+	if !u.cfg.Enabled {
+		return
+	}
+	u.counters[thread].intOps += intOps
+	u.counters[thread].fpOps += fpOps
+	u.totals[thread].intOps += intOps
+	u.totals[thread].fpOps += fpOps
+}
+
+// AddMem accumulates memory traffic for a thread. Traffic from non-thread
+// engines (thread < 0, e.g. this unit's own flushes) is ignored, as the
+// hardware counters snoop only the compute-unit ports.
+func (u *Unit) AddMem(thread int, bytes int, write bool) {
+	if !u.cfg.Enabled || thread < 0 {
+		return
+	}
+	if write {
+		u.counters[thread].writeBytes += int64(bytes)
+		u.totals[thread].writeBytes += int64(bytes)
+	} else {
+		u.counters[thread].readBytes += int64(bytes)
+		u.totals[thread].readBytes += int64(bytes)
+	}
+}
+
+// Tick advances the unit to the given cycle, closing sample windows as
+// crossed. Call at least once per simulated cycle, or after jumps.
+func (u *Unit) Tick(cycle int64) {
+	if !u.cfg.Enabled {
+		return
+	}
+	for cycle >= u.windowStart+u.cfg.SamplePeriod {
+		u.closeWindow(u.windowStart + u.cfg.SamplePeriod)
+	}
+}
+
+func (u *Unit) closeWindow(end int64) {
+	for t := 0; t < u.nThreads; t++ {
+		c := &u.counters[t]
+		if c.stalls == 0 && c.intOps == 0 && c.fpOps == 0 && c.readBytes == 0 && c.writeBytes == 0 {
+			continue
+		}
+		u.events = append(u.events, EventSample{
+			Start: u.windowStart, End: end, Thread: t,
+			Stalls: c.stalls, IntOps: c.intOps, FpOps: c.fpOps,
+			ReadBytes: c.readBytes, WriteBytes: c.writeBytes,
+		})
+		*c = threadCounters{}
+		u.eventsInBuf++
+	}
+	if u.eventsInBuf >= u.eventRecordsPerBuffer() {
+		u.flushEvents(end)
+	}
+	u.windowStart = end
+}
+
+func (u *Unit) flushStates(cycle int64) {
+	if u.statesInBuf == 0 {
+		return
+	}
+	bits := u.statesInBuf * u.StateRecordBits()
+	lines := (bits + 511) / 512
+	u.emitFlush(cycle, lines*64)
+	u.statesInBuf = 0
+}
+
+func (u *Unit) flushEvents(cycle int64) {
+	if u.eventsInBuf == 0 {
+		return
+	}
+	bits := u.eventsInBuf * u.EventRecordBits()
+	lines := (bits + 511) / 512
+	u.emitFlush(cycle, lines*64)
+	u.eventsInBuf = 0
+}
+
+func (u *Unit) emitFlush(cycle int64, bytes int) {
+	u.FlushedBytes += int64(bytes)
+	u.Flushes++
+	if u.flush != nil {
+		u.flush(cycle, bytes)
+	}
+}
+
+// Finalize closes the last sampling window and flushes all buffers. Call
+// once when the accelerator goes idle.
+func (u *Unit) Finalize(cycle int64) {
+	if !u.cfg.Enabled {
+		return
+	}
+	u.Tick(cycle)
+	if cycle > u.windowStart {
+		u.closeWindow(cycle)
+	}
+	u.flushStates(cycle)
+	u.flushEvents(cycle)
+}
+
+// StateRecords returns the recorded state changes (host readback).
+func (u *Unit) StateRecords() []StateRecord { return u.stateRecords }
+
+// EventSamples returns the recorded event windows (host readback).
+func (u *Unit) EventSamples() []EventSample { return u.events }
+
+// TotalsFor returns lifetime counter totals of one thread.
+func (u *Unit) TotalsFor(thread int) (stalls, intOps, fpOps, readBytes, writeBytes int64) {
+	t := u.totals[thread]
+	return t.stalls, t.intOps, t.fpOps, t.readBytes, t.writeBytes
+}
+
+// StateDurations integrates the state records from cycle 0 to end and
+// returns, per thread, the cycles spent in each of the four states. It is
+// the host-side analysis the Paraver state view visualizes.
+func StateDurations(records []StateRecord, nThreads int, end int64) [][4]int64 {
+	out := make([][4]int64, nThreads)
+	prevCycle := int64(0)
+	prevStates := make([]ThreadState, nThreads) // all idle initially
+	account := func(upTo int64) {
+		d := upTo - prevCycle
+		if d <= 0 {
+			return
+		}
+		for t := 0; t < nThreads; t++ {
+			out[t][prevStates[t]] += d
+		}
+	}
+	for _, r := range records {
+		if r.Cycle > prevCycle {
+			account(r.Cycle)
+			prevCycle = r.Cycle
+		}
+		copy(prevStates, r.States)
+	}
+	account(end)
+	return out
+}

@@ -1,0 +1,528 @@
+package sim
+
+import (
+	"fmt"
+
+	"paravis/internal/hw"
+	"paravis/internal/hwsem"
+	"paravis/internal/ir"
+	"paravis/internal/mem"
+	"paravis/internal/profile"
+)
+
+// profRegionWords is the circular DRAM region the profiling unit flushes
+// into (the host would drain it between reads; we only model the traffic).
+const profRegionWords = 1 << 16
+
+type engine struct {
+	ck  *hw.CKernel
+	cfg Config
+
+	dram    *mem.DRAM
+	brams   [][]*mem.BRAM // [thread][localID]
+	sems    []*hwsem.Semaphore
+	barrier *hwsem.Barrier
+	prof    *profile.Unit
+
+	params     []hw.Value
+	globalBase []int64 // by GlobalIdx
+	mapBase    map[string]int64
+	mapLow     map[string]int64
+	mapLen     map[string]int64
+
+	threads []*thread
+	// occ tracks static-stage occupancy: occ[graph][stage] = thread id
+	// or -1. Reordering stages are never tracked (one context per thread).
+	occ [][]int32
+
+	cycle                    int64
+	profBase                 int64
+	profOff                  int64
+	transferTo, transferFrom int64
+	transferCycles           int64
+
+	// runErr records the first fatal execution error (division by zero,
+	// out-of-bounds access); the main loop stops on it.
+	runErr error
+
+	args Args
+}
+
+type vloKind uint8
+
+const (
+	vkTimed   vloKind = iota // completes at doneCycle
+	vkAsync                  // completes via callback (DRAM)
+	vkChild                  // completes when child frame finishes
+	vkBarrier                // completes when the barrier generation passes
+)
+
+type outVLO struct {
+	pos        int32
+	waitStage  int32
+	kind       vloKind
+	doneCycle  int64 // for vkTimed; set on completion for others
+	barrierGen int64
+	done       bool
+}
+
+type pendKind uint8
+
+const (
+	pendPort pendKind = iota // memory port busy: counts as a stall
+	pendLock                 // semaphore taken: Spinning state, not a stall
+)
+
+type pending struct {
+	pos     int32
+	kind    pendKind
+	retryAt int64
+}
+
+type frame struct {
+	cg      *hw.CGraph
+	gi      int32
+	vals    []hw.Value
+	carries []hw.Value
+	// stage is the token position: -1 = about to start an iteration.
+	stage       int32
+	outstanding []*outVLO
+	pendings    []pending
+	parent      *frame
+	// loopVLO is the parent's outstanding entry for this loop instance.
+	loopVLO *outVLO
+	loopPos int32
+	// finished marks the frame for removal from the thread's active list.
+	finished bool
+}
+
+type thread struct {
+	id       int
+	startAt  int64
+	started  bool
+	done     bool
+	endCycle int64
+	// active holds all live frames of this thread: the top region plus
+	// any in-flight loop instances. Independent sibling loops execute
+	// concurrently (the dataflow permitting), which is what lets the
+	// double-buffered GEMM overlap its prefetch and compute loops.
+	active   []*frame
+	cache    []*frame
+	extRead  bool
+	extWrite bool
+	// stalledBlocked marks that the last step failed on a stall-type
+	// block, for bulk stall accounting across fast-forward jumps;
+	// stallSite names the loop it was blocked in.
+	stalledBlocked bool
+	stallSite      string
+}
+
+func newEngine(ck *hw.CKernel, args Args, cfg Config) (*engine, error) {
+	if err := validateArgs(ck, args); err != nil {
+		return nil, err
+	}
+	if cfg.DRAM.Words == 0 {
+		cfg.DRAM = mem.DefaultDRAMConfig()
+	}
+	if cfg.BRAMLatency <= 0 {
+		cfg.BRAMLatency = 2
+	}
+	if cfg.SpinRetry <= 0 {
+		cfg.SpinRetry = 6
+	}
+	e := &engine{
+		ck:      ck,
+		cfg:     cfg,
+		dram:    mem.NewDRAM(cfg.DRAM),
+		mapBase: map[string]int64{},
+		mapLow:  map[string]int64{},
+		mapLen:  map[string]int64{},
+		args:    args,
+	}
+
+	n := ck.K.NumThreads
+	e.prof = profile.New(cfg.Profile, n, e.flushProfile)
+	e.dram.AddListener(func(c int64, th int, b int, w bool) { e.prof.AddMem(th, b, w) })
+
+	// Hardware semaphores and barrier.
+	for i := 0; i < ck.K.NumSems; i++ {
+		e.sems = append(e.sems, hwsem.NewSemaphore())
+	}
+	e.barrier = hwsem.NewBarrier(n)
+
+	// Per-thread BRAMs.
+	e.brams = make([][]*mem.BRAM, n)
+	for t := 0; t < n; t++ {
+		for _, la := range ck.K.Locals {
+			e.brams[t] = append(e.brams[t], mem.NewBRAM(la.ElemWords*la.NumElems, cfg.BRAMLatency))
+		}
+	}
+
+	// Static-stage occupancy tables.
+	e.occ = make([][]int32, len(ck.Graphs))
+	for gi, cg := range ck.Graphs {
+		e.occ[gi] = make([]int32, cg.Depth)
+		for s := range e.occ[gi] {
+			e.occ[gi][s] = -1
+		}
+	}
+
+	if err := e.setupMemory(); err != nil {
+		return nil, err
+	}
+	if err := e.setupParams(); err != nil {
+		return nil, err
+	}
+
+	// Threads start sequentially: the host writes each context over the
+	// slave interface before starting the next.
+	for t := 0; t < n; t++ {
+		e.threads = append(e.threads, &thread{
+			id:      t,
+			startAt: int64(t) * cfg.ThreadStart,
+			cache:   make([]*frame, len(ck.Graphs)),
+		})
+	}
+	return e, nil
+}
+
+// scalarEnv builds the host-side evaluation environment for map sizes.
+func (e *engine) scalarEnv() map[string]int64 {
+	env := map[string]int64{}
+	for k, v := range e.args.Ints {
+		env[k] = v
+	}
+	for k, v := range e.args.Floats {
+		env[k] = int64(v)
+	}
+	return env
+}
+
+// setupMemory allocates DRAM regions for every map clause (and the
+// profiler's flush region) and performs the to-device transfers.
+func (e *engine) setupMemory() error {
+	alloc := int64(0)
+	bump := func(words int64) int64 {
+		base := alloc
+		alloc += words
+		alloc = (alloc + 15) &^ 15 // 64-byte alignment
+		return base
+	}
+	e.profBase = bump(profRegionWords)
+
+	env := e.scalarEnv()
+	lat := int64(e.cfg.DRAM.LatencyCycles)
+	beat := int64(e.cfg.DRAM.BeatBytes)
+
+	for _, m := range e.ck.K.Maps {
+		var low, length int64
+		if m.Scalar {
+			low, length = 0, 1
+		} else {
+			var err error
+			low, err = m.Low.Eval(env)
+			if err != nil {
+				return fmt.Errorf("sim: map %s low: %w", m.Name, err)
+			}
+			length, err = m.Len.Eval(env)
+			if err != nil {
+				return fmt.Errorf("sim: map %s len: %w", m.Name, err)
+			}
+			if length <= 0 {
+				return fmt.Errorf("sim: map %s has non-positive length %d", m.Name, length)
+			}
+		}
+		base := bump(length)
+		e.mapBase[m.Name] = base
+		e.mapLow[m.Name] = low
+		e.mapLen[m.Name] = length
+
+		bytes := length * mem.WordBytes
+		if m.Dir == ir.MapTo || m.Dir == ir.MapToFrom {
+			data, err := e.hostWords(m, low, length)
+			if err != nil {
+				return err
+			}
+			if err := e.dram.WriteWords(base, data); err != nil {
+				return err
+			}
+			e.transferTo += bytes
+			e.transferCycles += lat + (bytes+beat-1)/beat
+		}
+		if m.Dir == ir.MapFrom || m.Dir == ir.MapToFrom {
+			e.transferFrom += bytes
+			e.transferCycles += lat + (bytes+beat-1)/beat
+		}
+	}
+	if alloc > int64(e.cfg.DRAM.Words) {
+		return fmt.Errorf("sim: mapped data (%d words) exceeds DRAM capacity (%d words)", alloc, e.cfg.DRAM.Words)
+	}
+	return nil
+}
+
+// hostWords fetches the host-side initial contents for a to/tofrom map.
+func (e *engine) hostWords(m ir.Map, low, length int64) ([]uint32, error) {
+	if m.Scalar {
+		w := make([]uint32, 1)
+		if m.Float {
+			w = mem.FloatsToWords([]float32{float32(e.args.Floats[m.Name])})
+		} else {
+			w = mem.IntsToWords([]int32{int32(e.args.Ints[m.Name])})
+		}
+		return w, nil
+	}
+	buf, ok := e.args.Buffers[m.Name]
+	if !ok {
+		return nil, fmt.Errorf("sim: missing buffer argument %q", m.Name)
+	}
+	if int64(len(buf.Words)) < low+length {
+		return nil, fmt.Errorf("sim: buffer %q has %d words, map needs [%d,%d)",
+			m.Name, len(buf.Words), low, low+length)
+	}
+	return buf.Words[low : low+length], nil
+}
+
+// setupParams resolves the kernel parameter array.
+func (e *engine) setupParams() error {
+	e.params = make([]hw.Value, len(e.ck.K.Params))
+	e.globalBase = make([]int64, len(e.ck.GlobalNames))
+	for i, p := range e.ck.K.Params {
+		if p.Pointer {
+			base, ok := e.mapBase[p.Name]
+			if !ok {
+				return fmt.Errorf("sim: pointer param %q has no map", p.Name)
+			}
+			// Kernel element indices are host-pointer relative: element i
+			// lands at base + (i - low).
+			adj := base - e.mapLow[p.Name]
+			e.params[i] = hw.Value{I: adj}
+			gi := e.ck.GlobalIndex(p.Name)
+			if gi >= 0 {
+				e.globalBase[gi] = adj
+			}
+			continue
+		}
+		if p.Float {
+			e.params[i] = hw.Value{F: float32(e.args.Floats[p.Name])}
+		} else {
+			e.params[i] = hw.Value{I: e.args.Ints[p.Name]}
+		}
+	}
+	return nil
+}
+
+// flushProfile models the profiling unit writing a buffer to DRAM.
+func (e *engine) flushProfile(cycle int64, bytes int) {
+	words := bytes / mem.WordBytes
+	if words <= 0 {
+		return
+	}
+	if e.profOff+int64(words) > profRegionWords {
+		e.profOff = 0
+	}
+	req := &mem.Request{
+		Thread:   -1,
+		Write:    true,
+		WordAddr: e.profBase + e.profOff,
+		Words:    words,
+		Data:     make([]uint32, words),
+	}
+	e.profOff += int64(words)
+	// Ignore submit errors: the region is pre-sized.
+	_ = e.dram.Submit(req)
+}
+
+func (e *engine) run() error {
+	maxCycles := e.cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 4_000_000_000
+	}
+	nDone := 0
+	for {
+		if nDone == len(e.threads) && !e.dram.Busy() {
+			break
+		}
+		progress := false
+		for _, t := range e.threads {
+			if !t.started && e.cycle >= t.startAt {
+				e.startThread(t)
+				progress = true
+			}
+			if t.started && !t.done {
+				if e.stepThread(t) {
+					progress = true
+				}
+				if t.done {
+					nDone++
+				}
+			}
+		}
+		e.prof.Tick(e.cycle)
+		e.dram.Tick(e.cycle)
+		if e.runErr != nil {
+			return e.runErr
+		}
+
+		if !progress {
+			next := e.nextEventCycle()
+			if next < 0 {
+				return fmt.Errorf("sim: deadlock at cycle %d (no progress and no pending events)", e.cycle)
+			}
+			if next > e.cycle+1 {
+				skip := next - e.cycle - 1
+				for _, t := range e.threads {
+					if t.started && !t.done && t.stalledBlocked {
+						e.prof.AddStallsAt(t.id, t.stallSite, skip)
+					}
+				}
+				e.cycle = next - 1
+			}
+		}
+		e.cycle++
+		if e.cycle > maxCycles {
+			return fmt.Errorf("sim: exceeded MaxCycles=%d", maxCycles)
+		}
+	}
+	// The final profiler flush still writes its buffers out; drain the
+	// traffic so DRAM statistics include it.
+	e.prof.Finalize(e.cycle)
+	for e.dram.Busy() {
+		e.dram.Tick(e.cycle)
+		e.cycle++
+	}
+	return nil
+}
+
+// nextEventCycle computes the earliest future cycle at which any state can
+// change: DRAM activity, pending retries, timed VLO completions or thread
+// starts. Returns -1 if nothing is pending (deadlock).
+func (e *engine) nextEventCycle() int64 {
+	next := int64(-1)
+	min := func(c int64) {
+		if c > e.cycle && (next < 0 || c < next) {
+			next = c
+		}
+	}
+	if d := e.dram.NextEventCycle(e.cycle); d >= 0 {
+		min(d)
+	}
+	for _, t := range e.threads {
+		if !t.started {
+			min(t.startAt)
+			continue
+		}
+		if t.done {
+			continue
+		}
+		for _, f := range t.active {
+			for _, p := range f.pendings {
+				min(p.retryAt)
+			}
+			for _, o := range f.outstanding {
+				if o.done {
+					// Completed but not yet retired: the frame can move
+					// next cycle.
+					min(e.cycle + 1)
+				} else if o.kind == vkTimed {
+					min(o.doneCycle)
+				}
+			}
+		}
+	}
+	return next
+}
+
+func (e *engine) startThread(t *thread) {
+	t.started = true
+	e.prof.SetState(e.cycle, t.id, profile.StateRunning)
+	f := e.frameFor(t, e.ck.TopIdx)
+	f.parent = nil
+	f.loopVLO = nil
+	f.stage = -1
+	t.active = append(t.active, f)
+}
+
+// frameFor returns the thread's cached frame for a graph, creating it on
+// first use (hardware contexts are physical and reused across iterations).
+func (e *engine) frameFor(t *thread, gi int) *frame {
+	if f := t.cache[gi]; f != nil {
+		f.outstanding = f.outstanding[:0]
+		f.pendings = f.pendings[:0]
+		f.stage = -1
+		f.finished = false
+		return f
+	}
+	cg := e.ck.Graphs[gi]
+	f := &frame{
+		cg:      cg,
+		gi:      int32(gi),
+		stage:   -1,
+		vals:    make([]hw.Value, len(cg.Nodes)),
+		carries: make([]hw.Value, cg.NumCarry),
+	}
+	t.cache[gi] = f
+	return f
+}
+
+func (e *engine) finish() (*Result, error) {
+	r := &Result{
+		Cycles:               e.cycle,
+		ScalarsOut:           map[string]float64{},
+		ScalarsOutInt:        map[string]int64{},
+		DRAM:                 e.dram.Stats(),
+		TransferToDevBytes:   e.transferTo,
+		TransferFromDevBytes: e.transferFrom,
+		TransferCycles:       e.transferCycles,
+	}
+	last := int64(0)
+	for _, t := range e.threads {
+		r.ThreadStart = append(r.ThreadStart, t.startAt)
+		r.ThreadEnd = append(r.ThreadEnd, t.endCycle)
+		if t.endCycle > last {
+			last = t.endCycle
+		}
+		stalls, intOps, fpOps, _, _ := e.prof.TotalsFor(t.id)
+		r.Stalls = append(r.Stalls, stalls)
+		r.IntOps = append(r.IntOps, intOps)
+		r.FpOps = append(r.FpOps, fpOps)
+	}
+	r.Cycles = last
+	if e.cfg.Profile.Enabled {
+		r.Prof = e.prof
+		r.StallsByLoop = e.prof.StallsBySite()
+	}
+	for _, s := range e.sems {
+		r.LockAcquisitions += s.Acquisitions
+		r.LockContended += s.Contended
+	}
+	for _, bs := range e.brams {
+		for _, b := range bs {
+			r.BRAMWordsMoved += b.WordsMoved
+			r.BRAMPortStalls += b.PortStalls
+		}
+	}
+
+	// Write back from/tofrom maps.
+	for _, m := range e.ck.K.Maps {
+		if m.Dir == ir.MapTo {
+			continue
+		}
+		base := e.mapBase[m.Name]
+		length := e.mapLen[m.Name]
+		data, err := e.dram.ReadWords(base, int(length))
+		if err != nil {
+			return nil, err
+		}
+		if m.Scalar {
+			if m.Float {
+				r.ScalarsOut[m.Name] = float64(mem.WordsToFloats(data)[0])
+			} else {
+				r.ScalarsOutInt[m.Name] = int64(mem.WordsToInts(data)[0])
+			}
+			continue
+		}
+		buf := e.args.Buffers[m.Name]
+		copy(buf.Words[e.mapLow[m.Name]:], data)
+	}
+	return r, nil
+}

@@ -1,0 +1,540 @@
+package sim
+
+import (
+	"fmt"
+
+	"paravis/internal/hw"
+	"paravis/internal/ir"
+	"paravis/internal/mem"
+	"paravis/internal/profile"
+)
+
+// copyVal deep-copies a value (vector payloads get their own storage).
+func copyVal(dst *hw.Value, src *hw.Value) {
+	dst.I = src.I
+	dst.F = src.F
+	if src.V != nil {
+		if cap(dst.V) < len(src.V) {
+			dst.V = make([]float32, len(src.V))
+		}
+		dst.V = dst.V[:len(src.V)]
+		copy(dst.V, src.V)
+	}
+}
+
+// checkStage returns the stage from whose end the loop-exit decision is
+// taken (the paper's controller knows the continue predicate here).
+func checkStage(cg *hw.CGraph) int32 {
+	cs := int32(cg.CondStage)
+	if cs < 1 {
+		cs = 1
+	}
+	return cs
+}
+
+// DebugTrace enables verbose per-cycle logging (development aid).
+var DebugTrace = false
+
+// stepThread advances every active frame of one thread by at most one
+// stage. It returns true if any architectural state changed (used for
+// fast-forwarding). Frames spawned this cycle are not stepped until the
+// next cycle.
+func (e *engine) stepThread(t *thread) bool {
+	t.stalledBlocked = false
+	progress := false
+	n := len(t.active)
+	for i := 0; i < n; i++ {
+		f := t.active[i]
+		if f.finished {
+			continue
+		}
+		if e.stepFrame(t, f) {
+			progress = true
+		}
+		if e.runErr != nil {
+			return progress
+		}
+	}
+	// Compact finished frames.
+	keep := t.active[:0]
+	for _, f := range t.active {
+		if !f.finished {
+			keep = append(keep, f)
+		}
+	}
+	t.active = keep
+	return progress
+}
+
+// stepFrame advances one frame by at most one stage.
+func (e *engine) stepFrame(t *thread, f *frame) bool {
+	if DebugTrace {
+		fmt.Printf("c%d t%d g%s stage=%d out=%d pend=%d\n", e.cycle, t.id, f.cg.Name, f.stage, len(f.outstanding), len(f.pendings))
+	}
+	progress := false
+
+	// Retire completed internally-timed VLOs and compact the list.
+	if len(f.outstanding) > 0 {
+		keep := f.outstanding[:0]
+		for _, o := range f.outstanding {
+			if !o.done {
+				switch o.kind {
+				case vkTimed:
+					if o.doneCycle <= e.cycle {
+						o.done = true
+						progress = true
+					}
+				case vkBarrier:
+					if e.barrier.Generation() > o.barrierGen {
+						o.done = true
+						progress = true
+						e.prof.SetState(e.cycle, t.id, profile.StateRunning)
+					}
+				}
+			}
+			if !o.done {
+				keep = append(keep, o)
+			}
+		}
+		f.outstanding = keep
+	}
+
+	// Retry pending VLO issues (busy ports, taken locks). The token sits
+	// in the issuing stage until they go out.
+	if len(f.pendings) > 0 {
+		keep := f.pendings[:0]
+		for _, p := range f.pendings {
+			if e.cycle < p.retryAt {
+				keep = append(keep, p)
+				continue
+			}
+			ok, err := e.issueVLO(t, f, p.pos)
+			if err != nil {
+				e.fail(err)
+				return progress
+			}
+			if ok {
+				progress = true
+			} else {
+				p.retryAt = e.retryCycle(f, p)
+				keep = append(keep, p)
+			}
+		}
+		f.pendings = keep
+		if len(f.pendings) > 0 {
+			// Port-blocked issues are arbitration stalls; lock waits are
+			// the Spinning state and tracked by the state recorder.
+			for _, p := range f.pendings {
+				if p.kind == pendPort {
+					e.prof.AddStallsAt(t.id, f.cg.Name, 1)
+					t.stalledBlocked = true
+					t.stallSite = f.cg.Name
+					break
+				}
+			}
+			return progress
+		}
+	}
+
+	// Advance the token.
+	if f.stage < 0 {
+		// Start an iteration: enter stage 0.
+		if ok, stall := e.canEnter(t, f, 0); !ok {
+			if stall {
+				e.prof.AddStallsAt(t.id, f.cg.Name, 1)
+				t.stalledBlocked = true
+				t.stallSite = f.cg.Name
+			}
+			return progress
+		}
+		e.beginIteration(f)
+		if err := e.enterStage(t, f, 0); err != nil {
+			e.fail(err)
+			return progress
+		}
+		return true
+	}
+
+	// Loop-exit decision at the end of the check stage.
+	if f.cg.CondIdx >= 0 && f.stage == checkStage(f.cg)-1 {
+		if f.vals[f.cg.CondIdx].I == 0 {
+			if blocked, stall := drainBlock(f); blocked {
+				// Drain speculative loads before leaving the pipeline.
+				if stall {
+					e.prof.AddStallsAt(t.id, f.cg.Name, 1)
+					t.stalledBlocked = true
+					t.stallSite = f.cg.Name
+				}
+				return progress
+			}
+			e.finishGraph(t, f)
+			return true
+		}
+	}
+
+	next := f.stage + 1
+	if int(next) == f.cg.Depth {
+		// Iteration complete: wrap around (or finish the top region).
+		if blocked, stall := drainBlock(f); blocked {
+			if stall {
+				e.prof.AddStallsAt(t.id, f.cg.Name, 1)
+				t.stalledBlocked = true
+				t.stallSite = f.cg.Name
+			}
+			return progress
+		}
+		e.freeOcc(t, f)
+		if f.cg.CondIdx < 0 {
+			f.stage = -1
+			e.finishGraph(t, f)
+			return true
+		}
+		// Latch carried registers for the next iteration.
+		for i, up := range f.cg.CarryUpdates {
+			copyVal(&f.carries[i], &f.vals[up])
+		}
+		f.stage = -1
+		return true
+	}
+
+	if ok, stall := e.canEnter(t, f, next); !ok {
+		if stall {
+			e.prof.AddStallsAt(t.id, f.cg.Name, 1)
+			t.stalledBlocked = true
+			t.stallSite = f.cg.Name
+		}
+		return progress
+	}
+	if err := e.enterStage(t, f, next); err != nil {
+		e.fail(err)
+		return progress
+	}
+	return true
+}
+
+// retryCycle computes when a pending issue should be retried.
+func (e *engine) retryCycle(f *frame, p pending) int64 {
+	if p.kind == pendLock {
+		return e.cycle + int64(e.cfg.SpinRetry)
+	}
+	return e.cycle + 1
+}
+
+// fail records a fatal execution error; the main loop surfaces it.
+func (e *engine) fail(err error) {
+	if e.runErr == nil {
+		e.runErr = err
+	}
+}
+
+// canEnter checks VLO-completion gates and static-stage occupancy. The
+// second result reports whether the block counts as a pipeline stall:
+// waiting on a child loop does not (the thread is making progress inside
+// the inner pipeline — the paper counts the inner loop's own stalls).
+func (e *engine) canEnter(t *thread, f *frame, s int32) (ok, stall bool) {
+	blocked := false
+	for _, o := range f.outstanding {
+		if !o.done && o.waitStage <= s {
+			blocked = true
+			if o.kind != vkChild {
+				return false, true
+			}
+		}
+	}
+	if blocked {
+		return false, false
+	}
+	if !f.cg.Stages[s].Reordering {
+		occ := e.occ[f.gi][s]
+		if occ >= 0 && occ != int32(t.id) {
+			return false, true
+		}
+	}
+	return true, false
+}
+
+// drainBlock classifies a wait on the frame's remaining outstanding VLOs
+// (iteration end / loop exit): true when a non-child VLO is pending.
+func drainBlock(f *frame) (blocked, stall bool) {
+	for _, o := range f.outstanding {
+		if !o.done {
+			blocked = true
+			if o.kind != vkChild {
+				return true, true
+			}
+		}
+	}
+	return blocked, false
+}
+
+// beginIteration loads carried-register values into their node slots.
+func (e *engine) beginIteration(f *frame) {
+	for i, pos := range f.cg.CarryPos {
+		if pos >= 0 {
+			copyVal(&f.vals[pos], &f.carries[i])
+		}
+	}
+}
+
+// freeOcc releases the token's static-stage slot.
+func (e *engine) freeOcc(t *thread, f *frame) {
+	if f.stage >= 0 && !f.cg.Stages[f.stage].Reordering {
+		if e.occ[f.gi][f.stage] == int32(t.id) {
+			e.occ[f.gi][f.stage] = -1
+		}
+	}
+}
+
+// enterStage moves the token into stage s: updates occupancy, reports
+// compute activation events, evaluates the stage's pure ops and issues its
+// VLOs.
+func (e *engine) enterStage(t *thread, f *frame, s int32) error {
+	e.freeOcc(t, f)
+	if !f.cg.Stages[s].Reordering {
+		e.occ[f.gi][s] = int32(t.id)
+	}
+	f.stage = s
+	st := &f.cg.Stages[s]
+	if st.IntOps > 0 || st.FpLanes > 0 {
+		e.prof.AddCompute(t.id, int64(st.IntOps), int64(st.FpLanes))
+	}
+	for _, pos := range st.Pure {
+		if err := f.cg.EvalPure(pos, f.vals, e.params, int64(t.id), int64(e.ck.K.NumThreads)); err != nil {
+			return fmt.Errorf("sim: thread %d graph %s n@%d: %w", t.id, f.cg.Name, pos, err)
+		}
+	}
+	for _, pos := range st.Issue {
+		ok, err := e.issueVLO(t, f, pos)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			kind := pendPort
+			if f.cg.Nodes[pos].Op == ir.OpLock {
+				kind = pendLock
+			}
+			f.pendings = append(f.pendings, pending{pos: pos, kind: kind, retryAt: e.cycle + 1})
+		}
+	}
+	return nil
+}
+
+// issueVLO attempts to issue one variable-latency operation. It returns
+// false when the issue must be retried (busy port, taken semaphore).
+func (e *engine) issueVLO(t *thread, f *frame, pos int32) (bool, error) {
+	cn := &f.cg.Nodes[pos]
+
+	// Predicated-off operations complete immediately (skipped loops yield
+	// their initial carry values).
+	if cn.Pred >= 0 && f.vals[cn.Pred].I == 0 {
+		e.completeSkipped(f, cn, pos)
+		return true, nil
+	}
+
+	switch cn.Op {
+	case ir.OpLoad, ir.OpStore:
+		return e.issueMem(t, f, cn, pos)
+	case ir.OpLock:
+		sem := e.sems[cn.SemID]
+		ok, err := sem.TryAcquire(t.id)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			e.prof.SetState(e.cycle, t.id, profile.StateSpinning)
+			return false, nil
+		}
+		e.prof.SetState(e.cycle, t.id, profile.StateCritical)
+		f.outstanding = append(f.outstanding, &outVLO{
+			pos: pos, waitStage: cn.WaitStage, kind: vkTimed,
+			doneCycle: e.cycle + int64(e.ck.Sched.Cfg.Lat.MinLock),
+		})
+		return true, nil
+	case ir.OpUnlock:
+		if err := e.sems[cn.SemID].Release(t.id); err != nil {
+			return false, err
+		}
+		e.prof.SetState(e.cycle, t.id, profile.StateRunning)
+		f.outstanding = append(f.outstanding, &outVLO{
+			pos: pos, waitStage: cn.WaitStage, kind: vkTimed,
+			doneCycle: e.cycle + int64(e.ck.Sched.Cfg.Lat.MinLock),
+		})
+		return true, nil
+	case ir.OpBarrier:
+		gen := e.barrier.Arrive()
+		o := &outVLO{pos: pos, waitStage: cn.WaitStage, kind: vkBarrier, barrierGen: gen}
+		if e.barrier.Generation() > gen {
+			o.done = true
+		} else {
+			// Barrier waits surface as Spinning (the thread polls the
+			// hardware semaphore block until the generation advances).
+			e.prof.SetState(e.cycle, t.id, profile.StateSpinning)
+		}
+		f.outstanding = append(f.outstanding, o)
+		return true, nil
+	case ir.OpLoopOp:
+		return e.issueLoop(t, f, cn, pos)
+	}
+	return false, fmt.Errorf("sim: cannot issue op %s", cn.Op)
+}
+
+// completeSkipped finalizes a predicated-off VLO: loops forward their
+// initial carries to the loop outputs; loads leave a zero value.
+func (e *engine) completeSkipped(f *frame, cn *hw.CNode, pos int32) {
+	if cn.Op == ir.OpLoopOp {
+		sub := e.ck.Graphs[cn.SubGraph]
+		for _, out := range cn.Outs {
+			init := cn.Args[sub.NumLiveIn+int(out.Carry)]
+			copyVal(&f.vals[out.Pos], &f.vals[init])
+		}
+	}
+}
+
+// issueLoop suspends the parent token and pushes a child frame.
+func (e *engine) issueLoop(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, error) {
+	o := &outVLO{pos: pos, waitStage: cn.WaitStage, kind: vkChild}
+	f.outstanding = append(f.outstanding, o)
+
+	child := e.frameFor(t, int(cn.SubGraph))
+	child.parent = f
+	child.loopVLO = o
+	child.loopPos = pos
+	sub := child.cg
+	for i := 0; i < sub.NumLiveIn; i++ {
+		if lp := sub.LiveInPos[i]; lp >= 0 {
+			copyVal(&child.vals[lp], &f.vals[cn.Args[i]])
+		}
+	}
+	for i := 0; i < sub.NumCarry; i++ {
+		copyVal(&child.carries[i], &f.vals[cn.Args[sub.NumLiveIn+i]])
+	}
+	t.active = append(t.active, child)
+	return true, nil
+}
+
+// finishGraph completes a loop (or the top region): final carries flow to
+// the parent's LoopOut slots, the parent's VLO completes and the frame is
+// retired. Finishing the top region ends the thread.
+func (e *engine) finishGraph(t *thread, f *frame) {
+	e.freeOcc(t, f)
+	f.stage = -1
+	f.finished = true
+	if f.parent == nil {
+		t.done = true
+		t.endCycle = e.cycle
+		e.prof.SetState(e.cycle, t.id, profile.StateIdle)
+		return
+	}
+	parent := f.parent
+	cn := &parent.cg.Nodes[f.loopPos]
+	for _, out := range cn.Outs {
+		copyVal(&parent.vals[out.Pos], &f.carries[out.Carry])
+	}
+	f.loopVLO.done = true
+	f.loopVLO.doneCycle = e.cycle
+}
+
+// issueMem issues a load or store against BRAM or external DRAM.
+func (e *engine) issueMem(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, error) {
+	idx := f.vals[cn.A0].I
+	words := int(cn.Width) * int(cn.ElemWords)
+	if cn.Space == ir.SpaceLocal {
+		bram := e.brams[t.id][cn.LocalID]
+		addr := idx * int64(cn.ElemWords)
+		if cn.Op == ir.OpStore {
+			data := e.valueWords(f, cn, cn.A1, words)
+			done, _, err := bram.Access(e.cycle, true, addr, words, data)
+			if err != nil {
+				return false, fmt.Errorf("sim: thread %d local store: %w", t.id, err)
+			}
+			f.outstanding = append(f.outstanding, &outVLO{pos: pos, waitStage: cn.WaitStage, kind: vkTimed, doneCycle: done})
+			return true, nil
+		}
+		done, data, err := bram.Access(e.cycle, false, addr, words, nil)
+		if err != nil {
+			return false, fmt.Errorf("sim: thread %d local load: %w", t.id, err)
+		}
+		e.storeLoadedValue(f, cn, pos, data)
+		f.outstanding = append(f.outstanding, &outVLO{pos: pos, waitStage: cn.WaitStage, kind: vkTimed, doneCycle: done})
+		return true, nil
+	}
+
+	// External memory: one read port and one write port per thread.
+	if cn.Op == ir.OpStore {
+		if t.extWrite {
+			return false, nil
+		}
+		addr := e.globalBase[cn.GlobalIdx] + idx*int64(cn.ElemWords)
+		data := e.valueWords(f, cn, cn.A1, words)
+		o := &outVLO{pos: pos, waitStage: cn.WaitStage, kind: vkAsync}
+		req := &mem.Request{
+			Thread: t.id, Write: true, WordAddr: addr, Words: words,
+			Data: append([]uint32(nil), data...),
+			OnComplete: func(c int64, _ []uint32) {
+				o.done = true
+				o.doneCycle = c
+				t.extWrite = false
+			},
+		}
+		if err := e.dram.Submit(req); err != nil {
+			return false, fmt.Errorf("sim: thread %d store: %w", t.id, err)
+		}
+		t.extWrite = true
+		f.outstanding = append(f.outstanding, o)
+		return true, nil
+	}
+	if t.extRead {
+		return false, nil
+	}
+	addr := e.globalBase[cn.GlobalIdx] + idx*int64(cn.ElemWords)
+	o := &outVLO{pos: pos, waitStage: cn.WaitStage, kind: vkAsync}
+	req := &mem.Request{
+		Thread: t.id, WordAddr: addr, Words: words,
+		OnComplete: func(c int64, value []uint32) {
+			e.storeLoadedValue(f, cn, pos, value)
+			o.done = true
+			o.doneCycle = c
+			t.extRead = false
+		},
+	}
+	if err := e.dram.Submit(req); err != nil {
+		return false, fmt.Errorf("sim: thread %d load: %w", t.id, err)
+	}
+	t.extRead = true
+	f.outstanding = append(f.outstanding, o)
+	return true, nil
+}
+
+// storeLoadedValue decodes raw words into the node's value slot.
+func (e *engine) storeLoadedValue(f *frame, cn *hw.CNode, pos int32, data []uint32) {
+	dst := &f.vals[pos]
+	switch cn.Kind {
+	case ir.KindVec:
+		v := dst.V
+		if cap(v) < len(data) {
+			v = make([]float32, len(data))
+		}
+		v = v[:len(data)]
+		fs := mem.WordsToFloats(data)
+		copy(v, fs)
+		dst.V = v
+	case ir.KindFloat:
+		dst.F = mem.WordsToFloats(data[:1])[0]
+	default:
+		dst.I = int64(int32(data[0]))
+	}
+}
+
+// valueWords encodes a node value as raw words for a store.
+func (e *engine) valueWords(f *frame, cn *hw.CNode, argPos int32, words int) []uint32 {
+	v := &f.vals[argPos]
+	src := &f.cg.Nodes[argPos]
+	switch src.Kind {
+	case ir.KindVec:
+		return mem.FloatsToWords(v.V[:words])
+	case ir.KindFloat:
+		return mem.FloatsToWords([]float32{v.F})
+	default:
+		return mem.IntsToWords([]int32{int32(v.I)})
+	}
+}
