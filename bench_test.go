@@ -27,7 +27,7 @@ func benchOpts(dim int) experiments.Options {
 // all six designs with and without the profiling unit.
 func BenchmarkOverheadGEMM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunOverhead(8)
+		r, err := experiments.RunOverhead(8, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -204,6 +204,53 @@ func BenchmarkAblationDRAMLatency(b *testing.B) {
 				b.ReportMetric(float64(blk.Cycles), "blocked-cycles")
 			}
 		})
+	}
+}
+
+// --- Micro-benchmarks for the simulator hot loop ---
+//
+// These guard the event-driven engine rework: the per-step and per-tick
+// allocation counts (b.ReportAllocs) must stay near zero in steady state,
+// or the frame/buffer/profile recycling has regressed.
+
+// BenchmarkEngineStep measures the engine's inner loop end to end: each
+// iteration simulates a complete small GEMM (the program itself is compiled
+// once and cached), and the extra metric reports wall-clock nanoseconds per
+// simulated cycle.
+func BenchmarkEngineStep(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.MaxCycles = 2_000_000_000
+	var simCycles int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunGEMM(workloads.GEMMNoCritical, 16, 8, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += r.Cycles
+	}
+	b.StopTimer()
+	if simCycles > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(simCycles), "ns/sim-cycle")
+	}
+}
+
+// BenchmarkProfileTick measures the profiling unit's per-cycle cost: a
+// stall-site increment, a compute/memory event, and the Tick that closes
+// sampling windows and flushes buffers.
+func BenchmarkProfileTick(b *testing.B) {
+	const threads = 8
+	u := profile.New(profile.DefaultConfig(), threads, func(cycle int64, bytes int) {})
+	site := u.SiteID("bench.loop")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := i % threads
+		u.AddStallsSite(t, site, 1)
+		u.AddCompute(t, 1, 2)
+		u.AddMem(t, 64, false)
+		u.Tick(int64(i))
 	}
 }
 

@@ -7,9 +7,14 @@
 // zero-filled buffers whose sizes come from the map clauses (use
 // name=@file.f32 to load raw little-endian float32 data).
 //
+// With -sweep NAME=v1,v2,... the kernel is compiled and simulated once per
+// value of the macro NAME (design points run concurrently, bounded by -j)
+// and a comparison table is printed instead of the single-run summary.
+//
 // Usage:
 //
-//	nymblesim [-D NAME=VALUE]... [-o dir] [-name base] [-noprofile] file.mc arg=value...
+//	nymblesim [-D NAME=VALUE]... [-o dir] [-name base] [-noprofile]
+//	          [-j N] [-sweep NAME=v1,v2,...] file.mc arg=value...
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 
 	"paravis/internal/advisor"
 	"paravis/internal/core"
+	"paravis/internal/parallel"
 	"paravis/internal/paraver/analysis"
 	"paravis/internal/sim"
 )
@@ -46,25 +52,24 @@ func main() {
 	outDir := flag.String("o", "traces", "output directory for the Paraver bundle")
 	base := flag.String("name", "", "trace base name (default: kernel name)")
 	noProfile := flag.Bool("noprofile", false, "disable the profiling unit")
+	sweep := flag.String("sweep", "", "sweep a macro: NAME=v1,v2,... (one design point per value)")
+	workers := flag.Int("j", 0, "max design points simulated concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: nymblesim [-D N=V] [-o dir] [-name base] [-noprofile] file.mc arg=value...")
+		fmt.Fprintln(os.Stderr, "usage: nymblesim [-D N=V] [-o dir] [-name base] [-noprofile] [-j N] [-sweep NAME=v1,v2,...] file.mc arg=value...")
 		os.Exit(2)
+	}
+	if *workers > 0 {
+		parallel.SetDefaultWorkers(*workers)
 	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	p, err := core.Build(string(srcBytes), core.BuildOptions{Defines: defines})
-	if err != nil {
-		fatal(err)
-	}
+	src := string(srcBytes)
 
-	args := sim.Args{
-		Ints:    map[string]int64{},
-		Floats:  map[string]float64{},
-		Buffers: map[string]*sim.Buffer{},
-	}
+	ints := map[string]int64{}
+	floats := map[string]float64{}
 	bufFiles := map[string]string{}
 	for _, a := range flag.Args()[1:] {
 		name, val, found := strings.Cut(a, "=")
@@ -76,42 +81,30 @@ func main() {
 			continue
 		}
 		if iv, err := strconv.ParseInt(val, 10, 64); err == nil {
-			args.Ints[name] = iv
+			ints[name] = iv
 			continue
 		}
 		fv, err := strconv.ParseFloat(val, 64)
 		if err != nil {
 			fatal(fmt.Errorf("argument %q: %v", a, err))
 		}
-		args.Floats[name] = fv
+		floats[name] = fv
 	}
 
-	// Size buffers from the map clauses.
-	env := map[string]int64{}
-	for k, v := range args.Ints {
-		env[k] = v
+	if *sweep != "" {
+		if err := runSweep(src, defines, *sweep, *workers, ints, floats, bufFiles, *noProfile); err != nil {
+			fatal(err)
+		}
+		return
 	}
-	for _, m := range p.Kernel.Maps {
-		if m.Scalar {
-			continue
-		}
-		length, err := m.Len.Eval(env)
-		if err != nil {
-			fatal(fmt.Errorf("map %s: %v", m.Name, err))
-		}
-		low := int64(0)
-		if m.Low != nil {
-			low, _ = m.Low.Eval(env)
-		}
-		buf := sim.NewZeroBuffer(int(low + length))
-		if path, ok := bufFiles[m.Name]; ok {
-			data, err := loadF32(path)
-			if err != nil {
-				fatal(err)
-			}
-			copy(buf.Words, sim.NewFloatBuffer(data).Words)
-		}
-		args.Buffers[m.Name] = buf
+
+	p, err := core.Build(src, core.BuildOptions{Defines: defines})
+	if err != nil {
+		fatal(err)
+	}
+	args, err := makeArgs(p, ints, floats, bufFiles)
+	if err != nil {
+		fatal(err)
 	}
 
 	cfg := sim.DefaultConfig()
@@ -167,6 +160,118 @@ func main() {
 		fmt.Println("\nadvisor findings:")
 		fmt.Print(advisor.Format(advisor.Advise(out, advisor.Thresholds{})))
 	}
+}
+
+// makeArgs sizes zero-filled buffers from the program's map clauses and
+// fills them from @file arguments. Scalar maps are copied so concurrent
+// sweep runs never share argument state.
+func makeArgs(p *core.Program, ints map[string]int64, floats map[string]float64, bufFiles map[string]string) (sim.Args, error) {
+	args := sim.Args{
+		Ints:    map[string]int64{},
+		Floats:  map[string]float64{},
+		Buffers: map[string]*sim.Buffer{},
+	}
+	env := map[string]int64{}
+	for k, v := range ints {
+		args.Ints[k] = v
+		env[k] = v
+	}
+	for k, v := range floats {
+		args.Floats[k] = v
+	}
+	for _, m := range p.Kernel.Maps {
+		if m.Scalar {
+			continue
+		}
+		length, err := m.Len.Eval(env)
+		if err != nil {
+			return sim.Args{}, fmt.Errorf("map %s: %v", m.Name, err)
+		}
+		low := int64(0)
+		if m.Low != nil {
+			low, _ = m.Low.Eval(env)
+		}
+		buf := sim.NewZeroBuffer(int(low + length))
+		if path, ok := bufFiles[m.Name]; ok {
+			data, err := loadF32(path)
+			if err != nil {
+				return sim.Args{}, err
+			}
+			copy(buf.Words, sim.NewFloatBuffer(data).Words)
+		}
+		args.Buffers[m.Name] = buf
+	}
+	return args, nil
+}
+
+// runSweep compiles and simulates the kernel once per value of the swept
+// macro. Design points are independent, so they run concurrently; the table
+// is printed in the order the values were given.
+func runSweep(src string, defines defineFlags, spec string, workers int,
+	ints map[string]int64, floats map[string]float64, bufFiles map[string]string, noProfile bool) error {
+	name, list, found := strings.Cut(spec, "=")
+	if !found || list == "" {
+		return fmt.Errorf("-sweep wants NAME=v1,v2,..., got %q", spec)
+	}
+	vals := strings.Split(list, ",")
+
+	type point struct {
+		cycles  int64
+		stalls  int64
+		threads int
+		bw      float64
+		gflops  float64
+		fmax    float64
+	}
+	pts := make([]point, len(vals))
+	err := parallel.ForEach(workers, len(vals), func(i int) error {
+		defs := defineFlags{}
+		for k, v := range defines {
+			defs[k] = v
+		}
+		defs[name] = vals[i]
+		p, err := core.Build(src, core.BuildOptions{Defines: defs})
+		if err != nil {
+			return fmt.Errorf("%s=%s: %w", name, vals[i], err)
+		}
+		args, err := makeArgs(p, ints, floats, bufFiles)
+		if err != nil {
+			return fmt.Errorf("%s=%s: %w", name, vals[i], err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Profile.Enabled = !noProfile
+		out, err := p.Run(args, cfg)
+		if err != nil {
+			return fmt.Errorf("%s=%s: %w", name, vals[i], err)
+		}
+		pt := point{
+			cycles:  out.Result.Cycles,
+			stalls:  out.Result.TotalStalls(),
+			threads: p.Kernel.NumThreads,
+			fmax:    out.FmaxMHz,
+		}
+		if out.Trace != nil {
+			pt.bw = analysis.AvgBandwidthBytesPerCycle(out.Trace)
+			pt.gflops = analysis.GFlops(out.Trace, out.FmaxMHz)
+		}
+		pts[i] = pt
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("sweep %s over %d values (%d workers)\n",
+		name, len(vals), parallel.Resolve(workers))
+	fmt.Printf("%-12s %10s %12s %12s %8s %10s %9s\n",
+		name, "threads", "cycles", "stalls", "speedup", "BW B/cyc", "GFLOP/s")
+	base := pts[0].cycles
+	for i, v := range vals {
+		sp := float64(base) / float64(pts[i].cycles)
+		fmt.Printf("%-12s %10d %12d %12d %7.2fx %10.3f %9.3f\n",
+			v, pts[i].threads, pts[i].cycles, pts[i].stalls, sp, pts[i].bw, pts[i].gflops)
+	}
+	return nil
 }
 
 func loadF32(path string) ([]float32, error) {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	paperbench [-exp all|overhead|fig6|fig7|speedup|fig8|fig9|pi|threads]
-//	           [-dim N] [-pisteps a,b,c] [-quiet]
+//	           [-dim N] [-pisteps a,b,c] [-quiet] [-j N]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"paravis/internal/experiments"
+	"paravis/internal/parallel"
 )
 
 func main() {
@@ -22,11 +23,16 @@ func main() {
 	dim := flag.Int("dim", 64, "GEMM matrix dimension (multiple of 16)")
 	piSteps := flag.String("pisteps", "102400,409600,1024000", "comma-separated pi iteration counts")
 	quiet := flag.Bool("quiet", false, "suppress ASCII timeline/sparkline views")
+	workers := flag.Int("j", 0, "max design points simulated concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if *workers > 0 {
+		parallel.SetDefaultWorkers(*workers)
+	}
 	opts := experiments.DefaultOptions()
 	opts.GEMMDim = *dim
 	opts.Quiet = *quiet
+	opts.Workers = *workers
 	opts.PiSteps = nil
 	for _, f := range strings.Split(*piSteps, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -47,7 +53,7 @@ func main() {
 	}
 
 	run("overhead", func() error {
-		r, err := experiments.RunOverhead(opts.Threads)
+		r, err := experiments.RunOverhead(opts.Threads, opts.Workers)
 		if err != nil {
 			return err
 		}

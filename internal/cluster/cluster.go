@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"paravis/internal/core"
+	"paravis/internal/parallel"
 	"paravis/internal/paraver"
 	"paravis/internal/sim"
 )
@@ -46,6 +47,11 @@ type Config struct {
 	LinkLatency int64
 	// LinkBytesPerCycle is the serial link bandwidth.
 	LinkBytesPerCycle float64
+	// Workers bounds how many FPGA instances simulate concurrently within
+	// one lockstep sweep (0 = GOMAXPROCS). Halos are exchanged between
+	// sweeps and results are merged in FPGA order, so the output does not
+	// depend on the worker count.
+	Workers int
 	// Sim configures each accelerator instance.
 	Sim sim.Config
 }
@@ -147,12 +153,22 @@ func RunStencil(initial []float32, steps int, cfg Config) (*Result, error) {
 	msgBytes := int64(4) // one float32 halo cell per direction
 	linkCycles := cfg.LinkLatency + int64(float64(msgBytes)/cfg.LinkBytesPerCycle)
 
+	// sweepOut collects one FPGA's results so the lockstep sweeps can
+	// simulate every instance concurrently and still merge deterministically
+	// in FPGA order afterwards.
+	type sweepOut struct {
+		v      []float32
+		cycles int64
+		trace  *paraver.Trace
+	}
+	outs := make([]sweepOut, cfg.FPGAs)
+
 	for s := 0; s < steps; s++ {
 		syncHalos()
 		stepStart := globalTime
 		var stepMax int64
 		ends := make([]int64, cfg.FPGAs)
-		for f := 0; f < cfg.FPGAs; f++ {
+		err := parallel.ForEach(cfg.Workers, cfg.FPGAs, func(f int) error {
 			// Boundary handling: edges keep their value. We feed the edge
 			// FPGAs mirrored halos so the smoothed edge matches the
 			// reference's fixed-boundary behaviour approximately; exact
@@ -164,19 +180,26 @@ func RunStencil(initial []float32, steps int, cfg Config) (*Result, error) {
 				Buffers: map[string]*sim.Buffer{"U": ubuf, "V": vbuf},
 			}, cfg.Sim)
 			if err != nil {
-				return nil, fmt.Errorf("cluster: fpga %d sweep %d: %w", f, s, err)
+				return fmt.Errorf("cluster: fpga %d sweep %d: %w", f, s, err)
 			}
-			v := vbuf.Floats()
-			copy(field[f][1:chunk+1], v[1:chunk+1])
-			ends[f] = stepStart + out.Result.Cycles
-			if out.Result.Cycles > stepMax {
-				stepMax = out.Result.Cycles
+			outs[f] = sweepOut{v: vbuf.Floats(), cycles: out.Result.Cycles, trace: out.Trace}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for f := 0; f < cfg.FPGAs; f++ {
+			copy(field[f][1:chunk+1], outs[f].v[1:chunk+1])
+			ends[f] = stepStart + outs[f].cycles
+			if outs[f].cycles > stepMax {
+				stepMax = outs[f].cycles
 			}
-			if out.Trace != nil {
-				if err := merged.MergeTask(out.Trace, f, stepStart); err != nil {
+			if outs[f].trace != nil {
+				if err := merged.MergeTask(outs[f].trace, f, stepStart); err != nil {
 					return nil, err
 				}
 			}
+			outs[f] = sweepOut{}
 		}
 		// Fixed global boundaries.
 		field[0][1] = initial[0]

@@ -8,9 +8,11 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"paravis/internal/area"
 	"paravis/internal/core"
+	"paravis/internal/parallel"
 	"paravis/internal/paraver"
 	"paravis/internal/paraver/analysis"
 	"paravis/internal/profile"
@@ -29,6 +31,11 @@ type Options struct {
 	SimCfg  sim.Config
 	// Quiet suppresses ASCII view rendering.
 	Quiet bool
+	// Workers bounds the number of design points simulated concurrently
+	// within one experiment (<=0: parallel.DefaultWorkers()). Results are
+	// collected by index, so the output is identical for every worker
+	// count.
+	Workers int
 }
 
 // DefaultOptions returns the fast default scaling.
@@ -46,10 +53,46 @@ func DefaultOptions() Options {
 	}
 }
 
-// buildGEMM compiles one GEMM version.
+// buildKey identifies one compiled design point in the shared cache.
+type buildKey struct {
+	v       workloads.GEMMVersion
+	threads int
+	pi      bool
+}
+
+type buildEntry struct {
+	once sync.Once
+	p    *core.Program
+	err  error
+}
+
+// buildCache memoizes compiles across all experiments, so each
+// (workload, threads) design point is compiled exactly once no matter how
+// many experiments or workers request it. Compiled programs are immutable
+// (the simulator only reads the kernel), so sharing one instance across
+// concurrent runs is safe.
+var buildCache sync.Map // buildKey -> *buildEntry
+
+func cachedBuild(key buildKey, build func() (*core.Program, error)) (*core.Program, error) {
+	e, _ := buildCache.LoadOrStore(key, &buildEntry{})
+	ent := e.(*buildEntry)
+	ent.once.Do(func() { ent.p, ent.err = build() })
+	return ent.p, ent.err
+}
+
+// buildGEMM compiles one GEMM version (cached).
 func buildGEMM(v workloads.GEMMVersion, threads int) (*core.Program, error) {
-	return core.Build(workloads.GEMMSource(v), core.BuildOptions{
-		Defines: workloads.GEMMDefinesThreads(v, threads),
+	return cachedBuild(buildKey{v: v, threads: threads}, func() (*core.Program, error) {
+		return core.Build(workloads.GEMMSource(v), core.BuildOptions{
+			Defines: workloads.GEMMDefinesThreads(v, threads),
+		})
+	})
+}
+
+// buildPi compiles the pi kernel (cached).
+func buildPi() (*core.Program, error) {
+	return cachedBuild(buildKey{pi: true}, func() (*core.Program, error) {
+		return core.Build(workloads.PiSource, core.BuildOptions{Defines: workloads.PiDefines()})
 	})
 }
 
@@ -122,17 +165,36 @@ type OverheadResult struct {
 	MaxALM     float64
 }
 
-// RunOverhead estimates all six designs with and without profiling.
-func RunOverhead(threads int) (*OverheadResult, error) {
-	res := &OverheadResult{}
-	var regs, alms []float64
-	for _, v := range workloads.AllGEMMVersions {
-		p, err := buildGEMM(v, threads)
-		if err != nil {
-			return nil, err
+// RunOverhead estimates all six designs with and without profiling. The
+// designs compile independently and fan out across workers; the reduction
+// runs in index order so the result is worker-count independent.
+func RunOverhead(threads, workers int) (*OverheadResult, error) {
+	n := len(workloads.AllGEMMVersions)
+	rows := make([]OverheadRow, n+1) // GEMM versions + pi
+	err := parallel.ForEach(workers, n+1, func(i int) error {
+		var p *core.Program
+		var err error
+		name := "pi"
+		if i < n {
+			v := workloads.AllGEMMVersions[i]
+			name = v.String()
+			p, err = buildGEMM(v, threads)
+		} else {
+			p, err = buildPi()
 		}
-		o := p.AreaOverhead(profile.DefaultConfig())
-		res.GEMM = append(res.GEMM, OverheadRow{Name: v.String(), Report: o})
+		if err != nil {
+			return err
+		}
+		rows[i] = OverheadRow{Name: name, Report: p.AreaOverhead(profile.DefaultConfig())}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &OverheadResult{GEMM: rows[:n], Pi: rows[n]}
+	var regs, alms []float64
+	for _, row := range res.GEMM {
+		o := row.Report
 		regs = append(regs, o.RegisterPct())
 		alms = append(alms, o.ALMPct())
 		if o.RegisterPct() > res.MaxReg {
@@ -144,11 +206,6 @@ func RunOverhead(threads int) (*OverheadResult, error) {
 	}
 	res.GeoMeanReg = area.GeoMean(regs)
 	res.GeoMeanALM = area.GeoMean(alms)
-	pp, err := core.Build(workloads.PiSource, core.BuildOptions{Defines: workloads.PiDefines()})
-	if err != nil {
-		return nil, err
-	}
-	res.Pi = OverheadRow{Name: "pi", Report: pp.AreaOverhead(profile.DefaultConfig())}
 	return res, nil
 }
 
@@ -274,28 +331,35 @@ var PaperSpeedups = map[workloads.GEMMVersion]float64{
 	workloads.GEMMDoubleBuffered: 19.0,
 }
 
-// RunSpeedups simulates all five versions.
+// RunSpeedups simulates all five versions, fanned out across workers.
 func RunSpeedups(opts Options) (*SpeedupResult, error) {
-	res := &SpeedupResult{}
-	for _, v := range workloads.AllGEMMVersions {
+	n := len(workloads.AllGEMMVersions)
+	res := &SpeedupResult{
+		Runs:     make([]*GEMMRun, n),
+		BWSeries: make([]string, n),
+	}
+	err := parallel.ForEach(opts.Workers, n, func(i int) error {
+		v := workloads.AllGEMMVersions[i]
 		run, err := RunGEMM(v, opts.GEMMDim, opts.Threads, opts.SimCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !run.Correct {
-			return nil, fmt.Errorf("%s produced wrong results", v)
+			return fmt.Errorf("%s produced wrong results", v)
 		}
-		res.Runs = append(res.Runs, run)
+		res.Runs[i] = run
 		if !opts.Quiet && run.Out.Trace != nil {
 			bins := run.Cycles / 64
 			if bins < 1 {
 				bins = 1
 			}
 			s := analysis.MemorySeries(run.Out.Trace, bins)
-			res.BWSeries = append(res.BWSeries, analysis.RenderSeries(s, 64))
-		} else {
-			res.BWSeries = append(res.BWSeries, "")
+			res.BWSeries[i] = analysis.RenderSeries(s, 64)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -345,14 +409,20 @@ type PhaseResult struct {
 func RunPhases(opts Options) (*PhaseResult, error) {
 	cfg := opts.SimCfg
 	cfg.Profile.SamplePeriod = 256
-	blocked, err := RunGEMM(workloads.GEMMBlocked, opts.GEMMDim, opts.Threads, cfg)
+	versions := []workloads.GEMMVersion{workloads.GEMMBlocked, workloads.GEMMDoubleBuffered}
+	runs := make([]*GEMMRun, len(versions))
+	err := parallel.ForEach(opts.Workers, len(versions), func(i int) error {
+		run, err := RunGEMM(versions[i], opts.GEMMDim, opts.Threads, cfg)
+		if err != nil {
+			return err
+		}
+		runs[i] = run
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	double, err := RunGEMM(workloads.GEMMDoubleBuffered, opts.GEMMDim, opts.Threads, cfg)
-	if err != nil {
-		return nil, err
-	}
+	blocked, double := runs[0], runs[1]
 	res := &PhaseResult{Blocked: blocked, DoubleBuffered: double}
 	bin := cfg.Profile.SamplePeriod
 	const thread = 0
@@ -428,20 +498,22 @@ type PiResult struct {
 // PaperPiGFlops are the paper's measured GFLOP/s at 1M/4M/10M iterations.
 var PaperPiGFlops = []float64{0.146, 0.556, 1.507}
 
-// RunPi simulates the pi kernel for each step count.
+// RunPi simulates the pi kernel for each step count. The program is
+// compiled once and shared; the step-count sweep fans out across workers.
 func RunPi(opts Options) (*PiResult, error) {
-	p, err := core.Build(workloads.PiSource, core.BuildOptions{Defines: workloads.PiDefines()})
+	p, err := buildPi()
 	if err != nil {
 		return nil, err
 	}
-	res := &PiResult{}
-	for _, steps := range opts.PiSteps {
+	res := &PiResult{Runs: make([]*PiRun, len(opts.PiSteps))}
+	err = parallel.ForEach(opts.Workers, len(opts.PiSteps), func(i int) error {
+		steps := opts.PiSteps[i]
 		out, err := p.Run(sim.Args{
 			Ints:   map[string]int64{"steps": int64(steps), "threads": int64(opts.Threads)},
 			Floats: map[string]float64{"step": 1.0 / float64(steps), "final_sum": 0},
 		}, opts.SimCfg)
 		if err != nil {
-			return nil, fmt.Errorf("pi %d: %w", steps, err)
+			return fmt.Errorf("pi %d: %w", steps, err)
 		}
 		run := &PiRun{Steps: steps, Cycles: out.Result.Cycles, Out: out}
 		if out.Trace != nil {
@@ -464,7 +536,11 @@ func RunPi(opts Options) (*PiResult, error) {
 		if !opts.Quiet && out.Trace != nil {
 			run.Timeline = analysis.RenderStateTimeline(out.Trace, 96)
 		}
-		res.Runs = append(res.Runs, run)
+		res.Runs[i] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -511,19 +587,28 @@ type ThreadScalingResult struct {
 }
 
 // RunThreadScaling sweeps NT for the no-critical GEMM (the naive one
-// serializes on the lock, masking the effect).
+// serializes on the lock, masking the effect). Each thread count is an
+// independent design point and fans out across workers.
 func RunThreadScaling(opts Options, counts []int) (*ThreadScalingResult, error) {
-	res := &ThreadScalingResult{}
-	var best int64 = 1<<62 - 1
-	for _, nt := range counts {
-		run, err := RunGEMM(workloads.GEMMNoCritical, opts.GEMMDim, nt, opts.SimCfg)
+	res := &ThreadScalingResult{
+		Threads: append([]int(nil), counts...),
+		Cycles:  make([]int64, len(counts)),
+	}
+	err := parallel.ForEach(opts.Workers, len(counts), func(i int) error {
+		run, err := RunGEMM(workloads.GEMMNoCritical, opts.GEMMDim, counts[i], opts.SimCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Threads = append(res.Threads, nt)
-		res.Cycles = append(res.Cycles, run.Cycles)
-		if run.Cycles < best {
-			best = run.Cycles
+		res.Cycles[i] = run.Cycles
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var best int64 = 1<<62 - 1
+	for _, c := range res.Cycles {
+		if c < best {
+			best = c
 		}
 	}
 	for i, c := range res.Cycles {

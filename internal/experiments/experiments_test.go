@@ -20,7 +20,7 @@ func testOpts() Options {
 }
 
 func TestOverheadMatchesPaperShape(t *testing.T) {
-	r, err := RunOverhead(8)
+	r, err := RunOverhead(8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

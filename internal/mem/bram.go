@@ -58,6 +58,26 @@ func (b *BRAM) Access(cycle int64, write bool, wordAddr int64, words int, data [
 	return start + int64(b.latency), out, nil
 }
 
+// ReadInto performs a timed read like Access but copies into the caller's
+// buffer (len(dst) words), avoiding the per-read allocation on hot paths.
+func (b *BRAM) ReadInto(cycle int64, wordAddr int64, dst []uint32) (int64, error) {
+	words := len(dst)
+	if wordAddr < 0 || wordAddr+int64(words) > int64(len(b.words)) {
+		return 0, fmt.Errorf("mem: BRAM access [%d,%d) outside %d words",
+			wordAddr, wordAddr+int64(words), len(b.words))
+	}
+	start := cycle
+	if b.portFree > start {
+		b.PortStalls += b.portFree - start
+		start = b.portFree
+	}
+	b.portFree = start + 1
+	b.WordsMoved += int64(words)
+	copy(dst, b.words[wordAddr:])
+	b.Reads++
+	return start + int64(b.latency), nil
+}
+
 // WriteWords fills the BRAM directly (preloader completion, tests).
 func (b *BRAM) WriteWords(wordAddr int64, data []uint32) error {
 	if wordAddr < 0 || wordAddr+int64(len(data)) > int64(len(b.words)) {

@@ -26,7 +26,9 @@ type Request struct {
 	Data     []uint32 // payload for writes (len == Words)
 	// OnComplete is invoked when the transaction's data has returned
 	// (reads) or the write has been accepted (posted writes). For reads,
-	// value holds the data.
+	// value holds the data; the slice is only valid for the duration of
+	// the callback (the DRAM recycles read buffers), so callers must copy
+	// anything they keep.
 	OnComplete func(cycle int64, value []uint32)
 }
 
@@ -122,6 +124,7 @@ type DRAM struct {
 	completions completionHeap
 	seq         int64
 	inFlight    int
+	valuePool   [][]uint32
 
 	listeners []AccessListener
 	stats     DRAMStats
@@ -184,6 +187,9 @@ func (d *DRAM) Tick(cycle int64) {
 		if c.req.OnComplete != nil {
 			c.req.OnComplete(c.cycle, c.value)
 		}
+		if c.value != nil {
+			d.valuePool = append(d.valuePool, c.value)
+		}
 	}
 	if len(d.queue) > 0 && (d.cfg.MaxPending <= 0 || d.inFlight < d.cfg.MaxPending) {
 		r := d.queue[0]
@@ -213,7 +219,7 @@ func (d *DRAM) accept(cycle int64, r *Request) {
 		copy(d.words[r.WordAddr:], r.Data)
 		d.stats.WriteWordsMoved += int64(r.Words)
 	} else {
-		value = make([]uint32, r.Words)
+		value = d.getValueBuf(r.Words)
 		copy(value, d.words[r.WordAddr:])
 		d.stats.ReadWordsMoved += int64(r.Words)
 	}
@@ -237,6 +243,18 @@ func (d *DRAM) accept(cycle int64, r *Request) {
 	d.seq++
 	d.inFlight++
 	heap.Push(&d.completions, completion{cycle: done, req: r, value: value, seq: d.seq})
+}
+
+// getValueBuf takes a read buffer from the recycle pool, or allocates one.
+func (d *DRAM) getValueBuf(words int) []uint32 {
+	if n := len(d.valuePool); n > 0 {
+		buf := d.valuePool[n-1]
+		d.valuePool = d.valuePool[:n-1]
+		if cap(buf) >= words {
+			return buf[:words]
+		}
+	}
+	return make([]uint32, words)
 }
 
 // Busy reports whether requests are queued or in flight.

@@ -22,7 +22,7 @@ func TestDRAMReadWriteRoundTrip(t *testing.T) {
 	d := NewDRAM(DRAMConfig{LatencyCycles: 10, BeatBytes: 64, Banks: 4, Words: 1024})
 	var got []uint32
 	w := &Request{Thread: 0, Write: true, WordAddr: 8, Words: 4, Data: []uint32{1, 2, 3, 4}}
-	r := &Request{Thread: 0, WordAddr: 8, Words: 4, OnComplete: func(c int64, v []uint32) { got = v }}
+	r := &Request{Thread: 0, WordAddr: 8, Words: 4, OnComplete: func(c int64, v []uint32) { got = append([]uint32(nil), v...) }}
 	if err := d.Submit(w); err != nil {
 		t.Fatal(err)
 	}
@@ -200,6 +200,39 @@ func TestDRAMConservationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// NextEventCycle drives the simulator's fast-forward jumps; its edges are
+// load-bearing for cycle-exactness.
+func TestDRAMNextEventCycle(t *testing.T) {
+	d := NewDRAM(DRAMConfig{LatencyCycles: 10, BeatBytes: 64, Banks: 1, Words: 1024})
+	if got := d.NextEventCycle(5); got != -1 {
+		t.Errorf("idle DRAM: NextEventCycle = %d, want -1", got)
+	}
+	if err := d.Submit(&Request{Thread: 0, WordAddr: 0, Words: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Queued but unaccepted: the accept happens on the next tick.
+	if got := d.NextEventCycle(5); got != 6 {
+		t.Errorf("queued request: NextEventCycle = %d, want 6", got)
+	}
+	d.Tick(6) // accept at cycle 6: data at 6+10 latency +1 beat = 17
+	if got := d.NextEventCycle(6); got != 17 {
+		t.Errorf("in-flight read: NextEventCycle = %d, want completion at 17", got)
+	}
+	// Queue AND completions: the earlier of the two wins.
+	if err := d.Submit(&Request{Thread: 0, WordAddr: 4, Words: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.NextEventCycle(6); got != 7 {
+		t.Errorf("queued+in-flight: NextEventCycle = %d, want 7", got)
+	}
+	for c := int64(7); d.Busy(); c++ {
+		d.Tick(c)
+	}
+	if got := d.NextEventCycle(100); got != -1 {
+		t.Errorf("drained DRAM: NextEventCycle = %d, want -1", got)
 	}
 }
 

@@ -9,7 +9,10 @@
 // profiling perturbation is observable exactly as on the FPGA.
 package profile
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // ThreadState is the paper's 2-bit thread state encoding: 00 idle,
 // 01 running, 10 critical, 11 spinning.
@@ -96,6 +99,7 @@ type Unit struct {
 	cur          []ThreadState
 	stateRecords []StateRecord
 	statesInBuf  int
+	stateArena   []ThreadState
 
 	counters    []threadCounters
 	totals      []threadCounters
@@ -103,10 +107,14 @@ type Unit struct {
 	eventsInBuf int
 	windowStart int64
 
-	// stallsBySite attributes stall cycles to pipeline sites (the loop a
-	// token was stalled in). The hardware analogue is one counter per
-	// stage group; it enables the source-linked hotspot report.
-	stallsBySite map[string]int64
+	// Stall cycles are attributed to pipeline sites (the loop a token was
+	// stalled in). The hardware analogue is one counter per stage group; it
+	// enables the source-linked hotspot report. Sites are interned once via
+	// SiteID so the per-cycle hot path increments a slice slot instead of
+	// hashing a string into a map.
+	siteNames  []string
+	siteIDs    map[string]int
+	siteStalls []int64
 
 	// Stats.
 	FlushedBytes int64
@@ -177,7 +185,16 @@ func (u *Unit) SetState(cycle int64, thread int, st ThreadState) {
 		return
 	}
 	u.cur[thread] = st
-	rec := StateRecord{Cycle: cycle, States: append([]ThreadState(nil), u.cur...)}
+	// Snapshot the state vector into an arena chunk: one allocation per
+	// ~1024 records instead of one per record. Records alias disjoint
+	// sub-slices; the three-index form keeps later appends from growing
+	// into a neighbour's record.
+	if cap(u.stateArena)-len(u.stateArena) < u.nThreads {
+		u.stateArena = make([]ThreadState, 0, u.nThreads*1024)
+	}
+	n0 := len(u.stateArena)
+	u.stateArena = append(u.stateArena, u.cur...)
+	rec := StateRecord{Cycle: cycle, States: u.stateArena[n0:len(u.stateArena):len(u.stateArena)]}
 	u.stateRecords = append(u.stateRecords, rec)
 	u.statesInBuf++
 	if u.statesInBuf >= u.stateRecordsPerBuffer() {
@@ -195,27 +212,56 @@ func (u *Unit) AddStalls(thread int, n int64) {
 
 // AddStallsAt accumulates stall cycles for a thread and attributes them to
 // a pipeline site (a loop's name, carrying its source position). Empty
-// sites count only toward the per-thread totals.
+// sites count only toward the per-thread totals. Hot paths should intern
+// the site once with SiteID and use AddStallsSite instead.
 func (u *Unit) AddStallsAt(thread int, site string, n int64) {
+	if !u.cfg.Enabled || n == 0 {
+		return
+	}
+	id := -1
+	if site != "" {
+		id = u.SiteID(site)
+	}
+	u.AddStallsSite(thread, id, n)
+}
+
+// SiteID interns a pipeline site name and returns its counter index for
+// AddStallsSite. Safe to call repeatedly with the same name.
+func (u *Unit) SiteID(site string) int {
+	if id, ok := u.siteIDs[site]; ok {
+		return id
+	}
+	if u.siteIDs == nil {
+		u.siteIDs = make(map[string]int)
+	}
+	id := len(u.siteNames)
+	u.siteIDs[site] = id
+	u.siteNames = append(u.siteNames, site)
+	u.siteStalls = append(u.siteStalls, 0)
+	return id
+}
+
+// AddStallsSite accumulates stall cycles for a thread against an interned
+// site id (from SiteID); id < 0 counts only toward the per-thread totals.
+func (u *Unit) AddStallsSite(thread, id int, n int64) {
 	if !u.cfg.Enabled || n == 0 {
 		return
 	}
 	u.counters[thread].stalls += n
 	u.totals[thread].stalls += n
-	if site != "" {
-		if u.stallsBySite == nil {
-			u.stallsBySite = make(map[string]int64)
-		}
-		u.stallsBySite[site] += n
+	if id >= 0 {
+		u.siteStalls[id] += n
 	}
 }
 
 // StallsBySite returns stall cycles per pipeline site (loop), the data
 // behind the hotspot report.
 func (u *Unit) StallsBySite() map[string]int64 {
-	out := make(map[string]int64, len(u.stallsBySite))
-	for k, v := range u.stallsBySite {
-		out[k] = v
+	out := make(map[string]int64, len(u.siteNames))
+	for id, name := range u.siteNames {
+		if n := u.siteStalls[id]; n != 0 {
+			out[name] = n
+		}
 	}
 	return out
 }
@@ -249,7 +295,9 @@ func (u *Unit) AddMem(thread int, bytes int, write bool) {
 }
 
 // Tick advances the unit to the given cycle, closing sample windows as
-// crossed. Call at least once per simulated cycle, or after jumps.
+// crossed. Ticking every cycle is correct but wasteful: Tick only acts at
+// window boundaries, so callers may batch and call it once per crossing of
+// NextBoundary().
 func (u *Unit) Tick(cycle int64) {
 	if !u.cfg.Enabled {
 		return
@@ -257,6 +305,16 @@ func (u *Unit) Tick(cycle int64) {
 	for cycle >= u.windowStart+u.cfg.SamplePeriod {
 		u.closeWindow(u.windowStart + u.cfg.SamplePeriod)
 	}
+}
+
+// NextBoundary returns the first cycle at which Tick would close a sample
+// window, or math.MaxInt64 for a disabled unit. The value advances after
+// each Tick that closes a window.
+func (u *Unit) NextBoundary() int64 {
+	if !u.cfg.Enabled {
+		return math.MaxInt64
+	}
+	return u.windowStart + u.cfg.SamplePeriod
 }
 
 func (u *Unit) closeWindow(end int64) {

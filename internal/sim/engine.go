@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"paravis/internal/hw"
 	"paravis/internal/hwsem"
@@ -31,9 +32,40 @@ type engine struct {
 	mapLen     map[string]int64
 
 	threads []*thread
+	// live is the worklist of started, not-yet-done threads; nextStart
+	// indexes the first unstarted thread (startAt is monotonic in id).
+	live      []*thread
+	nextStart int
 	// occ tracks static-stage occupancy: occ[graph][stage] = thread id
 	// or -1. Reordering stages are never tracked (one context per thread).
 	occ [][]int32
+
+	// wakes is a min-heap of future cycles at which some sleeping frame
+	// has a timed wake-up (pending retry, timed-VLO completion). Entries
+	// may be stale (the frame was woken early); stale entries are popped
+	// lazily. woken flags that an external wake (DRAM completion, barrier
+	// release, child finish) fired this cycle, so a fast-forward jump must
+	// not skip the next cycle.
+	wakes []int64
+	woken bool
+	// nPortSleep counts sleeping frames holding a memory-port pending;
+	// while nonzero the engine advances one cycle at a time (port retries
+	// re-arm every cycle under per-cycle stepping).
+	nPortSleep int
+
+	// profNext caches prof.NextBoundary() so prof.Tick is only called on
+	// sample-window crossings instead of every cycle.
+	profNext int64
+	// siteIDs maps graph index -> interned profiler stall-site id.
+	siteIDs []int
+
+	// Recycling pools for the hot loop: retired outstanding-VLO records,
+	// external-store payload buffers (returned once the DRAM has copied
+	// them), a BRAM transfer scratch and the profile-flush scratch.
+	vloPool     []*outVLO
+	bufPool     [][]uint32
+	encScratch  []uint32
+	profScratch []uint32
 
 	cycle                    int64
 	profBase                 int64
@@ -94,6 +126,23 @@ type frame struct {
 	loopPos int32
 	// finished marks the frame for removal from the thread's active list.
 	finished bool
+
+	// Sleep bookkeeping: a blocked frame that cannot change state on its
+	// own goes to sleep until sleepUntil (math.MaxInt64 when only an
+	// external event can wake it). sleepFrom records the cycle it slept;
+	// if sleepStall is set, the skipped cycles are charged as stalls when
+	// the frame next steps, reproducing the 1-stall-per-blocked-cycle
+	// accounting of per-cycle stepping. stalledNow marks a frame that
+	// stayed awake (occupancy block) but is stall-blocked this cycle, for
+	// bulk accounting across fast-forward jumps.
+	sleepUntil int64
+	sleepFrom  int64
+	sleepStall bool
+	stalledNow bool
+	// portSleep marks a sleeping frame that holds a memory-port pending;
+	// while any exists the engine steps cycle by cycle (no jumps), matching
+	// the every-cycle port retry of per-cycle stepping.
+	portSleep bool
 }
 
 type thread struct {
@@ -110,11 +159,6 @@ type thread struct {
 	cache    []*frame
 	extRead  bool
 	extWrite bool
-	// stalledBlocked marks that the last step failed on a stall-type
-	// block, for bulk stall accounting across fast-forward jumps;
-	// stallSite names the loop it was blocked in.
-	stalledBlocked bool
-	stallSite      string
 }
 
 func newEngine(ck *hw.CKernel, args Args, cfg Config) (*engine, error) {
@@ -158,13 +202,17 @@ func newEngine(ck *hw.CKernel, args Args, cfg Config) (*engine, error) {
 		}
 	}
 
-	// Static-stage occupancy tables.
+	// Static-stage occupancy tables and interned stall sites (one per
+	// graph, so the hot path bumps a counter slot instead of hashing the
+	// loop name into a map).
 	e.occ = make([][]int32, len(ck.Graphs))
+	e.siteIDs = make([]int, len(ck.Graphs))
 	for gi, cg := range ck.Graphs {
 		e.occ[gi] = make([]int32, cg.Depth)
 		for s := range e.occ[gi] {
 			e.occ[gi][s] = -1
 		}
+		e.siteIDs[gi] = e.prof.SiteID(cg.Name)
 	}
 
 	if err := e.setupMemory(); err != nil {
@@ -320,12 +368,18 @@ func (e *engine) flushProfile(cycle int64, bytes int) {
 	if e.profOff+int64(words) > profRegionWords {
 		e.profOff = 0
 	}
+	// The flush payload is all zeros and the profiling region is never
+	// read back, so one shared scratch buffer serves every flush (the
+	// DRAM copies the data at accept time).
+	if cap(e.profScratch) < words {
+		e.profScratch = make([]uint32, words)
+	}
 	req := &mem.Request{
 		Thread:   -1,
 		Write:    true,
 		WordAddr: e.profBase + e.profOff,
 		Words:    words,
-		Data:     make([]uint32, words),
+		Data:     e.profScratch[:words],
 	}
 	e.profOff += int64(words)
 	// Ignore submit errors: the region is pre-sized.
@@ -338,29 +392,60 @@ func (e *engine) run() error {
 		maxCycles = 4_000_000_000
 	}
 	nDone := 0
+	e.profNext = e.prof.NextBoundary()
 	for {
 		if nDone == len(e.threads) && !e.dram.Busy() {
 			break
 		}
 		progress := false
-		for _, t := range e.threads {
-			if !t.started && e.cycle >= t.startAt {
-				e.startThread(t)
+		e.woken = false
+		for e.nextStart < len(e.threads) && e.threads[e.nextStart].startAt <= e.cycle {
+			e.startThread(e.threads[e.nextStart])
+			e.nextStart++
+			progress = true
+		}
+		finished := false
+		for _, t := range e.live {
+			if t.done {
+				continue
+			}
+			if e.stepThread(t) {
 				progress = true
 			}
-			if t.started && !t.done {
-				if e.stepThread(t) {
-					progress = true
-				}
-				if t.done {
-					nDone++
-				}
+			if t.done {
+				nDone++
+				finished = true
 			}
 		}
-		e.prof.Tick(e.cycle)
+		if e.cycle >= e.profNext {
+			// Settle sleeping frames' owed stalls before closing the
+			// window, so each sample window sees the same stall counts as
+			// per-cycle stepping. The boundary cycle itself is included:
+			// per-cycle stepping charges the stall for cycle c before the
+			// window closing at c is flushed.
+			for _, t := range e.live {
+				for _, f := range t.active {
+					if f.sleepStall && f.sleepFrom >= 0 && f.sleepFrom < e.cycle {
+						e.prof.AddStallsSite(t.id, e.siteIDs[f.gi], e.cycle-f.sleepFrom)
+						f.sleepFrom = e.cycle
+					}
+				}
+			}
+			e.prof.Tick(e.cycle)
+			e.profNext = e.prof.NextBoundary()
+		}
 		e.dram.Tick(e.cycle)
 		if e.runErr != nil {
 			return e.runErr
+		}
+		if finished {
+			keep := e.live[:0]
+			for _, t := range e.live {
+				if !t.done {
+					keep = append(keep, t)
+				}
+			}
+			e.live = keep
 		}
 
 		if !progress {
@@ -369,10 +454,24 @@ func (e *engine) run() error {
 				return fmt.Errorf("sim: deadlock at cycle %d (no progress and no pending events)", e.cycle)
 			}
 			if next > e.cycle+1 {
+				// Per-cycle stepping charges skipped-span stalls once per
+				// THREAD (not per frame), attributed to the last blocked
+				// frame in issue order. Sleeping frames' sleepFrom advances
+				// past the span so their owed-stall settlement covers only
+				// stepped cycles.
 				skip := next - e.cycle - 1
-				for _, t := range e.threads {
-					if t.started && !t.done && t.stalledBlocked {
-						e.prof.AddStallsAt(t.id, t.stallSite, skip)
+				for _, t := range e.live {
+					var last *frame
+					for _, f := range t.active {
+						if f.stalledNow {
+							last = f
+						}
+						if f.sleepFrom >= 0 {
+							f.sleepFrom += skip
+						}
+					}
+					if last != nil {
+						e.prof.AddStallsSite(t.id, e.siteIDs[last.gi], skip)
 					}
 				}
 				e.cycle = next - 1
@@ -394,42 +493,180 @@ func (e *engine) run() error {
 }
 
 // nextEventCycle computes the earliest future cycle at which any state can
-// change: DRAM activity, pending retries, timed VLO completions or thread
-// starts. Returns -1 if nothing is pending (deadlock).
+// change. On a no-progress cycle every live frame is either asleep (its
+// wake is in the heap, or it waits on an external event) or awake but
+// blocked on stage occupancy (which cannot free without other progress),
+// so the answer is the earliest of: an external wake that fired this cycle
+// (next cycle), the wake heap top, DRAM activity, or the next thread
+// start. Returns -1 if nothing is pending (deadlock).
 func (e *engine) nextEventCycle() int64 {
+	if e.woken || e.nPortSleep > 0 {
+		// A DRAM completion or similar external event woke a frame this
+		// cycle (e.g. a completed-but-unretired VLO), or some frame is
+		// blocked on a memory port. Port retries re-arm every cycle, so
+		// per-cycle stepping never skips ahead while one exists; stepping
+		// cycle by cycle here keeps sample-window flushes (and their DRAM
+		// traffic) on the same cycles.
+		return e.cycle + 1
+	}
 	next := int64(-1)
-	min := func(c int64) {
+	consider := func(c int64) {
 		if c > e.cycle && (next < 0 || c < next) {
 			next = c
 		}
 	}
-	if d := e.dram.NextEventCycle(e.cycle); d >= 0 {
-		min(d)
+	for len(e.wakes) > 0 && e.wakes[0] <= e.cycle {
+		e.popWake()
 	}
-	for _, t := range e.threads {
-		if !t.started {
-			min(t.startAt)
-			continue
-		}
-		if t.done {
-			continue
-		}
-		for _, f := range t.active {
-			for _, p := range f.pendings {
-				min(p.retryAt)
-			}
-			for _, o := range f.outstanding {
-				if o.done {
-					// Completed but not yet retired: the frame can move
-					// next cycle.
-					min(e.cycle + 1)
-				} else if o.kind == vkTimed {
-					min(o.doneCycle)
-				}
-			}
-		}
+	if len(e.wakes) > 0 {
+		consider(e.wakes[0])
+	}
+	if d := e.dram.NextEventCycle(e.cycle); d >= 0 {
+		consider(d)
+	}
+	if e.nextStart < len(e.threads) {
+		consider(e.threads[e.nextStart].startAt)
 	}
 	return next
+}
+
+// pushWake / popWake maintain the min-heap of timed frame wake-ups.
+func (e *engine) pushWake(c int64) {
+	h := append(e.wakes, c)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	e.wakes = h
+}
+
+func (e *engine) popWake() {
+	h := e.wakes
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r] < h[l] {
+			l = r
+		}
+		if h[i] <= h[l] {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	e.wakes = h
+}
+
+// sleepFrame puts a blocked frame to sleep until its earliest timed wake
+// (pending retry or timed-VLO completion); frames blocked purely on
+// external events (DRAM ports, async VLOs, barriers, child loops) sleep
+// until woken by the completing event. stall records whether the skipped
+// cycles count as pipeline stalls.
+func (e *engine) sleepFrame(f *frame, stall bool) {
+	wake := int64(math.MaxInt64)
+	port := false
+	for i := range f.pendings {
+		p := &f.pendings[i]
+		// Port-blocked issues are woken by the port-freeing completion.
+		if p.kind == pendPort {
+			port = true
+		} else if p.retryAt < wake {
+			wake = p.retryAt
+		}
+	}
+	for _, o := range f.outstanding {
+		if o.done {
+			if e.cycle+1 < wake {
+				wake = e.cycle + 1
+			}
+		} else if o.kind == vkTimed && o.doneCycle < wake {
+			wake = o.doneCycle
+		}
+	}
+	if wake <= e.cycle {
+		return
+	}
+	f.sleepUntil = wake
+	f.sleepFrom = e.cycle
+	f.sleepStall = stall
+	if port {
+		// A port retry re-arms every cycle, so cycle skips are disabled
+		// while any port-blocked frame sleeps (see nextEventCycle).
+		f.portSleep = true
+		e.nPortSleep++
+	}
+	if wake < math.MaxInt64 {
+		e.pushWake(wake)
+	}
+}
+
+// wakeThread wakes every sleeping frame of a thread (a DRAM completion
+// freed a port or finished an async VLO, or a child loop finished).
+func (e *engine) wakeThread(t *thread) {
+	for _, f := range t.active {
+		if f.sleepUntil > e.cycle {
+			f.sleepUntil = 0
+		}
+	}
+	e.woken = true
+}
+
+// wakeAllThreads wakes every sleeping frame (barrier release).
+func (e *engine) wakeAllThreads() {
+	for _, t := range e.live {
+		e.wakeThread(t)
+	}
+}
+
+// newVLO / freeVLO recycle outstanding-VLO records.
+func (e *engine) newVLO() *outVLO {
+	if n := len(e.vloPool); n > 0 {
+		o := e.vloPool[n-1]
+		e.vloPool = e.vloPool[:n-1]
+		return o
+	}
+	return &outVLO{}
+}
+
+func (e *engine) freeVLO(o *outVLO) {
+	*o = outVLO{}
+	e.vloPool = append(e.vloPool, o)
+}
+
+// getBuf / putBuf recycle external-store payload buffers. A buffer is
+// returned in the store's OnComplete, which fires after the DRAM has
+// copied the payload at accept time.
+func (e *engine) getBuf(n int) []uint32 {
+	if l := len(e.bufPool); l > 0 {
+		b := e.bufPool[l-1]
+		e.bufPool = e.bufPool[:l-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]uint32, n)
+}
+
+func (e *engine) putBuf(b []uint32) { e.bufPool = append(e.bufPool, b) }
+
+// scratch returns the shared BRAM-transfer scratch buffer (BRAM accesses
+// copy at call time, so one buffer serves all of them).
+func (e *engine) scratch(n int) []uint32 {
+	if cap(e.encScratch) < n {
+		e.encScratch = make([]uint32, n)
+	}
+	return e.encScratch[:n]
 }
 
 func (e *engine) startThread(t *thread) {
@@ -440,25 +677,35 @@ func (e *engine) startThread(t *thread) {
 	f.loopVLO = nil
 	f.stage = -1
 	t.active = append(t.active, f)
+	e.live = append(e.live, t)
 }
 
 // frameFor returns the thread's cached frame for a graph, creating it on
 // first use (hardware contexts are physical and reused across iterations).
 func (e *engine) frameFor(t *thread, gi int) *frame {
 	if f := t.cache[gi]; f != nil {
+		for _, o := range f.outstanding {
+			e.freeVLO(o)
+		}
 		f.outstanding = f.outstanding[:0]
 		f.pendings = f.pendings[:0]
 		f.stage = -1
 		f.finished = false
+		f.sleepUntil = 0
+		f.sleepFrom = -1
+		f.sleepStall = false
+		f.stalledNow = false
+		f.portSleep = false
 		return f
 	}
 	cg := e.ck.Graphs[gi]
 	f := &frame{
-		cg:      cg,
-		gi:      int32(gi),
-		stage:   -1,
-		vals:    make([]hw.Value, len(cg.Nodes)),
-		carries: make([]hw.Value, cg.NumCarry),
+		cg:        cg,
+		gi:        int32(gi),
+		stage:     -1,
+		sleepFrom: -1,
+		vals:      make([]hw.Value, len(cg.Nodes)),
+		carries:   make([]hw.Value, cg.NumCarry),
 	}
 	t.cache[gi] = f
 	return f

@@ -1,0 +1,151 @@
+package sim
+
+// White-box tests for the event-driven scheduler: nextEventCycle decides
+// how far the engine may fast-forward, and sleepFrame decides which wake
+// sources a blocked frame registers. Getting these edges wrong silently
+// breaks cycle-exactness, so each is pinned here.
+
+import (
+	"math"
+	"testing"
+
+	"paravis/internal/mem"
+)
+
+func bareEngine(cycle int64) *engine {
+	return &engine{
+		dram:  mem.NewDRAM(mem.DRAMConfig{LatencyCycles: 5, Words: 1024}),
+		cycle: cycle,
+	}
+}
+
+func TestNextEventCycleIdleMeansDeadlock(t *testing.T) {
+	e := bareEngine(7)
+	if got := e.nextEventCycle(); got != -1 {
+		t.Errorf("idle engine: nextEventCycle = %d, want -1 (deadlock)", got)
+	}
+}
+
+func TestNextEventCycleExternalWake(t *testing.T) {
+	e := bareEngine(7)
+	e.woken = true
+	if got := e.nextEventCycle(); got != 8 {
+		t.Errorf("woken engine: nextEventCycle = %d, want cycle+1 = 8", got)
+	}
+}
+
+func TestNextEventCyclePortSleeperStepsEveryCycle(t *testing.T) {
+	// Port retries re-arm every cycle; a jump would desynchronize the
+	// profiler's flush traffic from per-cycle stepping.
+	e := bareEngine(7)
+	e.nPortSleep = 1
+	if got := e.nextEventCycle(); got != 8 {
+		t.Errorf("port sleeper: nextEventCycle = %d, want cycle+1 = 8", got)
+	}
+}
+
+func TestNextEventCycleWakeHeapSkipsStaleEntries(t *testing.T) {
+	e := bareEngine(10)
+	e.pushWake(20)
+	e.pushWake(15)
+	e.pushWake(5) // stale: the frame was woken early
+	if got := e.nextEventCycle(); got != 15 {
+		t.Errorf("nextEventCycle = %d, want earliest future wake 15", got)
+	}
+	if len(e.wakes) != 2 {
+		t.Errorf("stale wake not popped: heap %v", e.wakes)
+	}
+}
+
+func TestNextEventCycleSeesDRAM(t *testing.T) {
+	e := bareEngine(10)
+	if err := e.dram.Submit(&mem.Request{Thread: 0, WordAddr: 0, Words: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A queued request is accepted next cycle.
+	if got := e.nextEventCycle(); got != 11 {
+		t.Errorf("queued DRAM request: nextEventCycle = %d, want 11", got)
+	}
+}
+
+func TestNextEventCycleSeesNextThreadStart(t *testing.T) {
+	e := bareEngine(10)
+	e.threads = []*thread{{startAt: 42}}
+	if got := e.nextEventCycle(); got != 42 {
+		t.Errorf("pending thread start: nextEventCycle = %d, want 42", got)
+	}
+}
+
+func TestSleepFrameCompletedVLOWakesNextCycle(t *testing.T) {
+	// A completed-but-unretired VLO means the frame can make progress on
+	// its very next step (retiring it), so the frame must wake at cycle+1
+	// — sleeping until an external event would deadlock.
+	e := bareEngine(30)
+	f := &frame{outstanding: []*outVLO{{done: true}}, sleepFrom: -1}
+	e.sleepFrame(f, true)
+	if f.sleepUntil != 31 {
+		t.Errorf("sleepUntil = %d, want cycle+1 = 31", f.sleepUntil)
+	}
+	if len(e.wakes) != 1 || e.wakes[0] != 31 {
+		t.Errorf("wake heap %v, want [31]", e.wakes)
+	}
+}
+
+func TestSleepFrameTimedVLOWakesAtCompletion(t *testing.T) {
+	e := bareEngine(30)
+	f := &frame{outstanding: []*outVLO{{kind: vkTimed, doneCycle: 95}}, sleepFrom: -1}
+	e.sleepFrame(f, true)
+	if f.sleepUntil != 95 {
+		t.Errorf("sleepUntil = %d, want doneCycle 95", f.sleepUntil)
+	}
+}
+
+func TestSleepFrameLockRetry(t *testing.T) {
+	e := bareEngine(30)
+	f := &frame{pendings: []pending{{kind: pendLock, retryAt: 46}}, sleepFrom: -1}
+	e.sleepFrame(f, false)
+	if f.sleepUntil != 46 {
+		t.Errorf("sleepUntil = %d, want retryAt 46", f.sleepUntil)
+	}
+	if f.portSleep || e.nPortSleep != 0 {
+		t.Error("lock pending must not count as a port sleeper")
+	}
+}
+
+func TestSleepFramePortPendingDisablesJumps(t *testing.T) {
+	// A frame blocked on a busy memory port has no timed wake: it is woken
+	// by the completion that frees the port. It must register as a port
+	// sleeper (per-cycle stepping) and push nothing onto the wake heap.
+	e := bareEngine(30)
+	f := &frame{pendings: []pending{{kind: pendPort, retryAt: 31}}, sleepFrom: -1}
+	e.sleepFrame(f, true)
+	if f.sleepUntil != math.MaxInt64 {
+		t.Errorf("sleepUntil = %d, want MaxInt64 (external wake only)", f.sleepUntil)
+	}
+	if !f.portSleep || e.nPortSleep != 1 {
+		t.Errorf("portSleep=%v nPortSleep=%d, want true/1", f.portSleep, e.nPortSleep)
+	}
+	if len(e.wakes) != 0 {
+		t.Errorf("wake heap %v, want empty", e.wakes)
+	}
+	if got := e.nextEventCycle(); got != 31 {
+		t.Errorf("nextEventCycle = %d, want cycle+1 = 31", got)
+	}
+}
+
+func TestWakeHeapOrdering(t *testing.T) {
+	e := bareEngine(0)
+	for _, c := range []int64{9, 3, 7, 1, 8, 2} {
+		e.pushWake(c)
+	}
+	want := []int64{1, 2, 3, 7, 8, 9}
+	for _, w := range want {
+		if e.wakes[0] != w {
+			t.Fatalf("heap top = %d, want %d (heap %v)", e.wakes[0], w, e.wakes)
+		}
+		e.popWake()
+	}
+	if len(e.wakes) != 0 {
+		t.Errorf("heap not drained: %v", e.wakes)
+	}
+}

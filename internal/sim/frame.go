@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"paravis/internal/hw"
 	"paravis/internal/ir"
@@ -40,12 +41,12 @@ var DebugTrace = false
 // fast-forwarding). Frames spawned this cycle are not stepped until the
 // next cycle.
 func (e *engine) stepThread(t *thread) bool {
-	t.stalledBlocked = false
 	progress := false
+	anyFinished := false
 	n := len(t.active)
 	for i := 0; i < n; i++ {
 		f := t.active[i]
-		if f.finished {
+		if f.finished || f.sleepUntil > e.cycle {
 			continue
 		}
 		if e.stepFrame(t, f) {
@@ -54,15 +55,19 @@ func (e *engine) stepThread(t *thread) bool {
 		if e.runErr != nil {
 			return progress
 		}
-	}
-	// Compact finished frames.
-	keep := t.active[:0]
-	for _, f := range t.active {
-		if !f.finished {
-			keep = append(keep, f)
+		if f.finished {
+			anyFinished = true
 		}
 	}
-	t.active = keep
+	if anyFinished {
+		keep := t.active[:0]
+		for _, f := range t.active {
+			if !f.finished {
+				keep = append(keep, f)
+			}
+		}
+		t.active = keep
+	}
 	return progress
 }
 
@@ -71,6 +76,22 @@ func (e *engine) stepFrame(t *thread, f *frame) bool {
 	if DebugTrace {
 		fmt.Printf("c%d t%d g%s stage=%d out=%d pend=%d\n", e.cycle, t.id, f.cg.Name, f.stage, len(f.outstanding), len(f.pendings))
 	}
+	// Settle sleep bookkeeping: charge the stalls the skipped cycles
+	// would have accrued under per-cycle stepping.
+	if f.sleepFrom >= 0 {
+		if f.sleepStall {
+			if skipped := e.cycle - f.sleepFrom - 1; skipped > 0 {
+				e.prof.AddStallsSite(t.id, e.siteIDs[f.gi], skipped)
+			}
+		}
+		f.sleepFrom = -1
+	}
+	if f.portSleep {
+		f.portSleep = false
+		e.nPortSleep--
+	}
+	f.sleepUntil = 0
+	f.stalledNow = false
 	progress := false
 
 	// Retire completed internally-timed VLOs and compact the list.
@@ -94,6 +115,8 @@ func (e *engine) stepFrame(t *thread, f *frame) bool {
 			}
 			if !o.done {
 				keep = append(keep, o)
+			} else {
+				e.freeVLO(o)
 			}
 		}
 		f.outstanding = keep
@@ -124,14 +147,14 @@ func (e *engine) stepFrame(t *thread, f *frame) bool {
 		if len(f.pendings) > 0 {
 			// Port-blocked issues are arbitration stalls; lock waits are
 			// the Spinning state and tracked by the state recorder.
+			stall := false
 			for _, p := range f.pendings {
 				if p.kind == pendPort {
-					e.prof.AddStallsAt(t.id, f.cg.Name, 1)
-					t.stalledBlocked = true
-					t.stallSite = f.cg.Name
+					stall = true
 					break
 				}
 			}
+			e.blockFrame(t, f, stall, true)
 			return progress
 		}
 	}
@@ -139,12 +162,8 @@ func (e *engine) stepFrame(t *thread, f *frame) bool {
 	// Advance the token.
 	if f.stage < 0 {
 		// Start an iteration: enter stage 0.
-		if ok, stall := e.canEnter(t, f, 0); !ok {
-			if stall {
-				e.prof.AddStallsAt(t.id, f.cg.Name, 1)
-				t.stalledBlocked = true
-				t.stallSite = f.cg.Name
-			}
+		if ok, stall, occ := e.canEnter(t, f, 0); !ok {
+			e.blockFrame(t, f, stall, !occ)
 			return progress
 		}
 		e.beginIteration(f)
@@ -160,11 +179,7 @@ func (e *engine) stepFrame(t *thread, f *frame) bool {
 		if f.vals[f.cg.CondIdx].I == 0 {
 			if blocked, stall := drainBlock(f); blocked {
 				// Drain speculative loads before leaving the pipeline.
-				if stall {
-					e.prof.AddStallsAt(t.id, f.cg.Name, 1)
-					t.stalledBlocked = true
-					t.stallSite = f.cg.Name
-				}
+				e.blockFrame(t, f, stall, true)
 				return progress
 			}
 			e.finishGraph(t, f)
@@ -176,11 +191,7 @@ func (e *engine) stepFrame(t *thread, f *frame) bool {
 	if int(next) == f.cg.Depth {
 		// Iteration complete: wrap around (or finish the top region).
 		if blocked, stall := drainBlock(f); blocked {
-			if stall {
-				e.prof.AddStallsAt(t.id, f.cg.Name, 1)
-				t.stalledBlocked = true
-				t.stallSite = f.cg.Name
-			}
+			e.blockFrame(t, f, stall, true)
 			return progress
 		}
 		e.freeOcc(t, f)
@@ -197,12 +208,8 @@ func (e *engine) stepFrame(t *thread, f *frame) bool {
 		return true
 	}
 
-	if ok, stall := e.canEnter(t, f, next); !ok {
-		if stall {
-			e.prof.AddStallsAt(t.id, f.cg.Name, 1)
-			t.stalledBlocked = true
-			t.stallSite = f.cg.Name
-		}
+	if ok, stall, occ := e.canEnter(t, f, next); !ok {
+		e.blockFrame(t, f, stall, !occ)
 		return progress
 	}
 	if err := e.enterStage(t, f, next); err != nil {
@@ -210,6 +217,21 @@ func (e *engine) stepFrame(t *thread, f *frame) bool {
 		return progress
 	}
 	return true
+}
+
+// blockFrame accounts a failed step: one stall if the block is stall-type,
+// then sleep if the block can only clear through a timed or external wake.
+// Occupancy blocks (canSleep=false) keep the frame awake: the occupant
+// frees the slot through another thread's progress, which per-cycle
+// stepping observes; bulk jump accounting covers the skipped stalls.
+func (e *engine) blockFrame(t *thread, f *frame, stall, canSleep bool) {
+	if stall {
+		e.prof.AddStallsSite(t.id, e.siteIDs[f.gi], 1)
+		f.stalledNow = true
+	}
+	if canSleep {
+		e.sleepFrame(f, stall)
+	}
 }
 
 // retryCycle computes when a pending issue should be retried.
@@ -231,26 +253,28 @@ func (e *engine) fail(err error) {
 // second result reports whether the block counts as a pipeline stall:
 // waiting on a child loop does not (the thread is making progress inside
 // the inner pipeline — the paper counts the inner loop's own stalls).
-func (e *engine) canEnter(t *thread, f *frame, s int32) (ok, stall bool) {
+// The third result distinguishes an occupancy block (the frame must stay
+// awake and poll) from a VLO-completion block (the frame may sleep).
+func (e *engine) canEnter(t *thread, f *frame, s int32) (ok, stall, occBlock bool) {
 	blocked := false
 	for _, o := range f.outstanding {
 		if !o.done && o.waitStage <= s {
 			blocked = true
 			if o.kind != vkChild {
-				return false, true
+				return false, true, false
 			}
 		}
 	}
 	if blocked {
-		return false, false
+		return false, false, false
 	}
 	if !f.cg.Stages[s].Reordering {
 		occ := e.occ[f.gi][s]
 		if occ >= 0 && occ != int32(t.id) {
-			return false, true
+			return false, true, true
 		}
 	}
-	return true, false
+	return true, false, false
 }
 
 // drainBlock classifies a wait on the frame's remaining outstanding VLOs
@@ -345,26 +369,30 @@ func (e *engine) issueVLO(t *thread, f *frame, pos int32) (bool, error) {
 			return false, nil
 		}
 		e.prof.SetState(e.cycle, t.id, profile.StateCritical)
-		f.outstanding = append(f.outstanding, &outVLO{
-			pos: pos, waitStage: cn.WaitStage, kind: vkTimed,
-			doneCycle: e.cycle + int64(e.ck.Sched.Cfg.Lat.MinLock),
-		})
+		o := e.newVLO()
+		o.pos, o.waitStage, o.kind = pos, cn.WaitStage, vkTimed
+		o.doneCycle = e.cycle + int64(e.ck.Sched.Cfg.Lat.MinLock)
+		f.outstanding = append(f.outstanding, o)
 		return true, nil
 	case ir.OpUnlock:
 		if err := e.sems[cn.SemID].Release(t.id); err != nil {
 			return false, err
 		}
 		e.prof.SetState(e.cycle, t.id, profile.StateRunning)
-		f.outstanding = append(f.outstanding, &outVLO{
-			pos: pos, waitStage: cn.WaitStage, kind: vkTimed,
-			doneCycle: e.cycle + int64(e.ck.Sched.Cfg.Lat.MinLock),
-		})
+		o := e.newVLO()
+		o.pos, o.waitStage, o.kind = pos, cn.WaitStage, vkTimed
+		o.doneCycle = e.cycle + int64(e.ck.Sched.Cfg.Lat.MinLock)
+		f.outstanding = append(f.outstanding, o)
 		return true, nil
 	case ir.OpBarrier:
 		gen := e.barrier.Arrive()
-		o := &outVLO{pos: pos, waitStage: cn.WaitStage, kind: vkBarrier, barrierGen: gen}
+		o := e.newVLO()
+		o.pos, o.waitStage, o.kind, o.barrierGen = pos, cn.WaitStage, vkBarrier, gen
 		if e.barrier.Generation() > gen {
 			o.done = true
+			// This arrival released the barrier: wake the frames of the
+			// other threads sleeping on their vkBarrier VLOs.
+			e.wakeAllThreads()
 		} else {
 			// Barrier waits surface as Spinning (the thread polls the
 			// hardware semaphore block until the generation advances).
@@ -392,7 +420,8 @@ func (e *engine) completeSkipped(f *frame, cn *hw.CNode, pos int32) {
 
 // issueLoop suspends the parent token and pushes a child frame.
 func (e *engine) issueLoop(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, error) {
-	o := &outVLO{pos: pos, waitStage: cn.WaitStage, kind: vkChild}
+	o := e.newVLO()
+	o.pos, o.waitStage, o.kind = pos, cn.WaitStage, vkChild
 	f.outstanding = append(f.outstanding, o)
 
 	child := e.frameFor(t, int(cn.SubGraph))
@@ -432,6 +461,8 @@ func (e *engine) finishGraph(t *thread, f *frame) {
 	}
 	f.loopVLO.done = true
 	f.loopVLO.doneCycle = e.cycle
+	// The parent may be asleep waiting on this child.
+	e.wakeThread(t)
 }
 
 // issueMem issues a load or store against BRAM or external DRAM.
@@ -442,20 +473,26 @@ func (e *engine) issueMem(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, e
 		bram := e.brams[t.id][cn.LocalID]
 		addr := idx * int64(cn.ElemWords)
 		if cn.Op == ir.OpStore {
-			data := e.valueWords(f, cn, cn.A1, words)
+			data := e.scratch(words)
+			e.encodeWords(f, cn.A1, data)
 			done, _, err := bram.Access(e.cycle, true, addr, words, data)
 			if err != nil {
 				return false, fmt.Errorf("sim: thread %d local store: %w", t.id, err)
 			}
-			f.outstanding = append(f.outstanding, &outVLO{pos: pos, waitStage: cn.WaitStage, kind: vkTimed, doneCycle: done})
+			o := e.newVLO()
+			o.pos, o.waitStage, o.kind, o.doneCycle = pos, cn.WaitStage, vkTimed, done
+			f.outstanding = append(f.outstanding, o)
 			return true, nil
 		}
-		done, data, err := bram.Access(e.cycle, false, addr, words, nil)
+		buf := e.scratch(words)
+		done, err := bram.ReadInto(e.cycle, addr, buf)
 		if err != nil {
 			return false, fmt.Errorf("sim: thread %d local load: %w", t.id, err)
 		}
-		e.storeLoadedValue(f, cn, pos, data)
-		f.outstanding = append(f.outstanding, &outVLO{pos: pos, waitStage: cn.WaitStage, kind: vkTimed, doneCycle: done})
+		e.storeLoadedValue(f, cn, pos, buf)
+		o := e.newVLO()
+		o.pos, o.waitStage, o.kind, o.doneCycle = pos, cn.WaitStage, vkTimed, done
+		f.outstanding = append(f.outstanding, o)
 		return true, nil
 	}
 
@@ -465,15 +502,20 @@ func (e *engine) issueMem(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, e
 			return false, nil
 		}
 		addr := e.globalBase[cn.GlobalIdx] + idx*int64(cn.ElemWords)
-		data := e.valueWords(f, cn, cn.A1, words)
-		o := &outVLO{pos: pos, waitStage: cn.WaitStage, kind: vkAsync}
+		data := e.getBuf(words)
+		e.encodeWords(f, cn.A1, data)
+		o := e.newVLO()
+		o.pos, o.waitStage, o.kind = pos, cn.WaitStage, vkAsync
 		req := &mem.Request{
 			Thread: t.id, Write: true, WordAddr: addr, Words: words,
-			Data: append([]uint32(nil), data...),
+			Data: data,
 			OnComplete: func(c int64, _ []uint32) {
 				o.done = true
 				o.doneCycle = c
 				t.extWrite = false
+				// The DRAM copied the payload at accept time.
+				e.putBuf(data)
+				e.wakeThread(t)
 			},
 		}
 		if err := e.dram.Submit(req); err != nil {
@@ -487,7 +529,8 @@ func (e *engine) issueMem(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, e
 		return false, nil
 	}
 	addr := e.globalBase[cn.GlobalIdx] + idx*int64(cn.ElemWords)
-	o := &outVLO{pos: pos, waitStage: cn.WaitStage, kind: vkAsync}
+	o := e.newVLO()
+	o.pos, o.waitStage, o.kind = pos, cn.WaitStage, vkAsync
 	req := &mem.Request{
 		Thread: t.id, WordAddr: addr, Words: words,
 		OnComplete: func(c int64, value []uint32) {
@@ -495,6 +538,7 @@ func (e *engine) issueMem(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, e
 			o.done = true
 			o.doneCycle = c
 			t.extRead = false
+			e.wakeThread(t)
 		},
 	}
 	if err := e.dram.Submit(req); err != nil {
@@ -505,7 +549,9 @@ func (e *engine) issueMem(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, e
 	return true, nil
 }
 
-// storeLoadedValue decodes raw words into the node's value slot.
+// storeLoadedValue decodes raw words into the node's value slot. data is
+// only valid for the duration of the call (DRAM and BRAM buffers are
+// recycled), so the decode copies.
 func (e *engine) storeLoadedValue(f *frame, cn *hw.CNode, pos int32, data []uint32) {
 	dst := &f.vals[pos]
 	switch cn.Kind {
@@ -515,26 +561,30 @@ func (e *engine) storeLoadedValue(f *frame, cn *hw.CNode, pos int32, data []uint
 			v = make([]float32, len(data))
 		}
 		v = v[:len(data)]
-		fs := mem.WordsToFloats(data)
-		copy(v, fs)
+		for i, w := range data {
+			v[i] = math.Float32frombits(w)
+		}
 		dst.V = v
 	case ir.KindFloat:
-		dst.F = mem.WordsToFloats(data[:1])[0]
+		dst.F = math.Float32frombits(data[0])
 	default:
 		dst.I = int64(int32(data[0]))
 	}
 }
 
-// valueWords encodes a node value as raw words for a store.
-func (e *engine) valueWords(f *frame, cn *hw.CNode, argPos int32, words int) []uint32 {
+// encodeWords encodes a node value into dst (len = the store's word count)
+// for a store's payload.
+func (e *engine) encodeWords(f *frame, argPos int32, dst []uint32) {
 	v := &f.vals[argPos]
 	src := &f.cg.Nodes[argPos]
 	switch src.Kind {
 	case ir.KindVec:
-		return mem.FloatsToWords(v.V[:words])
+		for i := range dst {
+			dst[i] = math.Float32bits(v.V[i])
+		}
 	case ir.KindFloat:
-		return mem.FloatsToWords([]float32{v.F})
+		dst[0] = math.Float32bits(v.F)
 	default:
-		return mem.IntsToWords([]int32{int32(v.I)})
+		dst[0] = uint32(int32(v.I))
 	}
 }
