@@ -1,0 +1,90 @@
+package paravis
+
+// Benchmarks for the streaming trace pipeline: profile-to-trace view
+// construction and .prv emission, streaming versus materialized. The
+// records/s metric is what the ISSUE's acceptance criterion compares;
+// -benchmem shows the near-zero steady-state allocation of the streaming
+// writer (a handful of fixed buffers per call, none per record).
+
+import (
+	"io"
+	"testing"
+
+	"paravis/internal/experiments"
+	"paravis/internal/paraver"
+	"paravis/internal/workloads"
+)
+
+// benchProfileRun simulates one small GEMM with a fine sample period so
+// the unit carries a realistic record mix (state runs, event windows,
+// flush-perturbed drains).
+func benchProfileRun(b *testing.B) *experiments.GEMMRun {
+	b.Helper()
+	cfg := benchOpts(24).SimCfg
+	cfg.Profile.SamplePeriod = 64
+	r, err := experiments.RunGEMM(workloads.GEMMNaive, 24, 8, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkFromProfile measures turning a finished profiling unit into a
+// trace: the zero-copy streaming view versus full materialization.
+func BenchmarkFromProfile(b *testing.B) {
+	r := benchProfileRun(b)
+	u, cycles := r.Out.Result.Prof, r.Out.Result.Cycles
+	tr := r.Out.Trace
+	records := float64(len(tr.States) + len(tr.Events))
+
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := paraver.StreamFromProfile(u, "gemm", cycles)
+			if st.NumThreads == 0 {
+				b.Fatal("empty stream")
+			}
+		}
+		b.ReportMetric(records*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	})
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := paraver.FromProfile(u, "gemm", cycles)
+			if len(tr.States) == 0 {
+				b.Fatal("empty trace")
+			}
+		}
+		b.ReportMetric(records*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	})
+}
+
+// BenchmarkTraceWrite measures .prv emission: the streaming writer
+// (strconv.AppendInt into a reused buffer, k-way merge straight from the
+// per-thread streams) versus the materialized fmt-based reference writer.
+func BenchmarkTraceWrite(b *testing.B) {
+	r := benchProfileRun(b)
+	u, cycles := r.Out.Result.Prof, r.Out.Result.Cycles
+	st := paraver.StreamFromProfile(u, "gemm", cycles)
+	tr := st.Trace()
+	records := float64(len(tr.States) + len(tr.Events))
+
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := st.WritePRV(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(records*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	})
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := tr.WritePRV(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(records*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	})
+}

@@ -13,7 +13,7 @@
 //
 // Usage:
 //
-//	nymblesim [-D NAME=VALUE]... [-o dir] [-name base] [-noprofile]
+//	nymblesim [-D NAME=VALUE]... [-o dir] [-name base] [-noprofile] [-gzip]
 //	          [-j N] [-sweep NAME=v1,v2,...] file.mc arg=value...
 package main
 
@@ -52,11 +52,12 @@ func main() {
 	outDir := flag.String("o", "traces", "output directory for the Paraver bundle")
 	base := flag.String("name", "", "trace base name (default: kernel name)")
 	noProfile := flag.Bool("noprofile", false, "disable the profiling unit")
+	gz := flag.Bool("gzip", false, "gzip-compress the trace body (trace.prv.gz)")
 	sweep := flag.String("sweep", "", "sweep a macro: NAME=v1,v2,... (one design point per value)")
 	workers := flag.Int("j", 0, "max design points simulated concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: nymblesim [-D N=V] [-o dir] [-name base] [-noprofile] [-j N] [-sweep NAME=v1,v2,...] file.mc arg=value...")
+		fmt.Fprintln(os.Stderr, "usage: nymblesim [-D N=V] [-o dir] [-name base] [-noprofile] [-gzip] [-j N] [-sweep NAME=v1,v2,...] file.mc arg=value...")
 		os.Exit(2)
 	}
 	if *workers > 0 {
@@ -152,7 +153,11 @@ func main() {
 		if name == "" {
 			name = p.Kernel.Name
 		}
-		prv, err := out.WriteTrace(*outDir, name)
+		write := out.WriteTrace
+		if *gz {
+			write = out.WriteTraceGz
+		}
+		prv, err := write(*outDir, name)
 		if err != nil {
 			fatal(err)
 		}

@@ -2,9 +2,13 @@
 // the views the paper uses: per-thread state residency (the state view),
 // memory throughput over time, and compute performance over time.
 //
+// The trace streams through a single-pass aggregator line by line, so
+// traces larger than RAM work in bounded memory. Gzip-compressed traces
+// (.prv.gz, as written by nymblesim -gzip) decompress transparently.
+//
 // Usage:
 //
-//	prv2stats [-bins N] [-freq MHz] [-timeline] trace.prv
+//	prv2stats [-bins N] [-freq MHz] [-timeline] trace.prv[.gz]
 package main
 
 import (
@@ -22,43 +26,40 @@ func main() {
 	timeline := flag.Bool("timeline", true, "render the ASCII state timeline")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: prv2stats [-bins N] [-freq MHz] [-timeline] trace.prv")
+		fmt.Fprintln(os.Stderr, "usage: prv2stats [-bins N] [-freq MHz] [-timeline] trace.prv[.gz]")
 		os.Exit(2)
 	}
-	tr, err := paraver.ParsePRVFile(flag.Arg(0))
+	r, err := paraver.OpenPRV(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	if err := tr.Validate(); err != nil {
+	st := analysis.NewStreamStats(96, *bins)
+	if err := paraver.ScanPRV(r, st); err != nil {
+		r.Close()
 		fatal(err)
 	}
+	if err := r.Close(); err != nil {
+		fatal(err)
+	}
+	tasks := st.Hdr.Tasks
 
-	fmt.Printf("trace: %d task(s) x %d threads, %d cycles\n\n", tr.NumTasks(), tr.NumThreads, tr.EndTime)
+	fmt.Printf("trace: %d task(s) x %d threads, %d cycles\n\n", tasks, st.Hdr.NumThreads, st.Hdr.EndTime)
 
-	if tr.NumTasks() > 1 {
-		for task := 0; task < tr.NumTasks(); task++ {
-			view := tr.TaskView(task)
-			p := analysis.StateProfileOf(view)
+	if tasks > 1 {
+		for task := 0; task < tasks; task++ {
+			p := st.StateProfileTask(task)
 			fmt.Printf("task %d (FPGA %d): %.1f%% running, %.1f%% idle\n",
 				task+1, task+1, 100*p.TotalFraction[1], 100*p.TotalFraction[0])
 		}
-		if len(tr.Comms) > 0 {
-			var bytes int64
-			var maxLat int64
-			for _, c := range tr.Comms {
-				bytes += c.Size
-				if l := c.RecvTime - c.SendTime; l > maxLat {
-					maxLat = l
-				}
-			}
+		if st.CommCount > 0 {
 			fmt.Printf("communication: %d records, %d bytes, max latency %d cycles\n",
-				len(tr.Comms), bytes, maxLat)
+				st.CommCount, st.CommBytes, st.CommMaxLatency)
 		}
 		fmt.Println()
 	}
 
-	if tr.NumTasks() == 1 {
-		prof := analysis.StateProfileOf(tr)
+	if tasks == 1 {
+		prof := st.StateProfileTask(0)
 		fmt.Println("state residency (% of execution time):")
 		fmt.Printf("%-8s %10s %10s %10s %10s\n", "thread", "Idle", "Running", "Critical", "Spinning")
 		for t := 0; t < prof.NumThreads; t++ {
@@ -72,42 +73,33 @@ func main() {
 	}
 
 	if *timeline {
-		for task := 0; task < tr.NumTasks(); task++ {
-			view := tr
-			if tr.NumTasks() > 1 {
-				view = tr.TaskView(task)
+		for task := 0; task < tasks; task++ {
+			if tasks > 1 {
 				fmt.Printf("state timeline, FPGA %d (R=Running C=Critical S=Spinning .=Idle):\n", task+1)
 			} else {
 				fmt.Println("state timeline (R=Running C=Critical S=Spinning .=Idle):")
 			}
-			for _, row := range analysis.RenderStateTimeline(view, 96) {
+			for _, row := range st.TimelineTask(task) {
 				fmt.Println("  " + row)
 			}
 			fmt.Println()
 		}
 	}
 
-	binWidth := tr.EndTime / int64(*bins)
-	if binWidth < 1 {
-		binWidth = 1
-	}
-	mem := analysis.MemorySeries(tr, binWidth)
-	fp := analysis.FlopSeries(tr, binWidth)
-	stalls := analysis.EventSeries(tr, paraver.EventStalls, binWidth)
-	fmt.Printf("memory throughput |%s|\n", analysis.RenderSeries(mem, *bins))
-	fmt.Printf("compute (FLOPs)   |%s|\n", analysis.RenderSeries(fp, *bins))
-	fmt.Printf("pipeline stalls   |%s|\n\n", analysis.RenderSeries(stalls, *bins))
+	fmt.Printf("memory throughput |%s|\n", analysis.RenderSeries(st.MemSeries(), *bins))
+	fmt.Printf("compute (FLOPs)   |%s|\n", analysis.RenderSeries(st.FlopSeries(), *bins))
+	fmt.Printf("pipeline stalls   |%s|\n\n", analysis.RenderSeries(st.StallSeries(), *bins))
 
-	bw := analysis.AvgBandwidthBytesPerCycle(tr)
+	bw := st.AvgBandwidthBytesPerCycle()
 	fmt.Printf("totals: %d B read, %d B written, %d FLOPs, %d stalls\n",
-		analysis.Totals(tr, paraver.EventReadBytes),
-		analysis.Totals(tr, paraver.EventWriteBytes),
-		analysis.Totals(tr, paraver.EventFpOps),
-		analysis.Totals(tr, paraver.EventStalls))
+		st.Total(paraver.EventReadBytes),
+		st.Total(paraver.EventWriteBytes),
+		st.Total(paraver.EventFpOps),
+		st.Total(paraver.EventStalls))
 	fmt.Printf("avg bandwidth: %.3f B/cycle = %.2f GB/s at %.0f MHz\n",
 		bw, analysis.BandwidthGBs(bw, *freq), *freq)
 	fmt.Printf("sustained compute: %.3f GFLOP/s at %.0f MHz\n",
-		analysis.GFlops(tr, *freq), *freq)
+		st.GFlops(*freq), *freq)
 }
 
 func fatal(err error) {

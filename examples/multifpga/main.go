@@ -77,7 +77,7 @@ func main() {
 			c.Tag, c.SendTask, c.RecvTask, c.Size, c.SendTime, c.RecvTime)
 	}
 
-	prv, err := res.Trace.WriteBundle(*traces, "stencil_cluster")
+	prv, err := res.Streams.WriteBundle(*traces, "stencil_cluster")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 	"paravis/internal/core"
 	"paravis/internal/parallel"
 	"paravis/internal/paraver"
+	"paravis/internal/profile"
 	"paravis/internal/sim"
 )
 
@@ -79,7 +80,11 @@ type Result struct {
 	ExchangeCycles int64
 	// PerStep records each sweep's global duration.
 	PerStep []int64
-	// Trace is the merged multi-task Paraver trace with comm records.
+	// Streams is the merged multi-task trace in streaming form; bundles
+	// write directly from it without materializing record lists.
+	Streams *paraver.StreamTrace
+	// Trace is the merged multi-task Paraver trace with comm records (a
+	// thin materialized view over Streams, for the analyses).
 	Trace *paraver.Trace
 	// Final holds the smoothed field after all sweeps.
 	Final []float32
@@ -146,7 +151,7 @@ func RunStencil(initial []float32, steps int, cfg Config) (*Result, error) {
 	}
 
 	nThreads := prog.Kernel.NumThreads
-	merged := &paraver.Trace{AppName: "stencil-cluster", Tasks: cfg.FPGAs, NumThreads: nThreads}
+	merged := paraver.NewStreamTrace("stencil-cluster", cfg.FPGAs, nThreads)
 	res := &Result{Cells: cells, Steps: steps, FPGAs: cfg.FPGAs}
 
 	globalTime := int64(0)
@@ -159,7 +164,7 @@ func RunStencil(initial []float32, steps int, cfg Config) (*Result, error) {
 	type sweepOut struct {
 		v      []float32
 		cycles int64
-		trace  *paraver.Trace
+		prof   *profile.Unit
 	}
 	outs := make([]sweepOut, cfg.FPGAs)
 
@@ -182,7 +187,7 @@ func RunStencil(initial []float32, steps int, cfg Config) (*Result, error) {
 			if err != nil {
 				return fmt.Errorf("cluster: fpga %d sweep %d: %w", f, s, err)
 			}
-			outs[f] = sweepOut{v: vbuf.Floats(), cycles: out.Result.Cycles, trace: out.Trace}
+			outs[f] = sweepOut{v: vbuf.Floats(), cycles: out.Result.Cycles, prof: out.Result.Prof}
 			return nil
 		})
 		if err != nil {
@@ -194,11 +199,19 @@ func RunStencil(initial []float32, steps int, cfg Config) (*Result, error) {
 			if outs[f].cycles > stepMax {
 				stepMax = outs[f].cycles
 			}
-			if outs[f].trace != nil {
-				if err := merged.MergeTask(outs[f].trace, f, stepStart); err != nil {
-					return nil, err
-				}
+		}
+		// Fold this sweep's per-FPGA record streams into the merged trace.
+		// Each task's streams are disjoint, so the fold fans out across the
+		// worker pool; the result is independent of the worker count.
+		if err := parallel.ForEach(cfg.Workers, cfg.FPGAs, func(f int) error {
+			if outs[f].prof != nil {
+				merged.AppendProfile(f, outs[f].prof, stepStart, outs[f].cycles)
 			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for f := 0; f < cfg.FPGAs; f++ {
 			outs[f] = sweepOut{}
 		}
 		// Fixed global boundaries.
@@ -240,11 +253,12 @@ func RunStencil(initial []float32, steps int, cfg Config) (*Result, error) {
 	if merged.EndTime < globalTime {
 		merged.EndTime = globalTime
 	}
-	merged.Normalize()
-	if err := merged.Validate(); err != nil {
+	paraver.SortCommRecs(merged.Comms)
+	res.Streams = merged
+	res.Trace = merged.Trace()
+	if err := res.Trace.Validate(); err != nil {
 		return nil, fmt.Errorf("cluster: merged trace invalid: %w", err)
 	}
-	res.Trace = merged
 
 	res.Final = make([]float32, cells)
 	for f := 0; f < cfg.FPGAs; f++ {

@@ -98,7 +98,12 @@ func Build(src string, opts BuildOptions) (*Program, error) {
 // RunOutput bundles a simulation's results with its trace and reports.
 type RunOutput struct {
 	Result *sim.Result
-	// Trace is the Paraver trace (nil when profiling is disabled).
+	// Streams is the zero-copy streaming view of the profiling unit's
+	// records (nil when profiling is disabled); WriteTrace emits the
+	// Paraver bundle directly from it without materializing record lists.
+	Streams *paraver.StreamTrace
+	// Trace is the materialized Paraver trace (nil when profiling is
+	// disabled), a thin view over the same streams for the analyses.
 	Trace *paraver.Trace
 	// Area is the footprint estimate of the design as simulated (with or
 	// without the profiling unit, per the run's config).
@@ -123,7 +128,8 @@ func (p *Program) Run(args sim.Args, cfg sim.Config) (*RunOutput, error) {
 	out.Area = area.Estimate(p.Kernel, p.Sched, cfg.Profile, p.coeffs)
 	out.FmaxMHz = out.Area.FmaxMHz
 	if res.Prof != nil {
-		out.Trace = paraver.FromProfile(res.Prof, p.Kernel.Name, res.Cycles)
+		out.Streams = paraver.StreamFromProfile(res.Prof, p.Kernel.Name, res.Cycles)
+		out.Trace = out.Streams.Trace()
 	}
 	return out, nil
 }
@@ -196,11 +202,21 @@ func (p *Program) Call(args []host.Value, buffers map[string]*sim.Buffer, cfg si
 	return ret, out, nil
 }
 
-// WriteTrace writes the run's Paraver bundle (.prv/.pcf/.row) and returns
-// the .prv path.
+// WriteTrace writes the run's Paraver bundle (.prv/.pcf/.row), streaming
+// the records straight from the profiling unit, and returns the .prv path.
 func (o *RunOutput) WriteTrace(dir, base string) (string, error) {
-	if o.Trace == nil {
+	if o.Streams == nil {
 		return "", fmt.Errorf("core: run has no trace (profiling disabled)")
 	}
-	return o.Trace.WriteBundle(dir, base)
+	return o.Streams.WriteBundle(dir, base)
+}
+
+// WriteTraceGz writes the bundle with a gzip-compressed trace body
+// (trace.prv.gz + plain .pcf/.row), streamed directly from the profiling
+// unit, and returns the .prv.gz path.
+func (o *RunOutput) WriteTraceGz(dir, base string) (string, error) {
+	if o.Streams == nil {
+		return "", fmt.Errorf("core: run has no trace (profiling disabled)")
+	}
+	return o.Streams.WriteBundleGz(dir, base)
 }

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"fmt"
+
+	"paravis/internal/paraver"
+)
+
+// StreamStats is a paraver.Visitor that computes every view prv2stats
+// prints — state residency, ASCII timelines, binned event series, totals
+// and communication statistics — in a single pass over the record stream,
+// holding only fixed-size accumulators. It also validates the same
+// invariants Trace.Validate checks, so feeding it a corrupt trace fails
+// at the offending record instead of after materialization. Memory use is
+// O(tasks*threads*timelineWidth + bins), independent of the trace length,
+// so traces larger than RAM stream through.
+type StreamStats struct {
+	Hdr paraver.Header
+
+	timelineWidth int
+	bins          int
+
+	cycles  [][4]int64 // per (task*NumThreads+thread) slot
+	rows    [][]byte   // timeline rows, same slot indexing
+	lastEnd []int64    // per-slot monotonicity check
+
+	binWidth int64
+	mem      Series
+	fp       Series
+	stalls   Series
+
+	readBytes   int64
+	writeBytes  int64
+	fpOps       int64
+	intOps      int64
+	stallsTotal int64
+
+	CommCount      int
+	CommBytes      int64
+	CommMaxLatency int64
+}
+
+// NewStreamStats builds an aggregator rendering timelines timelineWidth
+// columns wide and binning event series into bins buckets.
+func NewStreamStats(timelineWidth, bins int) *StreamStats {
+	if timelineWidth <= 0 {
+		timelineWidth = 80
+	}
+	if bins <= 0 {
+		bins = 64
+	}
+	return &StreamStats{timelineWidth: timelineWidth, bins: bins}
+}
+
+// Header sizes the accumulators from the trace dimensions.
+func (st *StreamStats) Header(h paraver.Header) error {
+	if h.Tasks <= 0 {
+		h.Tasks = 1
+	}
+	st.Hdr = h
+	slots := h.Tasks * h.NumThreads
+	st.cycles = make([][4]int64, slots)
+	st.rows = make([][]byte, slots)
+	for i := range st.rows {
+		row := make([]byte, st.timelineWidth)
+		for j := range row {
+			row[j] = '.'
+		}
+		st.rows[i] = row
+	}
+	st.lastEnd = make([]int64, slots)
+	for i := range st.lastEnd {
+		st.lastEnd[i] = -1
+	}
+	st.binWidth = h.EndTime / int64(st.bins)
+	if st.binWidth < 1 {
+		st.binWidth = 1
+	}
+	nBins := int((h.EndTime + st.binWidth - 1) / st.binWidth)
+	if nBins == 0 {
+		nBins = 1
+	}
+	st.mem = Series{BinWidth: st.binWidth, Values: make([]float64, nBins)}
+	st.fp = Series{BinWidth: st.binWidth, Values: make([]float64, nBins)}
+	st.stalls = Series{BinWidth: st.binWidth, Values: make([]float64, nBins)}
+	return nil
+}
+
+func (st *StreamStats) slot(task, thread int) int {
+	return task*st.Hdr.NumThreads + thread
+}
+
+// State validates and accumulates one state interval.
+func (st *StreamStats) State(s paraver.StateRec) error {
+	if s.Task < 0 || s.Task >= st.Hdr.Tasks {
+		return fmt.Errorf("state record task %d out of range", s.Task)
+	}
+	if s.Thread < 0 || s.Thread >= st.Hdr.NumThreads {
+		return fmt.Errorf("state record thread %d out of range", s.Thread)
+	}
+	if s.Begin < 0 || s.End > st.Hdr.EndTime || s.End <= s.Begin {
+		return fmt.Errorf("bad state interval [%d,%d) (end %d)", s.Begin, s.End, st.Hdr.EndTime)
+	}
+	if s.State < 0 || s.State > 3 {
+		return fmt.Errorf("unknown state %d", s.State)
+	}
+	slot := st.slot(s.Task, s.Thread)
+	if st.lastEnd[slot] > s.Begin {
+		return fmt.Errorf("overlapping intervals for task %d thread %d at %d", s.Task, s.Thread, s.Begin)
+	}
+	st.lastEnd[slot] = s.End
+	st.cycles[slot][s.State] += s.End - s.Begin
+
+	// Paint the timeline row with RenderStateTimeline's overwrite rule:
+	// louder states win (Spinning > Critical > Running > Idle).
+	if st.Hdr.EndTime == 0 {
+		return nil
+	}
+	width := int64(st.timelineWidth)
+	lo := int(s.Begin * width / st.Hdr.EndTime)
+	hi := int((s.End*width + st.Hdr.EndTime - 1) / st.Hdr.EndTime)
+	if hi > st.timelineWidth {
+		hi = st.timelineWidth
+	}
+	if hi <= lo {
+		hi = lo + 1
+		if hi > st.timelineWidth {
+			return nil
+		}
+	}
+	row := st.rows[slot]
+	g := stateGlyphs[s.State]
+	for c := lo; c < hi; c++ {
+		cur := row[c]
+		if cur == '.' || g == 'S' || (g == 'C' && cur != 'S') || (g == 'R' && cur == '.') {
+			row[c] = g
+		}
+	}
+	return nil
+}
+
+// Event validates and bins one event sample.
+func (st *StreamStats) Event(e paraver.EventRec) error {
+	if e.Task < 0 || e.Task >= st.Hdr.Tasks {
+		return fmt.Errorf("event task %d out of range", e.Task)
+	}
+	if e.Thread < 0 || e.Thread >= st.Hdr.NumThreads {
+		return fmt.Errorf("event thread %d out of range", e.Thread)
+	}
+	if e.Time < 0 || e.Time > st.Hdr.EndTime {
+		return fmt.Errorf("event time %d outside [0,%d]", e.Time, st.Hdr.EndTime)
+	}
+	bin := int(e.Time / st.binWidth)
+	if bin >= len(st.mem.Values) {
+		bin = len(st.mem.Values) - 1
+	}
+	v := float64(e.Value)
+	switch e.Type {
+	case paraver.EventReadBytes:
+		st.readBytes += e.Value
+		st.mem.Values[bin] += v
+	case paraver.EventWriteBytes:
+		st.writeBytes += e.Value
+		st.mem.Values[bin] += v
+	case paraver.EventFpOps:
+		st.fpOps += e.Value
+		st.fp.Values[bin] += v
+	case paraver.EventIntOps:
+		st.intOps += e.Value
+	case paraver.EventStalls:
+		st.stallsTotal += e.Value
+		st.stalls.Values[bin] += v
+	}
+	return nil
+}
+
+// Comm validates and counts one communication record.
+func (st *StreamStats) Comm(c paraver.CommRec) error {
+	if c.SendTask < 0 || c.SendTask >= st.Hdr.Tasks ||
+		c.RecvTask < 0 || c.RecvTask >= st.Hdr.Tasks {
+		return fmt.Errorf("comm task out of range: %+v", c)
+	}
+	if c.SendThread < 0 || c.SendThread >= st.Hdr.NumThreads ||
+		c.RecvThread < 0 || c.RecvThread >= st.Hdr.NumThreads {
+		return fmt.Errorf("comm thread out of range: %+v", c)
+	}
+	if c.RecvTime < c.SendTime {
+		return fmt.Errorf("comm received before sent: %+v", c)
+	}
+	if c.SendTime < 0 || c.RecvTime > st.Hdr.EndTime {
+		return fmt.Errorf("comm outside trace window: %+v", c)
+	}
+	if c.Size <= 0 {
+		return fmt.Errorf("comm with size %d", c.Size)
+	}
+	st.CommCount++
+	st.CommBytes += c.Size
+	if l := c.RecvTime - c.SendTime; l > st.CommMaxLatency {
+		st.CommMaxLatency = l
+	}
+	return nil
+}
+
+// StateProfileTask returns one task's residency profile, matching
+// StateProfileOf on the task's materialized view.
+func (st *StreamStats) StateProfileTask(task int) StateProfile {
+	p := StateProfile{
+		NumThreads: st.Hdr.NumThreads,
+		EndTime:    st.Hdr.EndTime,
+		Cycles:     make([][4]int64, st.Hdr.NumThreads),
+		Fraction:   make([][4]float64, st.Hdr.NumThreads),
+	}
+	for t := 0; t < st.Hdr.NumThreads; t++ {
+		p.Cycles[t] = st.cycles[st.slot(task, t)]
+	}
+	if st.Hdr.EndTime > 0 {
+		var totals [4]int64
+		for t := 0; t < st.Hdr.NumThreads; t++ {
+			for s := 0; s < 4; s++ {
+				p.Fraction[t][s] = float64(p.Cycles[t][s]) / float64(st.Hdr.EndTime)
+				totals[s] += p.Cycles[t][s]
+			}
+		}
+		for s := 0; s < 4; s++ {
+			p.TotalFraction[s] = float64(totals[s]) / float64(st.Hdr.EndTime*int64(st.Hdr.NumThreads))
+		}
+	}
+	return p
+}
+
+// TimelineTask renders one task's accumulated state timeline, matching
+// RenderStateTimeline on the task's materialized view.
+func (st *StreamStats) TimelineTask(task int) []string {
+	rows := make([][]byte, st.Hdr.NumThreads)
+	for t := range rows {
+		rows[t] = st.rows[st.slot(task, t)]
+	}
+	return rowsToStrings(rows)
+}
+
+// MemSeries is the combined read+write byte series.
+func (st *StreamStats) MemSeries() Series { return st.mem }
+
+// FlopSeries is the floating-point-operation series.
+func (st *StreamStats) FlopSeries() Series { return st.fp }
+
+// StallSeries is the pipeline-stall series.
+func (st *StreamStats) StallSeries() Series { return st.stalls }
+
+// Total sums one event type over the whole trace.
+func (st *StreamStats) Total(eventType int) int64 {
+	switch eventType {
+	case paraver.EventReadBytes:
+		return st.readBytes
+	case paraver.EventWriteBytes:
+		return st.writeBytes
+	case paraver.EventFpOps:
+		return st.fpOps
+	case paraver.EventIntOps:
+		return st.intOps
+	case paraver.EventStalls:
+		return st.stallsTotal
+	}
+	return 0
+}
+
+// AvgBandwidthBytesPerCycle is total traffic divided by execution time.
+func (st *StreamStats) AvgBandwidthBytesPerCycle() float64 {
+	if st.Hdr.EndTime == 0 {
+		return 0
+	}
+	return float64(st.readBytes+st.writeBytes) / float64(st.Hdr.EndTime)
+}
+
+// GFlops is the sustained GFLOP/s over the trace at the given clock.
+func (st *StreamStats) GFlops(freqMHz float64) float64 {
+	if st.Hdr.EndTime == 0 {
+		return 0
+	}
+	seconds := float64(st.Hdr.EndTime) / (freqMHz * 1e6)
+	return float64(st.fpOps) / seconds / 1e9
+}

@@ -37,36 +37,45 @@ func (t *Trace) NumTasks() int {
 	return t.Tasks
 }
 
+// cpuID maps (task, thread) to a global 1-based CPU id.
+func cpuID(task, thread, nThreads int) int {
+	return task*nThreads + thread + 1
+}
+
 // cpuOf maps (task, thread) to a global 1-based CPU id.
 func (t *Trace) cpuOf(task, thread int) int {
-	return task*t.NumThreads + thread + 1
+	return cpuID(task, thread, t.NumThreads)
 }
 
 // totalCPUs is the node's CPU count across all tasks.
 func (t *Trace) totalCPUs() int { return t.NumTasks() * t.NumThreads }
 
 // applList renders the header's application list: one application whose
-// tasks each have NumThreads threads on node 1.
-func (t *Trace) applList() string {
-	s := fmt.Sprintf("%d(", t.NumTasks())
-	for i := 0; i < t.NumTasks(); i++ {
+// tasks each have nThreads threads on node 1.
+func applList(tasks, nThreads int) string {
+	s := fmt.Sprintf("%d(", tasks)
+	for i := 0; i < tasks; i++ {
 		if i > 0 {
 			s += ","
 		}
-		s += fmt.Sprintf("%d:1", t.NumThreads)
+		s += fmt.Sprintf("%d:1", nThreads)
 	}
 	return s + ")"
 }
 
-// SortComms orders communication records by send time.
-func (t *Trace) SortComms() {
-	sort.SliceStable(t.Comms, func(i, j int) bool {
-		if t.Comms[i].SendTime != t.Comms[j].SendTime {
-			return t.Comms[i].SendTime < t.Comms[j].SendTime
+// SortCommRecs orders communication records by send time, then receive
+// time (the canonical .prv order).
+func SortCommRecs(comms []CommRec) {
+	sort.SliceStable(comms, func(i, j int) bool {
+		if comms[i].SendTime != comms[j].SendTime {
+			return comms[i].SendTime < comms[j].SendTime
 		}
-		return t.Comms[i].RecvTime < t.Comms[j].RecvTime
+		return comms[i].RecvTime < comms[j].RecvTime
 	})
 }
+
+// SortComms orders communication records by send time.
+func (t *Trace) SortComms() { SortCommRecs(t.Comms) }
 
 // ValidateComms checks communication-record invariants.
 func (t *Trace) ValidateComms() error {

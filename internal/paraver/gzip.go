@@ -3,7 +3,6 @@ package paraver
 import (
 	"compress/gzip"
 	"os"
-	"path/filepath"
 )
 
 // WriteBundleGz writes the trace bundle with a gzip-compressed trace body
@@ -11,46 +10,7 @@ import (
 // paper's background section raises ("how to manage the often tens of GBs
 // of trace-data") — Paraver's wxparaver opens .prv.gz directly.
 func (t *Trace) WriteBundleGz(dir, base string) (string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", err
-	}
-	prvPath := filepath.Join(dir, base+".prv.gz")
-	f, err := os.Create(prvPath)
-	if err != nil {
-		return "", err
-	}
-	zw, err := gzip.NewWriterLevel(f, gzip.BestSpeed)
-	if err != nil {
-		f.Close()
-		return "", err
-	}
-	if err := t.WritePRV(zw); err != nil {
-		zw.Close()
-		f.Close()
-		return "", err
-	}
-	if err := zw.Close(); err != nil {
-		f.Close()
-		return "", err
-	}
-	if err := f.Close(); err != nil {
-		return "", err
-	}
-	write := func(ext string, fn func(w *os.File) error) error {
-		out, err := os.Create(filepath.Join(dir, base+ext))
-		if err != nil {
-			return err
-		}
-		defer out.Close()
-		return fn(out)
-	}
-	if err := write(".pcf", func(w *os.File) error { return t.WritePCF(w) }); err != nil {
-		return "", err
-	}
-	if err := write(".row", func(w *os.File) error { return t.WriteROW(w) }); err != nil {
-		return "", err
-	}
-	return prvPath, nil
+	return writeBundleFiles(dir, base, true, t.WritePRV, t.WritePCF, t.WriteROW)
 }
 
 // ParsePRVGzFile parses a gzip-compressed .prv.gz trace.

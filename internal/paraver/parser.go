@@ -2,6 +2,8 @@ package paraver
 
 import (
 	"bufio"
+	"bytes"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
@@ -9,132 +11,214 @@ import (
 	"strings"
 )
 
-// ParsePRV reads a .prv stream back into a Trace. It accepts the subset
-// this package writes (state and event records; communication records are
-// rejected with a clear error since the paper excludes them too).
-func ParsePRV(r io.Reader) (*Trace, error) {
+// Header carries the trace-wide facts decoded from the #Paraver line.
+type Header struct {
+	Tasks      int
+	NumThreads int
+	EndTime    int64
+}
+
+// Visitor receives trace records in file order as ScanPRV decodes them.
+// Grouped event lines (2:...:type:value:type:value) are delivered as one
+// Event call per type/value pair. Returning an error aborts the scan.
+type Visitor interface {
+	Header(h Header) error
+	State(s StateRec) error
+	Event(e EventRec) error
+	Comm(c CommRec) error
+}
+
+// ScanPRV reads a .prv stream record by record, calling the visitor for
+// each one. It holds only the current line in memory, so traces larger
+// than RAM stream through in one pass with no per-record allocations.
+func ScanPRV(r io.Reader, v Visitor) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	if !sc.Scan() {
-		return nil, fmt.Errorf("paraver: empty trace")
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("paraver: empty trace")
 	}
-	header := sc.Text()
-	tr, err := parseHeader(header)
+	hdr, err := parseHeader(string(sc.Bytes()))
 	if err != nil {
-		return nil, err
+		return err
 	}
+	if err := v.Header(hdr); err != nil {
+		return err
+	}
+	fields := make([]int64, 0, 16)
 	lineNo := 1
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		fields := strings.Split(line, ":")
-		rec, err := strconv.Atoi(fields[0])
+		fields, err = parseIntFields(line, fields[:0])
 		if err != nil {
-			return nil, fmt.Errorf("paraver: line %d: bad record type %q", lineNo, fields[0])
+			return fmt.Errorf("paraver: line %d: %v", lineNo, err)
 		}
-		switch rec {
+		switch fields[0] {
 		case 1:
 			if len(fields) != 8 {
-				return nil, fmt.Errorf("paraver: line %d: state record needs 8 fields, got %d", lineNo, len(fields))
+				return fmt.Errorf("paraver: line %d: state record needs 8 fields, got %d", lineNo, len(fields))
 			}
-			vals, err := atoiAll(fields[1:])
-			if err != nil {
-				return nil, fmt.Errorf("paraver: line %d: %v", lineNo, err)
-			}
-			tr.States = append(tr.States, StateRec{
-				Task:   int(vals[2]) - 1,
-				Thread: int(vals[3]) - 1,
-				Begin:  vals[4],
-				End:    vals[5],
-				State:  int(vals[6]),
+			err = v.State(StateRec{
+				Task:   int(fields[3]) - 1,
+				Thread: int(fields[4]) - 1,
+				Begin:  fields[5],
+				End:    fields[6],
+				State:  int(fields[7]),
 			})
 		case 2:
 			if len(fields) < 8 || (len(fields)-6)%2 != 0 {
-				return nil, fmt.Errorf("paraver: line %d: malformed event record", lineNo)
+				return fmt.Errorf("paraver: line %d: malformed event record", lineNo)
 			}
-			vals, err := atoiAll(fields[1:])
-			if err != nil {
-				return nil, fmt.Errorf("paraver: line %d: %v", lineNo, err)
-			}
-			task := int(vals[2]) - 1
-			thread := int(vals[3]) - 1
-			time := vals[4]
-			for i := 5; i+1 < len(vals); i += 2 {
-				tr.Events = append(tr.Events, EventRec{
+			task := int(fields[3]) - 1
+			thread := int(fields[4]) - 1
+			time := fields[5]
+			for i := 6; i+1 < len(fields) && err == nil; i += 2 {
+				err = v.Event(EventRec{
 					Task: task, Thread: thread, Time: time,
-					Type: int(vals[i]), Value: vals[i+1],
+					Type: int(fields[i]), Value: fields[i+1],
 				})
 			}
 		case 3:
 			if len(fields) != 15 {
-				return nil, fmt.Errorf("paraver: line %d: communication record needs 15 fields, got %d", lineNo, len(fields))
+				return fmt.Errorf("paraver: line %d: communication record needs 15 fields, got %d", lineNo, len(fields))
 			}
-			vals, err := atoiAll(fields[1:])
-			if err != nil {
-				return nil, fmt.Errorf("paraver: line %d: %v", lineNo, err)
-			}
-			tr.Comms = append(tr.Comms, CommRec{
-				SendTask:   int(vals[2]) - 1,
-				SendThread: int(vals[3]) - 1,
-				SendTime:   vals[4],
-				RecvTask:   int(vals[8]) - 1,
-				RecvThread: int(vals[9]) - 1,
-				RecvTime:   vals[10],
-				Size:       vals[12],
-				Tag:        vals[13],
+			err = v.Comm(CommRec{
+				SendTask:   int(fields[3]) - 1,
+				SendThread: int(fields[4]) - 1,
+				SendTime:   fields[5],
+				RecvTask:   int(fields[9]) - 1,
+				RecvThread: int(fields[10]) - 1,
+				RecvTime:   fields[11],
+				Size:       fields[13],
+				Tag:        fields[14],
 			})
 		default:
-			return nil, fmt.Errorf("paraver: line %d: unknown record type %d", lineNo, rec)
+			return fmt.Errorf("paraver: line %d: unknown record type %d", lineNo, fields[0])
+		}
+		if err != nil {
+			return fmt.Errorf("paraver: line %d: %w", lineNo, err)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	tr.Normalize()
-	return tr, nil
+	return sc.Err()
 }
 
-// ParsePRVFile parses a .prv file from disk.
-func ParsePRVFile(path string) (*Trace, error) {
+// collectTrace is the Visitor behind ParsePRV: it materializes every
+// record into a Trace.
+type collectTrace struct {
+	tr *Trace
+}
+
+func (c *collectTrace) Header(h Header) error {
+	c.tr = &Trace{Tasks: h.Tasks, NumThreads: h.NumThreads, EndTime: h.EndTime}
+	return nil
+}
+
+func (c *collectTrace) State(s StateRec) error {
+	c.tr.States = append(c.tr.States, s)
+	return nil
+}
+
+func (c *collectTrace) Event(e EventRec) error {
+	c.tr.Events = append(c.tr.Events, e)
+	return nil
+}
+
+func (c *collectTrace) Comm(cm CommRec) error {
+	c.tr.Comms = append(c.tr.Comms, cm)
+	return nil
+}
+
+// ParsePRV reads a .prv stream back into a materialized Trace, in
+// canonical (Normalize) order. It accepts the subset this package writes
+// (state, event and communication records). For traces that do not fit in
+// memory, use ScanPRV with a streaming visitor instead.
+func ParsePRV(r io.Reader) (*Trace, error) {
+	var c collectTrace
+	if err := ScanPRV(r, &c); err != nil {
+		return nil, err
+	}
+	c.tr.Normalize()
+	return c.tr, nil
+}
+
+// OpenPRV opens a .prv or .prv.gz trace for reading, transparently
+// decompressing by file suffix. Closing the returned reader closes the
+// underlying file.
+func OpenPRV(path string) (io.ReadCloser, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ParsePRV(f)
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &gzReadCloser{zr: zr, f: f}, nil
+}
+
+type gzReadCloser struct {
+	zr *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzReadCloser) Read(p []byte) (int, error) { return g.zr.Read(p) }
+
+func (g *gzReadCloser) Close() error {
+	err := g.zr.Close()
+	if cerr := g.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ParsePRVFile parses a .prv (or .prv.gz) file from disk.
+func ParsePRVFile(path string) (*Trace, error) {
+	r, err := OpenPRV(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return ParsePRV(r)
 }
 
 // parseHeader decodes "#Paraver (...):endTime:1(N):1:1(N:1)".
-func parseHeader(h string) (*Trace, error) {
+func parseHeader(h string) (Header, error) {
 	if !strings.HasPrefix(h, "#Paraver") {
-		return nil, fmt.Errorf("paraver: missing #Paraver header")
+		return Header{}, fmt.Errorf("paraver: missing #Paraver header")
 	}
 	close := strings.Index(h, ")")
 	if close < 0 || close+2 > len(h) {
-		return nil, fmt.Errorf("paraver: malformed header %q", h)
+		return Header{}, fmt.Errorf("paraver: malformed header %q", h)
 	}
 	rest := h[close+2:] // skip "):"
 	parts := strings.SplitN(rest, ":", 4)
 	if len(parts) < 4 {
-		return nil, fmt.Errorf("paraver: header needs endTime:nodes:nAppl:appl, got %q", rest)
+		return Header{}, fmt.Errorf("paraver: header needs endTime:nodes:nAppl:appl, got %q", rest)
 	}
 	endTime, err := strconv.ParseInt(parts[0], 10, 64)
 	if err != nil {
-		return nil, fmt.Errorf("paraver: bad end time %q", parts[0])
+		return Header{}, fmt.Errorf("paraver: bad end time %q", parts[0])
 	}
 	// Task and thread counts from the application list "K(N:1,N:1,...)".
 	appl := parts[3]
 	lp := strings.Index(appl, "(")
 	rp := strings.Index(appl, ")")
 	if lp < 0 || rp < lp {
-		return nil, fmt.Errorf("paraver: malformed application list %q", appl)
+		return Header{}, fmt.Errorf("paraver: malformed application list %q", appl)
 	}
 	tasks, err := strconv.Atoi(appl[:lp])
 	if err != nil || tasks <= 0 {
-		return nil, fmt.Errorf("paraver: bad task count in %q", appl)
+		return Header{}, fmt.Errorf("paraver: bad task count in %q", appl)
 	}
 	nStr := strings.Split(appl[lp+1:rp], ",")[0]
 	if c := strings.Index(nStr, ":"); c >= 0 {
@@ -142,19 +226,48 @@ func parseHeader(h string) (*Trace, error) {
 	}
 	n, err := strconv.Atoi(nStr)
 	if err != nil || n <= 0 {
-		return nil, fmt.Errorf("paraver: bad thread count in %q", appl)
+		return Header{}, fmt.Errorf("paraver: bad thread count in %q", appl)
 	}
-	return &Trace{Tasks: tasks, NumThreads: n, EndTime: endTime}, nil
+	return Header{Tasks: tasks, NumThreads: n, EndTime: endTime}, nil
 }
 
-func atoiAll(fields []string) ([]int64, error) {
-	out := make([]int64, len(fields))
-	for i, f := range fields {
-		v, err := strconv.ParseInt(f, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad integer field %q", f)
+// parseIntFields decodes a colon-separated all-integer record line into
+// buf without allocating.
+func parseIntFields(line []byte, buf []int64) ([]int64, error) {
+	var (
+		n      int64
+		neg    bool
+		seen   bool
+		digits bool
+	)
+	flush := func() error {
+		if !digits {
+			return fmt.Errorf("empty integer field")
 		}
-		out[i] = v
+		if neg {
+			n = -n
+		}
+		buf = append(buf, n)
+		n, neg, seen, digits = 0, false, false, false
+		return nil
 	}
-	return out, nil
+	for _, c := range line {
+		switch {
+		case c == ':':
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case c == '-' && !seen:
+			neg, seen = true, true
+		case c >= '0' && c <= '9':
+			n = n*10 + int64(c-'0')
+			seen, digits = true, true
+		default:
+			return nil, fmt.Errorf("bad integer field in %q", line)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }

@@ -1,0 +1,410 @@
+package paraver
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"paravis/internal/profile"
+)
+
+// StreamTrace is the streaming, columnar representation of a Paraver
+// trace: per-(task,thread) state-run and event-sample streams, each sorted
+// by construction. WritePRV k-way-merges the streams straight into the
+// .prv writer — no intermediate []StateRec/[]EventRec materialization and
+// no global sorts — using a strconv.AppendInt fast path into a reused
+// line buffer. Trace() materializes the classic record-list view for the
+// analysis passes; both produce byte-identical .prv output.
+type StreamTrace struct {
+	AppName    string
+	TaskCount  int // >= 1
+	NumThreads int
+	// EndTime is the trace horizon; event times are clamped to it at
+	// emission (the profiling unit's final window can close a few cycles
+	// after the last thread finished, during the flush drain).
+	EndTime int64
+	Comms   []CommRec
+
+	threads []threadStream // task-major: threads[task*NumThreads+thread]
+}
+
+// threadStream holds one hardware thread's record streams. For
+// single-accelerator traces the slices are borrowed zero-copy from the
+// profiling unit; multi-task (cluster) traces own concatenated copies.
+type threadStream struct {
+	closed  []profile.StateRun
+	tail    profile.StateRun
+	hasTail bool
+	samples []profile.EventSample
+}
+
+// StreamFromProfile wraps a finalized profiling unit as a streaming trace
+// without copying any records: the state-run and event-sample slices are
+// borrowed from the unit, so they stay valid only while the unit records
+// nothing further. endTime is the final cycle of the run.
+func StreamFromProfile(u *profile.Unit, appName string, endTime int64) *StreamTrace {
+	n := u.NumThreads()
+	st := &StreamTrace{
+		AppName:    appName,
+		TaskCount:  1,
+		NumThreads: n,
+		EndTime:    endTime,
+		threads:    make([]threadStream, n),
+	}
+	for t := 0; t < n; t++ {
+		ts := &st.threads[t]
+		ts.closed = u.StateRuns(t)
+		ts.tail, ts.hasTail = u.OpenStateRun(t, endTime)
+		ts.samples = u.ThreadSamples(t)
+	}
+	return st
+}
+
+// NewStreamTrace allocates an empty multi-task stream trace to be filled
+// with AppendProfile (one task per accelerator, as in multi-FPGA bundles).
+func NewStreamTrace(appName string, tasks, numThreads int) *StreamTrace {
+	if tasks < 1 {
+		tasks = 1
+	}
+	return &StreamTrace{
+		AppName:    appName,
+		TaskCount:  tasks,
+		NumThreads: numThreads,
+		threads:    make([]threadStream, tasks*numThreads),
+	}
+}
+
+// AppendProfile appends one accelerator run's streams to task `task`,
+// shifting all times by offset and clamping event times to runEnd (the
+// run's own final cycle). Appends for the same task must arrive in time
+// order; appends for different tasks touch disjoint state and are safe to
+// issue concurrently (the caller must grow EndTime itself afterwards).
+func (st *StreamTrace) AppendProfile(task int, u *profile.Unit, offset, runEnd int64) {
+	for t := 0; t < st.NumThreads; t++ {
+		ts := &st.threads[task*st.NumThreads+t]
+		for _, r := range u.StateRuns(t) {
+			ts.appendRun(profile.StateRun{Begin: r.Begin + offset, End: r.End + offset, State: r.State})
+		}
+		if tail, ok := u.OpenStateRun(t, runEnd); ok {
+			ts.appendRun(profile.StateRun{Begin: tail.Begin + offset, End: tail.End + offset, State: tail.State})
+		}
+		for _, s := range u.ThreadSamples(t) {
+			at := s.End
+			if at > runEnd {
+				at = runEnd
+			}
+			s.Start += offset
+			s.End = at + offset
+			ts.samples = append(ts.samples, s)
+		}
+	}
+}
+
+// appendRun appends a closed run, coalescing with the previous one when
+// contiguous and equal-state (e.g. across a lockstep-sweep seam).
+func (ts *threadStream) appendRun(r profile.StateRun) {
+	if r.End <= r.Begin {
+		return
+	}
+	if n := len(ts.closed); n > 0 && ts.closed[n-1].State == r.State && ts.closed[n-1].End == r.Begin {
+		ts.closed[n-1].End = r.End
+		return
+	}
+	ts.closed = append(ts.closed, r)
+}
+
+// forEachRun yields the thread's runs in canonical order: empty runs
+// skipped, adjacent contiguous equal-state runs coalesced (including the
+// borrowed open tail, which can repeat the last closed run's state after a
+// same-cycle state bounce).
+func (ts *threadStream) forEachRun(yield func(profile.StateRun)) {
+	var pend profile.StateRun
+	have := false
+	put := func(r profile.StateRun) {
+		if r.End <= r.Begin {
+			return
+		}
+		if have && pend.State == r.State && pend.End == r.Begin {
+			pend.End = r.End
+			return
+		}
+		if have {
+			yield(pend)
+		}
+		pend = r
+		have = true
+	}
+	for _, r := range ts.closed {
+		put(r)
+	}
+	if ts.hasTail {
+		put(ts.tail)
+	}
+	if have {
+		yield(pend)
+	}
+}
+
+// sampleValue returns the counter of the given event-type index (in
+// EventStalls..EventWriteBytes order).
+func sampleValue(s *profile.EventSample, typeIdx int) int64 {
+	switch typeIdx {
+	case 0:
+		return s.Stalls
+	case 1:
+		return s.IntOps
+	case 2:
+		return s.FpOps
+	case 3:
+		return s.ReadBytes
+	default:
+		return s.WriteBytes
+	}
+}
+
+// prvWriter formats .prv records into a reused byte buffer; the first
+// write error sticks and short-circuits all further output.
+type prvWriter struct {
+	bw  *bufio.Writer
+	buf []byte
+	err error
+}
+
+func (p *prvWriter) line() {
+	if p.err != nil {
+		return
+	}
+	p.buf = append(p.buf, '\n')
+	if _, err := p.bw.Write(p.buf); err != nil {
+		p.err = err
+	}
+	p.buf = p.buf[:0]
+}
+
+func (p *prvWriter) str(s string)   { p.buf = append(p.buf, s...) }
+func (p *prvWriter) int(v int64)    { p.buf = strconv.AppendInt(p.buf, v, 10) }
+func (p *prvWriter) colInt(v int64) { p.buf = append(p.buf, ':'); p.int(v) }
+
+// WritePRV streams the trace body in Paraver .prv format, byte-identical
+// to Trace.WritePRV on the materialized view of the same streams.
+func (st *StreamTrace) WritePRV(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	p := &prvWriter{bw: bw, buf: make([]byte, 0, 256)}
+
+	p.str("#Paraver (01/01/00 at 00:00):")
+	p.int(st.EndTime)
+	p.str(":1(")
+	p.int(int64(st.TaskCount * st.NumThreads))
+	p.str("):1:")
+	p.str(applList(st.TaskCount, st.NumThreads))
+	p.line()
+
+	st.writeStates(p)
+	st.writeEvents(p)
+	st.writeComms(p)
+
+	if p.err != nil {
+		return p.err
+	}
+	return bw.Flush()
+}
+
+// writeStates emits all state records. Canonical order is (task, thread,
+// begin); per-thread streams are begin-sorted by construction, so plain
+// concatenation is already sorted — no merge needed.
+func (st *StreamTrace) writeStates(p *prvWriter) {
+	for ti := range st.threads {
+		if p.err != nil {
+			return
+		}
+		task, th := ti/st.NumThreads, ti%st.NumThreads
+		st.threads[ti].forEachRun(func(r profile.StateRun) {
+			p.str("1:")
+			p.int(int64(cpuID(task, th, st.NumThreads)))
+			p.str(":1")
+			p.colInt(int64(task + 1))
+			p.colInt(int64(th + 1))
+			p.colInt(r.Begin)
+			p.colInt(r.End)
+			p.colInt(int64(r.State))
+			p.line()
+		})
+	}
+}
+
+// writeEvents k-way-merges the per-thread sample streams by (clamped
+// time, task, thread) and emits one grouped record per (task, thread,
+// time), expanding each sample's counters in event-type order and
+// skipping zeros — exactly the grouping the materialized writer produces
+// after its global stable sort.
+func (st *StreamTrace) writeEvents(p *prvWriter) {
+	n := len(st.threads)
+	idx := make([]int, n)
+	clamp := func(t int64) int64 {
+		if t > st.EndTime {
+			return st.EndTime
+		}
+		return t
+	}
+	for p.err == nil {
+		best := -1
+		var bestT int64
+		for i := 0; i < n; i++ {
+			if idx[i] >= len(st.threads[i].samples) {
+				continue
+			}
+			t := clamp(st.threads[i].samples[idx[i]].End)
+			if best < 0 || t < bestT {
+				best, bestT = i, t
+			}
+		}
+		if best < 0 {
+			return
+		}
+		ss := st.threads[best].samples
+		j := idx[best]
+		k := j + 1
+		for k < len(ss) && clamp(ss[k].End) == bestT {
+			k++
+		}
+		idx[best] = k
+
+		task, th := best/st.NumThreads, best%st.NumThreads
+		p.str("2:")
+		p.int(int64(cpuID(task, th, st.NumThreads)))
+		p.str(":1")
+		p.colInt(int64(task + 1))
+		p.colInt(int64(th + 1))
+		p.colInt(bestT)
+		for typeIdx := 0; typeIdx < 5; typeIdx++ {
+			for gi := j; gi < k; gi++ {
+				if v := sampleValue(&ss[gi], typeIdx); v != 0 {
+					p.colInt(int64(EventStalls + typeIdx))
+					p.colInt(v)
+				}
+			}
+		}
+		p.line()
+	}
+}
+
+func (st *StreamTrace) writeComms(p *prvWriter) {
+	for i := range st.Comms {
+		if p.err != nil {
+			return
+		}
+		c := &st.Comms[i]
+		p.str("3:")
+		p.int(int64(cpuID(c.SendTask, c.SendThread, st.NumThreads)))
+		p.str(":1")
+		p.colInt(int64(c.SendTask + 1))
+		p.colInt(int64(c.SendThread + 1))
+		p.colInt(c.SendTime)
+		p.colInt(c.SendTime)
+		p.colInt(int64(cpuID(c.RecvTask, c.RecvThread, st.NumThreads)))
+		p.str(":1")
+		p.colInt(int64(c.RecvTask + 1))
+		p.colInt(int64(c.RecvThread + 1))
+		p.colInt(c.RecvTime)
+		p.colInt(c.RecvTime)
+		p.colInt(c.Size)
+		p.colInt(c.Tag)
+		p.line()
+	}
+}
+
+// Trace materializes the classic record-list view of the same streams, in
+// the canonical order Normalize would produce — built by the same merge
+// the streaming writer uses, so no global sorts are run.
+func (st *StreamTrace) Trace() *Trace {
+	tr := &Trace{
+		AppName:    st.AppName,
+		Tasks:      st.TaskCount,
+		NumThreads: st.NumThreads,
+		EndTime:    st.EndTime,
+	}
+
+	nRuns := 0
+	for ti := range st.threads {
+		nRuns += len(st.threads[ti].closed)
+		if st.threads[ti].hasTail {
+			nRuns++
+		}
+	}
+	tr.States = make([]StateRec, 0, nRuns)
+	for ti := range st.threads {
+		task, th := ti/st.NumThreads, ti%st.NumThreads
+		st.threads[ti].forEachRun(func(r profile.StateRun) {
+			tr.States = append(tr.States, StateRec{
+				Task: task, Thread: th, Begin: r.Begin, End: r.End, State: int(r.State),
+			})
+		})
+	}
+
+	n := len(st.threads)
+	idx := make([]int, n)
+	clamp := func(t int64) int64 {
+		if t > st.EndTime {
+			return st.EndTime
+		}
+		return t
+	}
+	for {
+		best := -1
+		var bestT int64
+		for i := 0; i < n; i++ {
+			if idx[i] >= len(st.threads[i].samples) {
+				continue
+			}
+			t := clamp(st.threads[i].samples[idx[i]].End)
+			if best < 0 || t < bestT {
+				best, bestT = i, t
+			}
+		}
+		if best < 0 {
+			break
+		}
+		ss := st.threads[best].samples
+		j := idx[best]
+		k := j + 1
+		for k < len(ss) && clamp(ss[k].End) == bestT {
+			k++
+		}
+		idx[best] = k
+		task, th := best/st.NumThreads, best%st.NumThreads
+		for typeIdx := 0; typeIdx < 5; typeIdx++ {
+			for gi := j; gi < k; gi++ {
+				if v := sampleValue(&ss[gi], typeIdx); v != 0 {
+					tr.Events = append(tr.Events, EventRec{
+						Task: task, Thread: th, Time: bestT,
+						Type: EventStalls + typeIdx, Value: v,
+					})
+				}
+			}
+		}
+	}
+
+	tr.Comms = append([]CommRec(nil), st.Comms...)
+	return tr
+}
+
+// WritePCF writes the Paraver configuration file for this trace.
+func (st *StreamTrace) WritePCF(w io.Writer) error { return writePCFTo(w) }
+
+// WriteROW writes the Paraver label file for this trace.
+func (st *StreamTrace) WriteROW(w io.Writer) error {
+	return writeROWTo(w, st.TaskCount, st.NumThreads)
+}
+
+// WriteBundle streams trace.prv/.pcf/.row under dir with the given base
+// name and returns the .prv path.
+func (st *StreamTrace) WriteBundle(dir, base string) (string, error) {
+	return writeBundleFiles(dir, base, false, st.WritePRV, st.WritePCF, st.WriteROW)
+}
+
+// WriteBundleGz streams the bundle with a gzip-compressed trace body
+// (trace.prv.gz + plain .pcf/.row); the records never exist uncompressed
+// on disk or in memory.
+func (st *StreamTrace) WriteBundleGz(dir, base string) (string, error) {
+	return writeBundleFiles(dir, base, true, st.WritePRV, st.WritePCF, st.WriteROW)
+}

@@ -1,0 +1,199 @@
+package paraver
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"paravis/internal/profile"
+)
+
+// fuzzUnit drives a profiling unit through a deterministic pseudo-random
+// op sequence (state changes, counter increments, sampling ticks) and
+// returns it finalized at the returned end cycle.
+func fuzzUnit(seed int64, nThreads int, samplePeriod int64) (*profile.Unit, int64) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := profile.DefaultConfig()
+	cfg.Enabled = true
+	cfg.SamplePeriod = samplePeriod
+	// Small buffers force mid-run flush traffic, covering the clamped
+	// drain-window cases.
+	cfg.StateBufferLines = 4
+	cfg.EventBufferLines = 4
+	u := profile.New(cfg, nThreads, nil)
+
+	cycle := int64(0)
+	ops := 200 + rng.Intn(400)
+	for i := 0; i < ops; i++ {
+		cycle += int64(rng.Intn(64))
+		u.Tick(cycle)
+		th := rng.Intn(nThreads)
+		switch rng.Intn(5) {
+		case 0:
+			u.SetState(cycle, th, profile.ThreadState(rng.Intn(4)))
+		case 1:
+			u.AddCompute(th, int64(rng.Intn(8)), int64(rng.Intn(8)))
+		case 2:
+			u.AddMem(th, 4*(1+rng.Intn(16)), rng.Intn(2) == 0)
+		case 3:
+			u.AddStalls(th, int64(rng.Intn(5)))
+		case 4:
+			// quiet step: time advances only
+		}
+	}
+	end := cycle + int64(rng.Intn(100)) + 1
+	u.Finalize(end)
+	return u, end
+}
+
+// TestStreamingMatchesMaterializedFuzz checks the tentpole invariant: the
+// streaming writer and the materialized reference writer produce
+// byte-identical .prv output for arbitrary profiles.
+func TestStreamingMatchesMaterializedFuzz(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		u, end := fuzzUnit(seed, 1+int(seed%7), 64)
+		st := StreamFromProfile(u, "fuzz", end)
+		var streamed, materialized bytes.Buffer
+		if err := st.WritePRV(&streamed); err != nil {
+			t.Fatalf("seed %d: streaming write: %v", seed, err)
+		}
+		if err := st.Trace().WritePRV(&materialized); err != nil {
+			t.Fatalf("seed %d: materialized write: %v", seed, err)
+		}
+		if !bytes.Equal(streamed.Bytes(), materialized.Bytes()) {
+			t.Fatalf("seed %d: streaming and materialized .prv bytes differ", seed)
+		}
+	}
+}
+
+// TestGoldenRoundTripSingleTask writes a real profile's trace, parses it
+// back, validates it and checks the records survive unchanged.
+func TestGoldenRoundTripSingleTask(t *testing.T) {
+	u, end := fuzzUnit(42, 4, 128)
+	tr := FromProfile(u, "roundtrip", end)
+	var buf bytes.Buffer
+	if err := tr.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePRV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("parsed trace invalid: %v", err)
+	}
+	if got.NumTasks() != tr.NumTasks() || got.NumThreads != tr.NumThreads || got.EndTime != tr.EndTime {
+		t.Fatalf("header mismatch: got %+v", got)
+	}
+	if !reflect.DeepEqual(got.States, tr.States) {
+		t.Errorf("states differ after round trip")
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Errorf("events differ after round trip")
+	}
+}
+
+// TestGoldenRoundTripMultiTask does the same for a merged multi-task
+// trace with communication records.
+func TestGoldenRoundTripMultiTask(t *testing.T) {
+	const tasks = 3
+	st := NewStreamTrace("multi", tasks, 2)
+	offset := int64(0)
+	for task := 0; task < tasks; task++ {
+		u, end := fuzzUnit(100+int64(task), 2, 64)
+		st.AppendProfile(task, u, offset, end)
+		offset += end + 10
+	}
+	// AppendProfile leaves EndTime to the caller (the cluster driver owns
+	// the global clock), so set it explicitly here.
+	st.EndTime = offset
+	st.Comms = append(st.Comms,
+		CommRec{SendTask: 0, RecvTask: 1, SendTime: 5, RecvTime: 50, Size: 4, Tag: 1},
+		CommRec{SendTask: 1, RecvTask: 2, SendTime: 3, RecvTime: 40, Size: 8, Tag: 2},
+	)
+	SortCommRecs(st.Comms)
+
+	tr := st.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("materialized view invalid: %v", err)
+	}
+	var streamed, materialized bytes.Buffer
+	if err := st.WritePRV(&streamed); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WritePRV(&materialized); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), materialized.Bytes()) {
+		t.Fatal("multi-task streaming and materialized .prv bytes differ")
+	}
+
+	got, err := ParsePRV(bytes.NewReader(streamed.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("parsed trace invalid: %v", err)
+	}
+	if got.NumTasks() != tasks || got.NumThreads != tr.NumThreads || got.EndTime != tr.EndTime {
+		t.Fatalf("header mismatch: got %+v", got)
+	}
+	if !reflect.DeepEqual(got.States, tr.States) {
+		t.Errorf("states differ after round trip")
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Errorf("events differ after round trip")
+	}
+	if !reflect.DeepEqual(got.Comms, tr.Comms) {
+		t.Errorf("comms differ after round trip: got %+v want %+v", got.Comms, tr.Comms)
+	}
+}
+
+// TestNormalizeIdempotent checks Normalize is a fixed point on its own
+// output for arbitrary profiles.
+func TestNormalizeIdempotent(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		u, end := fuzzUnit(1000+seed, 1+int(seed%5), 96)
+		tr := FromProfile(u, "idem", end)
+		tr.Normalize()
+		once := &Trace{
+			States: append([]StateRec(nil), tr.States...),
+			Events: append([]EventRec(nil), tr.Events...),
+			Comms:  append([]CommRec(nil), tr.Comms...),
+		}
+		tr.Normalize()
+		if !reflect.DeepEqual(once.States, tr.States) ||
+			!reflect.DeepEqual(once.Events, tr.Events) ||
+			!reflect.DeepEqual(once.Comms, tr.Comms) {
+			t.Fatalf("seed %d: Normalize not idempotent", seed)
+		}
+	}
+}
+
+// TestScanPRVStreams checks the visitor sees records in file order and
+// that grouped event lines fan out to one call per pair.
+func TestScanPRVStreams(t *testing.T) {
+	u, end := fuzzUnit(7, 2, 64)
+	st := StreamFromProfile(u, "scan", end)
+	var buf bytes.Buffer
+	if err := st.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var c collectTrace
+	if err := ScanPRV(bytes.NewReader(buf.Bytes()), &c); err != nil {
+		t.Fatal(err)
+	}
+	tr := st.Trace()
+	if c.tr.EndTime != tr.EndTime || c.tr.NumThreads != tr.NumThreads {
+		t.Fatalf("header mismatch: %+v", c.tr)
+	}
+	// The writer emits canonical order, so even without Normalize the
+	// collected records must match the materialized view exactly.
+	if !reflect.DeepEqual(c.tr.States, tr.States) {
+		t.Errorf("scanned states differ from materialized view")
+	}
+	if !reflect.DeepEqual(c.tr.Events, tr.Events) {
+		t.Errorf("scanned events differ from materialized view")
+	}
+}

@@ -77,54 +77,12 @@ type Trace struct {
 	Comms      []CommRec
 }
 
-// FromProfile converts the profiling unit's host-readback records into a
-// trace. endTime is the final cycle of the run.
+// FromProfile converts the profiling unit's per-thread record streams into
+// a trace. endTime is the final cycle of the run. It is a thin view over
+// the same streams StreamFromProfile exposes: the records come out in
+// canonical (Normalize) order directly, with no global sorts.
 func FromProfile(u *profile.Unit, appName string, endTime int64) *Trace {
-	tr := &Trace{AppName: appName, NumThreads: u.NumThreads(), EndTime: endTime}
-
-	// State snapshots -> per-thread intervals.
-	n := u.NumThreads()
-	prev := make([]profile.ThreadState, n)
-	prevCycle := int64(0)
-	emit := func(upTo int64, states []profile.ThreadState) {
-		if upTo > prevCycle {
-			for t := 0; t < n; t++ {
-				tr.States = append(tr.States, StateRec{
-					Thread: t, Begin: prevCycle, End: upTo, State: int(prev[t]),
-				})
-			}
-			prevCycle = upTo
-		}
-		if states != nil {
-			copy(prev, states)
-		}
-	}
-	for _, rec := range u.StateRecords() {
-		emit(rec.Cycle, rec.States)
-	}
-	emit(endTime, nil)
-
-	// Event samples -> punctual counter events at window end. The final
-	// window may close a cycle or two after the last thread finished
-	// (drain of the flush traffic); clamp into the trace range.
-	for _, s := range u.EventSamples() {
-		at := s.End
-		if at > endTime {
-			at = endTime
-		}
-		add := func(typ int, v int64) {
-			if v != 0 {
-				tr.Events = append(tr.Events, EventRec{Thread: s.Thread, Time: at, Type: typ, Value: v})
-			}
-		}
-		add(EventStalls, s.Stalls)
-		add(EventIntOps, s.IntOps)
-		add(EventFpOps, s.FpOps)
-		add(EventReadBytes, s.ReadBytes)
-		add(EventWriteBytes, s.WriteBytes)
-	}
-	tr.Normalize()
-	return tr
+	return StreamFromProfile(u, appName, endTime).Trace()
 }
 
 // Normalize sorts records into canonical order (time-major, then thread)

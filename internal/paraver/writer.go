@@ -2,6 +2,7 @@ package paraver
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
@@ -18,13 +19,23 @@ import (
 // One node with NumThreads CPUs, one application with one task of
 // NumThreads threads; thread i runs on cpu i+1. The timestamp in the header
 // is fixed for reproducibility (Paraver ignores it).
+//
+// This is the reference writer over the materialized record lists; the
+// streaming StreamTrace.WritePRV produces byte-identical output without
+// materializing the lists, and the equivalence is asserted by tests. Write
+// errors are sticky: the first one (e.g. a full disk) aborts the walk, so
+// a truncated .prv can never be reported as success.
 func (t *Trace) WritePRV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "#Paraver (01/01/00 at 00:00):%d:1(%d):1:%s\n",
-		t.EndTime, t.totalCPUs(), t.applList())
+	if _, err := fmt.Fprintf(bw, "#Paraver (01/01/00 at 00:00):%d:1(%d):1:%s\n",
+		t.EndTime, t.totalCPUs(), applList(t.NumTasks(), t.NumThreads)); err != nil {
+		return err
+	}
 	for _, s := range t.States {
-		fmt.Fprintf(bw, "1:%d:1:%d:%d:%d:%d:%d\n",
-			t.cpuOf(s.Task, s.Thread), s.Task+1, s.Thread+1, s.Begin, s.End, s.State)
+		if _, err := fmt.Fprintf(bw, "1:%d:1:%d:%d:%d:%d:%d\n",
+			t.cpuOf(s.Task, s.Thread), s.Task+1, s.Thread+1, s.Begin, s.End, s.State); err != nil {
+			return err
+		}
 	}
 	// Group events that share (task, thread, time) into one record.
 	i := 0
@@ -44,17 +55,19 @@ func (t *Trace) WritePRV(w io.Writer) error {
 		i = j
 	}
 	for _, c := range t.Comms {
-		fmt.Fprintf(bw, "3:%d:1:%d:%d:%d:%d:%d:1:%d:%d:%d:%d:%d:%d\n",
+		if _, err := fmt.Fprintf(bw, "3:%d:1:%d:%d:%d:%d:%d:1:%d:%d:%d:%d:%d:%d\n",
 			t.cpuOf(c.SendTask, c.SendThread), c.SendTask+1, c.SendThread+1, c.SendTime, c.SendTime,
 			t.cpuOf(c.RecvTask, c.RecvThread), c.RecvTask+1, c.RecvThread+1, c.RecvTime, c.RecvTime,
-			c.Size, c.Tag)
+			c.Size, c.Tag); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
 
-// WritePCF writes the Paraver configuration file describing states, their
-// colors, and the event types.
-func (t *Trace) WritePCF(w io.Writer) error {
+// writePCFTo writes the Paraver configuration file describing states,
+// their colors, and the event types (trace-independent).
+func writePCFTo(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "DEFAULT_OPTIONS")
 	fmt.Fprintln(bw, "")
@@ -88,29 +101,41 @@ func (t *Trace) WritePCF(w io.Writer) error {
 	return bw.Flush()
 }
 
-// WriteROW writes the Paraver label file naming CPUs, nodes and threads.
-func (t *Trace) WriteROW(w io.Writer) error {
+// writeROWTo writes the Paraver label file naming CPUs, nodes and threads.
+func writeROWTo(w io.Writer, tasks, nThreads int) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "LEVEL CPU SIZE %d\n", t.totalCPUs())
-	for i := 0; i < t.totalCPUs(); i++ {
+	total := tasks * nThreads
+	fmt.Fprintf(bw, "LEVEL CPU SIZE %d\n", total)
+	for i := 0; i < total; i++ {
 		fmt.Fprintf(bw, "CPU %d.%d\n", 1, i+1)
 	}
 	fmt.Fprintln(bw, "")
 	fmt.Fprintln(bw, "LEVEL NODE SIZE 1")
 	fmt.Fprintln(bw, "fpga-accelerator")
 	fmt.Fprintln(bw, "")
-	fmt.Fprintf(bw, "LEVEL THREAD SIZE %d\n", t.totalCPUs())
-	for task := 0; task < t.NumTasks(); task++ {
-		for i := 0; i < t.NumThreads; i++ {
+	fmt.Fprintf(bw, "LEVEL THREAD SIZE %d\n", total)
+	for task := 0; task < tasks; task++ {
+		for i := 0; i < nThreads; i++ {
 			fmt.Fprintf(bw, "FPGA%d HW THREAD 1.%d.%d\n", task+1, task+1, i+1)
 		}
 	}
 	return bw.Flush()
 }
 
-// WriteBundle writes trace.prv/.pcf/.row under dir with the given base
-// name and returns the .prv path.
-func (t *Trace) WriteBundle(dir, base string) (string, error) {
+// WritePCF writes the Paraver configuration file describing states, their
+// colors, and the event types.
+func (t *Trace) WritePCF(w io.Writer) error { return writePCFTo(w) }
+
+// WriteROW writes the Paraver label file naming CPUs, nodes and threads.
+func (t *Trace) WriteROW(w io.Writer) error {
+	return writeROWTo(w, t.NumTasks(), t.NumThreads)
+}
+
+// writeBundleFiles writes the three bundle files under dir, gzipping the
+// .prv body when gz is set. Close errors are propagated: a short write
+// that only surfaces at close (e.g. a full disk) fails the bundle.
+func writeBundleFiles(dir, base string, gz bool,
+	prv, pcf, row func(io.Writer) error) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
@@ -119,17 +144,42 @@ func (t *Trace) WriteBundle(dir, base string) (string, error) {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		return fn(f)
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
-	if err := write(".prv", t.WritePRV); err != nil {
+	prvExt := ".prv"
+	writePRV := prv
+	if gz {
+		prvExt = ".prv.gz"
+		writePRV = func(w io.Writer) error {
+			zw, err := gzip.NewWriterLevel(w, gzip.BestSpeed)
+			if err != nil {
+				return err
+			}
+			if err := prv(zw); err != nil {
+				zw.Close()
+				return err
+			}
+			return zw.Close()
+		}
+	}
+	if err := write(prvExt, writePRV); err != nil {
 		return "", err
 	}
-	if err := write(".pcf", t.WritePCF); err != nil {
+	if err := write(".pcf", pcf); err != nil {
 		return "", err
 	}
-	if err := write(".row", t.WriteROW); err != nil {
+	if err := write(".row", row); err != nil {
 		return "", err
 	}
-	return filepath.Join(dir, base+".prv"), nil
+	return filepath.Join(dir, base+prvExt), nil
+}
+
+// WriteBundle writes trace.prv/.pcf/.row under dir with the given base
+// name and returns the .prv path.
+func (t *Trace) WriteBundle(dir, base string) (string, error) {
+	return writeBundleFiles(dir, base, false, t.WritePRV, t.WritePCF, t.WriteROW)
 }

@@ -12,6 +12,7 @@ package profile
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // ThreadState is the paper's 2-bit thread state encoding: 00 idle,
@@ -71,6 +72,15 @@ type StateRecord struct {
 	States []ThreadState
 }
 
+// StateRun is one run-length-encoded state interval [Begin, End) of a
+// single thread. The unit stores each thread's history as a run stream,
+// which is naturally sorted by construction and maps 1:1 onto Paraver
+// state records without any global sort.
+type StateRun struct {
+	Begin, End int64
+	State      ThreadState
+}
+
 // EventSample is one closed sampling window for one thread.
 type EventSample struct {
 	Start, End int64
@@ -96,14 +106,20 @@ type Unit struct {
 	nThreads int
 	flush    FlushFunc
 
-	cur          []ThreadState
-	stateRecords []StateRecord
-	statesInBuf  int
-	stateArena   []ThreadState
+	// Per-thread state history, run-length encoded: runs[t] holds the
+	// closed runs, openStart[t] the begin cycle of the run the thread is
+	// currently in (its state is cur[t]). One append per actual state
+	// change instead of a full-width snapshot per change keeps the stream
+	// both smaller and pre-sorted for the trace writer.
+	cur         []ThreadState
+	runs        [][]StateRun
+	openStart   []int64
+	statesInBuf int
 
 	counters    []threadCounters
 	totals      []threadCounters
-	events      []EventSample
+	samples     [][]EventSample // per-thread event streams, window-ordered
+	nSamples    int
 	eventsInBuf int
 	windowStart int64
 
@@ -134,12 +150,15 @@ func New(cfg Config, nThreads int, flush FlushFunc) *Unit {
 		cfg.EventBufferLines = 64
 	}
 	u := &Unit{
-		cfg:      cfg,
-		nThreads: nThreads,
-		flush:    flush,
-		cur:      make([]ThreadState, nThreads),
-		counters: make([]threadCounters, nThreads),
-		totals:   make([]threadCounters, nThreads),
+		cfg:       cfg,
+		nThreads:  nThreads,
+		flush:     flush,
+		cur:       make([]ThreadState, nThreads),
+		runs:      make([][]StateRun, nThreads),
+		openStart: make([]int64, nThreads),
+		counters:  make([]threadCounters, nThreads),
+		totals:    make([]threadCounters, nThreads),
+		samples:   make([][]EventSample, nThreads),
 	}
 	return u
 }
@@ -175,8 +194,11 @@ func (u *Unit) eventRecordsPerBuffer() int {
 	return per
 }
 
-// SetState records a state change of one thread. Per the paper, the states
-// of all threads are recorded together whenever any one changes.
+// SetState records a state change of one thread. Per the paper, the
+// hardware writes a full-width record (the states of all threads) whenever
+// any one changes; the buffer/flush accounting below models exactly that.
+// The host-side storage, however, is a per-thread run-length stream: one
+// closed run per actual transition of that thread.
 func (u *Unit) SetState(cycle int64, thread int, st ThreadState) {
 	if !u.cfg.Enabled {
 		return
@@ -184,23 +206,54 @@ func (u *Unit) SetState(cycle int64, thread int, st ThreadState) {
 	if u.cur[thread] == st {
 		return
 	}
-	u.cur[thread] = st
-	// Snapshot the state vector into an arena chunk: one allocation per
-	// ~1024 records instead of one per record. Records alias disjoint
-	// sub-slices; the three-index form keeps later appends from growing
-	// into a neighbour's record.
-	if cap(u.stateArena)-len(u.stateArena) < u.nThreads {
-		u.stateArena = make([]ThreadState, 0, u.nThreads*1024)
+	if cycle > u.openStart[thread] {
+		u.closeRun(thread, cycle)
 	}
-	n0 := len(u.stateArena)
-	u.stateArena = append(u.stateArena, u.cur...)
-	rec := StateRecord{Cycle: cycle, States: u.stateArena[n0:len(u.stateArena):len(u.stateArena)]}
-	u.stateRecords = append(u.stateRecords, rec)
+	u.cur[thread] = st
 	u.statesInBuf++
 	if u.statesInBuf >= u.stateRecordsPerBuffer() {
 		u.flushStates(cycle)
 	}
 }
+
+// closeRun ends thread's open run at cycle, coalescing with the previous
+// run when a same-cycle transition bounced through an intermediate state
+// and landed back where it started.
+func (u *Unit) closeRun(thread int, cycle int64) {
+	rs := u.runs[thread]
+	st := u.cur[thread]
+	if n := len(rs); n > 0 && rs[n-1].State == st && rs[n-1].End == u.openStart[thread] {
+		rs[n-1].End = cycle
+	} else {
+		rs = append(rs, StateRun{Begin: u.openStart[thread], End: cycle, State: st})
+	}
+	u.runs[thread] = rs
+	u.openStart[thread] = cycle
+}
+
+// StateRuns returns thread's closed state runs, begin-sorted and coalesced.
+// The slice is borrowed from the unit: it stays valid until the next
+// SetState call for that thread. The run the thread is currently in is not
+// included; close it with OpenStateRun.
+func (u *Unit) StateRuns(thread int) []StateRun { return u.runs[thread] }
+
+// OpenStateRun returns thread's trailing open run closed at end, or false
+// when it would be empty (end is not past the run's begin). Note the open
+// run's state can equal the last closed run's state when a same-cycle
+// transition bounced back; stream consumers coalesce on the fly.
+func (u *Unit) OpenStateRun(thread int, end int64) (StateRun, bool) {
+	if end <= u.openStart[thread] {
+		return StateRun{}, false
+	}
+	return StateRun{Begin: u.openStart[thread], End: end, State: u.cur[thread]}, true
+}
+
+// ThreadSamples returns thread's event-sample stream, ordered by window
+// end. The slice is borrowed from the unit.
+func (u *Unit) ThreadSamples(thread int) []EventSample { return u.samples[thread] }
+
+// NumSamples returns the total event-sample count across threads.
+func (u *Unit) NumSamples() int { return u.nSamples }
 
 // CurrentState returns a thread's current state.
 func (u *Unit) CurrentState(thread int) ThreadState { return u.cur[thread] }
@@ -323,11 +376,12 @@ func (u *Unit) closeWindow(end int64) {
 		if c.stalls == 0 && c.intOps == 0 && c.fpOps == 0 && c.readBytes == 0 && c.writeBytes == 0 {
 			continue
 		}
-		u.events = append(u.events, EventSample{
+		u.samples[t] = append(u.samples[t], EventSample{
 			Start: u.windowStart, End: end, Thread: t,
 			Stalls: c.stalls, IntOps: c.intOps, FpOps: c.fpOps,
 			ReadBytes: c.readBytes, WriteBytes: c.writeBytes,
 		})
+		u.nSamples++
 		*c = threadCounters{}
 		u.eventsInBuf++
 	}
@@ -379,11 +433,69 @@ func (u *Unit) Finalize(cycle int64) {
 	u.flushEvents(cycle)
 }
 
-// StateRecords returns the recorded state changes (host readback).
-func (u *Unit) StateRecords() []StateRecord { return u.stateRecords }
+// StateRecords materializes the full-width snapshot records the hardware
+// would have written, reconstructed from the per-thread run streams (host
+// readback compatibility view). Changes of different threads at the same
+// cycle are ordered by thread index. Prefer StateRuns/OpenStateRun on hot
+// paths: this allocates one snapshot per state change.
+func (u *Unit) StateRecords() []StateRecord {
+	type changeEvt struct {
+		cycle  int64
+		thread int
+		st     ThreadState
+	}
+	var evts []changeEvt
+	for t := 0; t < u.nThreads; t++ {
+		prev := StateIdle
+		for _, r := range u.runs[t] {
+			if r.State != prev {
+				evts = append(evts, changeEvt{r.Begin, t, r.State})
+			}
+			prev = r.State
+		}
+		if u.cur[t] != prev {
+			evts = append(evts, changeEvt{u.openStart[t], t, u.cur[t]})
+		}
+	}
+	sort.SliceStable(evts, func(i, j int) bool {
+		if evts[i].cycle != evts[j].cycle {
+			return evts[i].cycle < evts[j].cycle
+		}
+		return evts[i].thread < evts[j].thread
+	})
+	states := make([]ThreadState, u.nThreads)
+	arena := make([]ThreadState, 0, len(evts)*u.nThreads)
+	out := make([]StateRecord, 0, len(evts))
+	for _, e := range evts {
+		states[e.thread] = e.st
+		n0 := len(arena)
+		arena = append(arena, states...)
+		out = append(out, StateRecord{Cycle: e.cycle, States: arena[n0:len(arena):len(arena)]})
+	}
+	return out
+}
 
-// EventSamples returns the recorded event windows (host readback).
-func (u *Unit) EventSamples() []EventSample { return u.events }
+// EventSamples materializes the recorded event windows in hardware write
+// order (window-major, thread-minor), merged from the per-thread streams
+// (host readback compatibility view). Prefer ThreadSamples on hot paths.
+func (u *Unit) EventSamples() []EventSample {
+	out := make([]EventSample, 0, u.nSamples)
+	idx := make([]int, u.nThreads)
+	for len(out) < u.nSamples {
+		best := -1
+		for t := 0; t < u.nThreads; t++ {
+			if idx[t] >= len(u.samples[t]) {
+				continue
+			}
+			if best < 0 || u.samples[t][idx[t]].End < u.samples[best][idx[best]].End {
+				best = t
+			}
+		}
+		out = append(out, u.samples[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
 
 // TotalsFor returns lifetime counter totals of one thread.
 func (u *Unit) TotalsFor(thread int) (stalls, intOps, fpOps, readBytes, writeBytes int64) {
