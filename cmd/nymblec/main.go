@@ -3,9 +3,13 @@
 // pipeline schedule and estimated hardware footprint (with and without the
 // profiling unit).
 //
+// With -vet it instead runs the compile-time diagnostics engine (OpenMP
+// race/map checks, def-use lints, stall-lint and the IR/schedule
+// verifiers) and exits 1 if any error-severity finding is reported.
+//
 // Usage:
 //
-//	nymblec [-D NAME=VALUE]... [-dump-ir] [-json] file.mc
+//	nymblec [-D NAME=VALUE]... [-dump-ir] [-json] [-vet] file.mc
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"paravis/internal/core"
 	"paravis/internal/ir"
 	"paravis/internal/profile"
+	"paravis/internal/staticcheck"
 )
 
 type defineFlags map[string]string
@@ -69,14 +74,38 @@ func main() {
 	flag.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
 	dumpIR := flag.Bool("dump-ir", false, "print the dataflow IR")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	vet := flag.Bool("vet", false, "run compile-time diagnostics instead of building")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: nymblec [-D NAME=VALUE] [-dump-ir] [-json] file.mc")
+		fmt.Fprintln(os.Stderr, "usage: nymblec [-D NAME=VALUE] [-dump-ir] [-json] [-vet] file.mc")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+	if *vet {
+		ds := core.Vet(flag.Arg(0), string(src), core.BuildOptions{Defines: defines})
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(ds); err != nil {
+				fatal(err)
+			}
+		} else {
+			for _, d := range ds {
+				fmt.Println(d)
+			}
+			if len(ds) == 0 {
+				fmt.Printf("%s: no findings\n", flag.Arg(0))
+			}
+		}
+		for _, d := range ds {
+			if d.Severity == staticcheck.SevError {
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	p, err := core.Build(string(src), core.BuildOptions{Defines: defines})
 	if err != nil {

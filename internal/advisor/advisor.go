@@ -22,6 +22,7 @@ import (
 	"paravis/internal/core"
 	"paravis/internal/paraver/analysis"
 	"paravis/internal/profile"
+	"paravis/internal/staticcheck"
 )
 
 // Severity ranks findings.
@@ -174,8 +175,11 @@ func Advise(out *core.RunOutput, th Thresholds) []Finding {
 				Kind:     KindNarrowAccesses,
 				Severity: sev,
 				Evidence: fmt.Sprintf("average memory request moves %.1f bytes on a %d-byte bus", avgBytes, 64),
-				Action:   "vectorize the loads so each request fills a wider fraction of the bus (paper §V-C, version 3)",
-				Score:    th.NarrowBytes - avgBytes + 1,
+				// Shared wording with the static stall-lint rule so the
+				// compile-time prediction and this profiled diagnosis can be
+				// cross-checked verbatim.
+				Action: staticcheck.ActionNarrowAccesses,
+				Score:  th.NarrowBytes - avgBytes + 1,
 			})
 		}
 	}

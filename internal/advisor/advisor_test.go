@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"paravis/internal/core"
+	"paravis/internal/minic"
 	"paravis/internal/sim"
+	"paravis/internal/staticcheck"
 	"paravis/internal/workloads"
 )
 
@@ -132,4 +134,39 @@ func TestSeverityStrings(t *testing.T) {
 	if Critical.String() != "critical" || Info.String() != "info" {
 		t.Error("severity strings")
 	}
+}
+
+// TestNarrowAccessesWordingCrossCheck ties the compile-time stall-lint
+// rule to this package's profiled narrow-accesses finding: both must
+// carry the identical remedy wording, and both must fire on the same
+// kernel (GEMM without critical sections, whose B loads are scalar), so
+// a static prediction can be checked against the dynamic diagnosis
+// verbatim.
+func TestNarrowAccessesWordingCrossCheck(t *testing.T) {
+	v := workloads.GEMMNoCritical
+	ds := staticcheck.CheckSource("gemm-v2", workloads.GEMMSource(v),
+		minic.Options{Defines: workloads.GEMMDefines(v)})
+	var stallMsg string
+	for _, d := range ds {
+		if d.Rule == staticcheck.RuleStallLint {
+			stallMsg = d.Message
+			break
+		}
+	}
+	if stallMsg == "" {
+		t.Fatal("static stall-lint did not fire on the no-critical GEMM")
+	}
+	if !strings.Contains(stallMsg, staticcheck.ActionNarrowAccesses) {
+		t.Fatalf("stall-lint message lacks the shared wording: %s", stallMsg)
+	}
+	f := Advise(runVersion(t, v, 32), Thresholds{})
+	for _, fd := range f {
+		if fd.Kind == KindNarrowAccesses {
+			if fd.Action != staticcheck.ActionNarrowAccesses {
+				t.Fatalf("dynamic action diverged from static wording:\n%s", fd.Action)
+			}
+			return
+		}
+	}
+	t.Fatal("dynamic narrow-accesses finding missing")
 }

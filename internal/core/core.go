@@ -20,6 +20,7 @@ import (
 	"paravis/internal/profile"
 	"paravis/internal/schedule"
 	"paravis/internal/sim"
+	"paravis/internal/staticcheck"
 )
 
 // BuildOptions configures compilation.
@@ -67,6 +68,9 @@ func Build(src string, opts BuildOptions) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	if err := ir.Validate(k); err != nil {
+		return nil, fmt.Errorf("core: post-lower verification: %w", err)
+	}
 	scfg := schedule.DefaultConfig()
 	if opts.Schedule != nil {
 		scfg = *opts.Schedule
@@ -74,6 +78,9 @@ func Build(src string, opts BuildOptions) (*Program, error) {
 	s, err := schedule.Build(k, scfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: post-schedule verification: %w", err)
 	}
 	ck, err := hw.Compile(k, s)
 	if err != nil {
@@ -93,6 +100,17 @@ func Build(src string, opts BuildOptions) (*Program, error) {
 		CK:     ck,
 		coeffs: coeffs,
 	}, nil
+}
+
+// Vet runs the compile-time diagnostics engine on MiniC source without
+// building an accelerator: the OpenMP race/map rules, the def-use lints,
+// stall-lint and — when the source compiles — the hardened IR/schedule
+// verifiers. file is used only to label the diagnostics.
+func Vet(file, src string, opts BuildOptions) []staticcheck.Diagnostic {
+	return staticcheck.CheckSource(file, src, minic.Options{
+		Defines:     opts.Defines,
+		VectorLanes: opts.VectorLanes,
+	})
 }
 
 // RunOutput bundles a simulation's results with its trace and reports.

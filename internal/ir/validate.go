@@ -4,13 +4,22 @@ import "fmt"
 
 // Validate checks the structural invariants of a kernel:
 //
+//   - params, maps and locals are mutually consistent (no duplicate
+//     parameter names, every map backed by a parameter, local array
+//     metadata well-formed);
+//   - node IDs are unique kernel-wide and graph IDs unique per kernel;
 //   - every graph's nodes are in topological order (args, effect deps and
-//     predicates refer to earlier nodes in the same graph);
+//     predicates refer to earlier nodes in the same graph — SSA-ish
+//     def-before-use);
 //   - live-in and carry indices are in range;
 //   - carry updates exist for every carried register and are kind-correct;
-//   - memory ops carry an ArrayRef with a positive width;
-//   - LoopOp argument counts match the body graph's live-in + carry counts;
-//   - value kinds of operands are consistent with each operation.
+//   - memory ops carry an ArrayRef with a width consistent with the value
+//     kind and lane count;
+//   - LoopOp argument counts match the body graph's live-in + carry
+//     counts, loop bodies have an exit condition, and Graph.Loops mirrors
+//     the LoopOp nodes;
+//   - value and result kinds of operands are consistent with each
+//     operation.
 //
 // The lowering pass must produce kernels that validate; the scheduler and
 // simulator rely on these invariants.
@@ -21,9 +30,72 @@ func Validate(k *Kernel) error {
 	if k.NumThreads <= 0 {
 		return fmt.Errorf("ir: kernel %s has NumThreads=%d", k.Name, k.NumThreads)
 	}
+	if err := validateDecls(k); err != nil {
+		return fmt.Errorf("ir: kernel %s: %w", k.Name, err)
+	}
+	graphIDs := map[int]bool{}
+	nodeIDs := map[int]*Graph{}
+	for _, g := range k.CollectGraphs() {
+		if graphIDs[g.ID] {
+			return fmt.Errorf("ir: kernel %s: duplicate graph id #%d", k.Name, g.ID)
+		}
+		graphIDs[g.ID] = true
+		for _, n := range g.Nodes {
+			if n == nil {
+				continue // reported by validateGraph with an index
+			}
+			if other, dup := nodeIDs[n.ID]; dup {
+				return fmt.Errorf("ir: kernel %s: node id n%d used in both graph #%d and graph #%d",
+					k.Name, n.ID, other.ID, g.ID)
+			}
+			nodeIDs[n.ID] = g
+		}
+	}
 	for _, g := range k.CollectGraphs() {
 		if err := validateGraph(k, g); err != nil {
 			return fmt.Errorf("ir: kernel %s graph %s(#%d): %w", k.Name, g.Name, g.ID, err)
+		}
+	}
+	return nil
+}
+
+// validateDecls checks the kernel's parameter/map/local declarations.
+func validateDecls(k *Kernel) error {
+	params := map[string]Param{}
+	for _, p := range k.Params {
+		if p.Name == "" {
+			return fmt.Errorf("parameter without a name")
+		}
+		if _, dup := params[p.Name]; dup {
+			return fmt.Errorf("duplicate parameter %q", p.Name)
+		}
+		params[p.Name] = p
+	}
+	seenMap := map[string]bool{}
+	for _, m := range k.Maps {
+		if seenMap[m.Name] {
+			return fmt.Errorf("variable %q mapped twice", m.Name)
+		}
+		seenMap[m.Name] = true
+		p, ok := params[m.Name]
+		if !ok {
+			return fmt.Errorf("map %q has no backing parameter", m.Name)
+		}
+		// Arrays and writable scalars live behind pointers; only to-mapped
+		// (firstprivate) scalars are passed by value.
+		if !m.Scalar && !p.Pointer {
+			return fmt.Errorf("array map %q backed by non-pointer parameter", m.Name)
+		}
+		if m.Scalar && m.Dir != MapTo && !p.Pointer {
+			return fmt.Errorf("writable scalar map %q backed by non-pointer parameter", m.Name)
+		}
+	}
+	for i, l := range k.Locals {
+		if l.ID != i {
+			return fmt.Errorf("local array %q has ID %d at index %d", l.Name, l.ID, i)
+		}
+		if l.NumElems <= 0 || l.ElemWords <= 0 {
+			return fmt.Errorf("local array %q has elems=%d words/elem=%d", l.Name, l.NumElems, l.ElemWords)
 		}
 	}
 	return nil
@@ -92,6 +164,35 @@ func validateGraph(k *Kernel, g *Graph) error {
 			return fmt.Errorf("carry %d update n%d not in graph", i, u.ID)
 		}
 	}
+	// Carried-register reads must agree with the value that updates them.
+	for _, n := range g.Nodes {
+		if n.Op != OpCarry {
+			continue
+		}
+		u := g.CarryUpdate[n.Idx]
+		if u.Kind != n.Kind {
+			return fmt.Errorf("carry %d read as %s but updated with %s (n%d)", n.Idx, n.Kind, u.Kind, u.ID)
+		}
+	}
+	// Graph.Loops must mirror exactly the LoopOp nodes of the graph.
+	inLoops := make(map[*Node]bool, len(g.Loops))
+	for _, lp := range g.Loops {
+		if lp == nil || lp.Op != OpLoopOp {
+			return fmt.Errorf("Loops list contains a non-loop node")
+		}
+		if _, ok := pos[lp]; !ok {
+			return fmt.Errorf("Loops list references n%d outside this graph", lp.ID)
+		}
+		if inLoops[lp] {
+			return fmt.Errorf("loop n%d listed twice in Loops", lp.ID)
+		}
+		inLoops[lp] = true
+	}
+	for _, n := range g.Nodes {
+		if n.Op == OpLoopOp && !inLoops[n] {
+			return fmt.Errorf("loop n%d missing from Loops list", n.ID)
+		}
+	}
 	return nil
 }
 
@@ -133,9 +234,32 @@ func validateNode(k *Kernel, g *Graph, n *Node) error {
 		if n.Args[0].Kind != n.Args[1].Kind {
 			return fmt.Errorf("n%d %s mixes kinds %s and %s", n.ID, n.Op, n.Args[0].Kind, n.Args[1].Kind)
 		}
+		switch n.Op {
+		case OpLt, OpLe, OpGt, OpGe, OpEq, OpNe, OpAnd, OpOr:
+			if n.Kind != KindInt {
+				return fmt.Errorf("n%d %s must produce int, got %s", n.ID, n.Op, n.Kind)
+			}
+		default: // arithmetic follows its operands
+			if n.Kind != n.Args[0].Kind {
+				return fmt.Errorf("n%d %s produces %s from %s operands", n.ID, n.Op, n.Kind, n.Args[0].Kind)
+			}
+			if n.Kind == KindVec && (n.Lanes != n.Args[0].Lanes || n.Lanes != n.Args[1].Lanes) {
+				return fmt.Errorf("n%d %s lane mismatch: %d vs %d/%d",
+					n.ID, n.Op, n.Lanes, n.Args[0].Lanes, n.Args[1].Lanes)
+			}
+		}
+		if n.Op == OpRem && n.Args[0].Kind != KindInt {
+			return fmt.Errorf("n%d %% requires int operands, got %s", n.ID, n.Args[0].Kind)
+		}
 		return nil
 	case OpNot:
-		return wantArgs(n, 1)
+		if err := wantArgs(n, 1); err != nil {
+			return err
+		}
+		if n.Args[0].Kind != KindInt || n.Kind != KindInt {
+			return fmt.Errorf("n%d ! must map int to int, got %s -> %s", n.ID, n.Args[0].Kind, n.Kind)
+		}
+		return nil
 	case OpSelect:
 		if err := wantArgs(n, 3); err != nil {
 			return err
@@ -146,15 +270,49 @@ func validateNode(k *Kernel, g *Graph, n *Node) error {
 		if n.Args[1].Kind != n.Args[2].Kind {
 			return fmt.Errorf("n%d select arms disagree: %s vs %s", n.ID, n.Args[1].Kind, n.Args[2].Kind)
 		}
+		if n.Kind != n.Args[1].Kind {
+			return fmt.Errorf("n%d select produces %s from %s arms", n.ID, n.Kind, n.Args[1].Kind)
+		}
 		return nil
-	case OpIntToFloat, OpFloatToInt, OpSplat:
-		return wantArgs(n, 1)
+	case OpIntToFloat:
+		if err := wantArgs(n, 1); err != nil {
+			return err
+		}
+		if n.Args[0].Kind != KindInt || n.Kind != KindFloat {
+			return fmt.Errorf("n%d int->float conversion is %s -> %s", n.ID, n.Args[0].Kind, n.Kind)
+		}
+		return nil
+	case OpFloatToInt:
+		if err := wantArgs(n, 1); err != nil {
+			return err
+		}
+		if n.Args[0].Kind != KindFloat || n.Kind != KindInt {
+			return fmt.Errorf("n%d float->int conversion is %s -> %s", n.ID, n.Args[0].Kind, n.Kind)
+		}
+		return nil
+	case OpSplat:
+		if err := wantArgs(n, 1); err != nil {
+			return err
+		}
+		if n.Args[0].Kind == KindVec || n.Args[0].Kind == KindNone {
+			return fmt.Errorf("n%d splat of non-scalar %s", n.ID, n.Args[0].Kind)
+		}
+		if n.Kind != KindVec || n.Lanes < 1 {
+			return fmt.Errorf("n%d splat must produce a vector, got %s lanes=%d", n.ID, n.Kind, n.Lanes)
+		}
+		return nil
 	case OpExtract:
 		if err := wantArgs(n, 2); err != nil {
 			return err
 		}
 		if n.Args[0].Kind != KindVec {
 			return fmt.Errorf("n%d extract from non-vector", n.ID)
+		}
+		if n.Args[1].Kind != KindInt {
+			return fmt.Errorf("n%d extract lane must be int", n.ID)
+		}
+		if n.Kind != KindFloat {
+			return fmt.Errorf("n%d extract must produce float, got %s", n.ID, n.Kind)
 		}
 		return nil
 	case OpInsert:
@@ -164,15 +322,48 @@ func validateNode(k *Kernel, g *Graph, n *Node) error {
 		if n.Args[0].Kind != KindVec {
 			return fmt.Errorf("n%d insert into non-vector", n.ID)
 		}
+		if n.Args[1].Kind != KindInt {
+			return fmt.Errorf("n%d insert lane must be int", n.ID)
+		}
+		if n.Args[2].Kind != KindFloat {
+			return fmt.Errorf("n%d insert of non-float %s", n.ID, n.Args[2].Kind)
+		}
+		if n.Kind != KindVec || n.Lanes != n.Args[0].Lanes {
+			return fmt.Errorf("n%d insert must produce a %d-lane vector, got %s lanes=%d",
+				n.ID, n.Args[0].Lanes, n.Kind, n.Lanes)
+		}
 		return nil
 	case OpLoad:
 		if err := wantArgs(n, 1); err != nil {
 			return err
 		}
+		if n.Kind == KindNone {
+			return fmt.Errorf("n%d load produces no value", n.ID)
+		}
+		if n.Kind == KindVec {
+			if n.Lanes < 1 {
+				return fmt.Errorf("n%d vector load with lanes=%d", n.ID, n.Lanes)
+			}
+			if n.Width != 1 && n.Width != n.Lanes {
+				return fmt.Errorf("n%d vector load width %d is neither 1 element nor %d lanes", n.ID, n.Width, n.Lanes)
+			}
+		} else if n.Width != 1 {
+			return fmt.Errorf("n%d scalar load with width %d", n.ID, n.Width)
+		}
 		return validateMem(k, n)
 	case OpStore:
 		if err := wantArgs(n, 2); err != nil {
 			return err
+		}
+		if n.Kind != KindNone {
+			return fmt.Errorf("n%d store must not produce a value", n.ID)
+		}
+		if v := n.Args[1]; v.Kind == KindVec {
+			if n.Width != 1 && n.Width != v.Lanes {
+				return fmt.Errorf("n%d vector store width %d is neither 1 element nor %d lanes", n.ID, n.Width, v.Lanes)
+			}
+		} else if n.Width != 1 {
+			return fmt.Errorf("n%d scalar store with width %d", n.ID, n.Width)
 		}
 		return validateMem(k, n)
 	case OpLock, OpUnlock:
@@ -185,6 +376,12 @@ func validateNode(k *Kernel, g *Graph, n *Node) error {
 	case OpLoopOp:
 		if n.Sub == nil {
 			return fmt.Errorf("n%d loop without body graph", n.ID)
+		}
+		if n.Kind != KindNone {
+			return fmt.Errorf("n%d loop must not produce a direct value (use loopout)", n.ID)
+		}
+		if n.Sub.Cond == nil {
+			return fmt.Errorf("n%d loop body graph #%d has no exit condition", n.ID, n.Sub.ID)
 		}
 		want := n.Sub.NumLiveIn + n.Sub.NumCarry
 		if len(n.Args) != want {
@@ -202,6 +399,12 @@ func validateNode(k *Kernel, g *Graph, n *Node) error {
 		}
 		if n.Idx < 0 || n.Idx >= lp.Sub.NumCarry {
 			return fmt.Errorf("n%d loopout index %d out of range [0,%d)", n.ID, n.Idx, lp.Sub.NumCarry)
+		}
+		if len(lp.Sub.CarryUpdate) == lp.Sub.NumCarry {
+			if u := lp.Sub.CarryUpdate[n.Idx]; u != nil && u.Kind != n.Kind {
+				return fmt.Errorf("n%d loopout reads carry %d as %s but body updates it with %s",
+					n.ID, n.Idx, n.Kind, u.Kind)
+			}
 		}
 		return nil
 	}

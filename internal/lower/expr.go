@@ -1,8 +1,6 @@
 package lower
 
 import (
-	"fmt"
-
 	"paravis/internal/ir"
 	"paravis/internal/minic"
 )
@@ -123,7 +121,7 @@ func (lw *lowerer) lowerExpr(g *gctx, e minic.Expr) (*ir.Node, error) {
 		}
 		return vec, nil
 	}
-	return nil, fmt.Errorf("lower: unhandled expression %T", e)
+	return nil, lw.errf(minic.ExprPos(e), "unhandled expression %T", e)
 }
 
 // lowerIdentRead reads a variable according to its storage class.

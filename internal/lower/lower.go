@@ -431,5 +431,5 @@ func (lw *lowerer) scalarExpr(e minic.Expr) (ir.ScalarExpr, error) {
 	case *minic.Cast:
 		return lw.scalarExpr(x.X)
 	}
-	return nil, fmt.Errorf("lower: unsupported map size expression %T", e)
+	return nil, lw.errf(minic.ExprPos(e), "unsupported map size expression %T", e)
 }

@@ -45,7 +45,7 @@ func (lw *lowerer) lowerStmt(g *gctx, s minic.Stmt) error {
 	case *minic.TargetStmt:
 		return lw.errf(st.Pos, "nested target region")
 	}
-	return fmt.Errorf("lower: unhandled statement %T", s)
+	return lw.errf(minic.StmtPos(s), "unhandled statement %T", s)
 }
 
 func (lw *lowerer) lowerDecl(g *gctx, st *minic.DeclStmt) error {

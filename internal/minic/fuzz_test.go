@@ -1,0 +1,75 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts that the whole frontend — lexer, parser, pragma
+// parsing, and semantic analysis — never panics: arbitrary input must
+// produce either a Program or an error value.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"void f() {}",
+		"int main() { return 0; }",
+		"float f(float* A, int n) { float s = 0.0f; for (int i = 0; i < n; ++i) { s += A[i]; } return s; }",
+		`#define N 16
+void k(float* A, float* C) {
+#pragma omp target parallel map(to:A[0:N]) map(from:C[0:N]) num_threads(4)
+  {
+    int id = omp_get_thread_num();
+    C[id] = A[id] * 2.0f;
+  }
+}`,
+		`void v(float* X) {
+#pragma omp target parallel map(tofrom:X[0:64]) num_threads(2)
+  {
+    VECTOR a = *((VECTOR*)&X[0]);
+    #pragma omp critical
+    { X[0] = a[0]; }
+    #pragma omp barrier
+  }
+}`,
+		"#pragma unroll 4\nfor (int i = 0; i < 4; i++) {}",
+		"void f() { int x = (1 + 2) * 3 % 4; x = x ? -x : !x; x++; --x; }",
+		"#define A B\n#define B A\nint f() { return A; }",
+		"void f() { float y[4][4]; y[1][2] = 3.0f; }",
+		strings.Repeat("(", 64) + "1" + strings.Repeat(")", 64),
+		"void f(int",
+		"#pragma omp target parallel map(",
+		"\x00\xff\n#define",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Both with and without a define table, since macro expansion is
+		// its own recursion path.
+		_, _ = Parse(src, Options{})
+		_, _ = Parse(src, Options{Defines: map[string]string{"DTYPE": "float", "DIM": "8"}})
+	})
+}
+
+// TestParseDepthGuard pins the behavior the fuzz target relies on: deep
+// nesting is rejected with a ParseError rather than a stack overflow.
+func TestParseDepthGuard(t *testing.T) {
+	cases := map[string]string{
+		"parens": "void f() { int x = " + strings.Repeat("(", 5000) + "1" + strings.Repeat(")", 5000) + "; }",
+		"unary":  "void f() { int x = " + strings.Repeat("-", 5000) + "1; }",
+		"blocks": "void f() " + strings.Repeat("{", 5000) + strings.Repeat("}", 5000),
+		"assign": "void f() { int a = 0; a " + strings.Repeat("= a ", 5000) + "= 1; }",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src, Options{}); err == nil {
+			t.Errorf("%s: expected error for deeply nested input", name)
+		} else if !strings.Contains(err.Error(), "nesting exceeds") {
+			t.Errorf("%s: expected nesting-depth error, got: %v", name, err)
+		}
+	}
+	// Realistic nesting depths must still parse.
+	ok := "void f() { int x = " + strings.Repeat("(", 50) + "1" + strings.Repeat(")", 50) + "; }"
+	if _, err := Parse(ok, Options{}); err != nil {
+		t.Errorf("moderate nesting should parse, got: %v", err)
+	}
+}

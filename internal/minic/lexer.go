@@ -261,6 +261,9 @@ func (l *Lexer) expandMacro(name, val string, p Pos) error {
 	if l.expanding[name] {
 		return l.errf(p, "recursive macro expansion of %q", name)
 	}
+	if len(l.expanding) >= 64 {
+		return l.errf(p, "macro expansion nesting exceeds 64 levels at %q", name)
+	}
 	l.expanding[name] = true
 	defer delete(l.expanding, name)
 	sub := NewLexer(val, l.defines)

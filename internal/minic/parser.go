@@ -57,7 +57,23 @@ type parser struct {
 	pos     int
 	defines map[string]string
 	lanes   int
+	depth   int
 }
+
+// maxNestDepth bounds statement/expression nesting so that adversarial
+// input (deep parentheses, unary chains, nested blocks) produces a parse
+// error instead of exhausting the goroutine stack.
+const maxNestDepth = 200
+
+func (p *parser) enterNest() error {
+	p.depth++
+	if p.depth > maxNestDepth {
+		return p.errf("statement or expression nesting exceeds %d levels", maxNestDepth)
+	}
+	return nil
+}
+
+func (p *parser) leaveNest() { p.depth-- }
 
 func (p *parser) cur() Token  { return p.toks[p.pos] }
 func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
@@ -194,6 +210,10 @@ func (p *parser) parseBlock() (*BlockStmt, error) {
 }
 
 func (p *parser) parseStmt() (Stmt, error) {
+	if err := p.enterNest(); err != nil {
+		return nil, err
+	}
+	defer p.leaveNest()
 	switch {
 	case p.at(PRAGMA):
 		return p.parsePragmaStmt()
@@ -510,6 +530,10 @@ func (p *parser) parseIf() (Stmt, error) {
 func (p *parser) parseExpr() (Expr, error) { return p.parseAssignExpr() }
 
 func (p *parser) parseAssignExpr() (Expr, error) {
+	if err := p.enterNest(); err != nil {
+		return nil, err
+	}
+	defer p.leaveNest()
 	lhs, err := p.parseCondExpr()
 	if err != nil {
 		return nil, err
@@ -628,6 +652,10 @@ func (p *parser) isCastAhead() bool {
 }
 
 func (p *parser) parseUnary() (Expr, error) {
+	if err := p.enterNest(); err != nil {
+		return nil, err
+	}
+	defer p.leaveNest()
 	tok := p.cur()
 	switch tok.Kind {
 	case Minus:

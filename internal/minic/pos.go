@@ -1,0 +1,68 @@
+package minic
+
+// ExprPos returns the source position of an expression node, or the zero
+// Pos for synthesized nodes that carry none (e.g. implicit conversions
+// inherit the position of their operand).
+func ExprPos(e Expr) Pos {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Pos
+	case *IntLit:
+		return x.Pos
+	case *FloatLit:
+		return x.Pos
+	case *Binary:
+		return x.Pos
+	case *Unary:
+		return x.Pos
+	case *Cond:
+		return x.Pos
+	case *Index:
+		return x.Pos
+	case *VecElem:
+		return x.Pos
+	case *VecLoad:
+		return x.Pos
+	case *AssignExpr:
+		return x.Pos
+	case *IncDec:
+		return x.Pos
+	case *Call:
+		return x.Pos
+	case *Cast:
+		if x.Pos != (Pos{}) {
+			return x.Pos
+		}
+		return ExprPos(x.X)
+	case *AddrOf:
+		return x.Pos
+	case *InitList:
+		return x.Pos
+	}
+	return Pos{}
+}
+
+// StmtPos returns the source position of a statement node.
+func StmtPos(s Stmt) Pos {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return st.Pos
+	case *DeclStmt:
+		return st.Pos
+	case *ExprStmt:
+		return st.Pos
+	case *ForStmt:
+		return st.Pos
+	case *IfStmt:
+		return st.Pos
+	case *ReturnStmt:
+		return st.Pos
+	case *CriticalStmt:
+		return st.Pos
+	case *BarrierStmt:
+		return st.Pos
+	case *TargetStmt:
+		return st.Pos
+	}
+	return Pos{}
+}

@@ -188,7 +188,7 @@ func (a *analyzer) checkStmt(s Stmt, sc *scope) error {
 		a.inTarget = false
 		return err
 	}
-	return fmt.Errorf("unhandled statement %T", s)
+	return a.errf(StmtPos(s), "unhandled statement %T", s)
 }
 
 func (a *analyzer) checkDecl(st *DeclStmt, sc *scope) error {
@@ -261,7 +261,7 @@ func (a *analyzer) convertTo(x Expr, want *Type) Expr {
 		return x
 	}
 	if have.IsScalar() && want.IsScalar() {
-		c := &Cast{To: want, X: x}
+		c := &Cast{To: want, X: x, Pos: ExprPos(x)}
 		c.SetType(want)
 		return c
 	}
@@ -386,7 +386,7 @@ func (a *analyzer) checkExpr(e Expr, sc *scope) (Expr, error) {
 	case *InitList:
 		return nil, a.errf(x.Pos, "brace initializer is only allowed in a declaration")
 	}
-	return nil, fmt.Errorf("unhandled expression %T", e)
+	return nil, a.errf(ExprPos(e), "unhandled expression %T", e)
 }
 
 func (a *analyzer) checkBinary(x *Binary, sc *scope) (Expr, error) {

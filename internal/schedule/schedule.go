@@ -415,19 +415,140 @@ func sortNodes(ns []*ir.Node) {
 	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
 }
 
-// Validate checks schedule invariants: every live node's dependencies are
-// scheduled early enough, and stage metadata is consistent.
+// Validate checks schedule invariants:
+//
+//   - every graph of the kernel has a schedule, and every live node is
+//     placed in exactly one stage slot (Pure or Issue) at its start stage
+//     within the pipeline depth;
+//   - def-before-use across stages: args, predicates and effect deps of a
+//     node complete no later than the node's start stage;
+//   - VLO wait barriers are ordered (issue stage <= wait stage < depth),
+//     registered in the stage's WaitBefore list, and no consumer of a
+//     VLO's value enters the pipeline before the barrier;
+//   - reordering flags and the NumReordering count match the stages'
+//     contents;
+//   - the loop-exit decision is known inside the pipeline and no
+//     side-effecting op starts before it;
+//   - port conflicts: a single stage never issues two memory VLOs on the
+//     same array where one is a store (conflicting accesses must be
+//     effect-ordered into distinct stages).
 func (s *Schedule) Validate() error {
+	for _, g := range s.K.CollectGraphs() {
+		if s.ByGraph[g] == nil {
+			return fmt.Errorf("schedule: graph %s(#%d) has no schedule", g.Name, g.ID)
+		}
+	}
 	for _, gs := range s.ByGraph {
+		// Where each live node was placed by the stage lists.
+		placedAt := map[*ir.Node]int{}
+		for i := range gs.Stages {
+			info := &gs.Stages[i]
+			for _, n := range info.Pure {
+				if n.Op.IsVLO() {
+					return fmt.Errorf("schedule: VLO n%d listed as pure in stage %d", n.ID, i)
+				}
+				if _, dup := placedAt[n]; dup {
+					return fmt.Errorf("schedule: n%d placed in two stages", n.ID)
+				}
+				placedAt[n] = i
+			}
+			for _, n := range info.Issue {
+				if !n.Op.IsVLO() {
+					return fmt.Errorf("schedule: non-VLO n%d in issue list of stage %d", n.ID, i)
+				}
+				if _, dup := placedAt[n]; dup {
+					return fmt.Errorf("schedule: n%d placed in two stages", n.ID)
+				}
+				placedAt[n] = i
+			}
+			wantReorder := len(info.Issue) > 0 || len(info.WaitBefore) > 0
+			if info.Reordering != wantReorder {
+				return fmt.Errorf("schedule: stage %d reordering flag %v, contents say %v", i, info.Reordering, wantReorder)
+			}
+			// Port conflicts: unordered same-stage accesses to one array
+			// with a writer among them.
+			for ai, a := range info.Issue {
+				if !a.Op.IsMemory() || a.Arr == nil {
+					continue
+				}
+				for _, b := range info.Issue[ai+1:] {
+					if !b.Op.IsMemory() || b.Arr == nil {
+						continue
+					}
+					if a.Arr.Space != b.Arr.Space {
+						continue
+					}
+					same := false
+					if a.Arr.Space == ir.SpaceLocal {
+						same = a.Arr.LocalID == b.Arr.LocalID
+					} else {
+						same = a.Arr.Name == b.Arr.Name
+					}
+					if same && (a.Op == ir.OpStore || b.Op == ir.OpStore) {
+						return fmt.Errorf("schedule: stage %d issues conflicting accesses n%d and n%d to array %s",
+							i, a.ID, b.ID, a.Arr)
+					}
+				}
+			}
+		}
+		// Recompute, exactly as buildGraph does, the earliest stage at
+		// which anything depends on each VLO having completed.
+		minWait := map[*ir.Node]int{}
+		noteWait := func(dep *ir.Node, at int) {
+			if !dep.Op.IsVLO() {
+				if dep.Op == ir.OpLoopOut {
+					lp := dep.Args[0]
+					if w, ok := minWait[lp]; !ok || at < w {
+						minWait[lp] = at
+					}
+				}
+				return
+			}
+			if w, ok := minWait[dep]; !ok || at < w {
+				minWait[dep] = at
+			}
+		}
+		for _, n := range gs.G.Nodes {
+			if !gs.Live[n] {
+				continue
+			}
+			if n.Op != ir.OpLoopOut {
+				for _, a := range n.Args {
+					noteWait(a, gs.Start[n])
+				}
+			}
+			if n.Pred != nil {
+				noteWait(n.Pred, gs.Start[n])
+			}
+			for _, d := range n.EffectDeps {
+				if gs.Live[d] {
+					noteWait(d, gs.Start[n])
+				}
+			}
+		}
 		for _, n := range gs.G.Nodes {
 			if !gs.Live[n] {
 				continue
 			}
 			st := gs.Start[n]
+			if st < 0 || st >= gs.Depth {
+				return fmt.Errorf("schedule: n%d stage %d beyond depth %d", n.ID, st, gs.Depth)
+			}
+			if at, ok := placedAt[n]; !ok {
+				return fmt.Errorf("schedule: live node n%d missing from every stage", n.ID)
+			} else if at != st {
+				return fmt.Errorf("schedule: n%d starts at stage %d but is listed in stage %d", n.ID, st, at)
+			}
 			for _, a := range n.Args {
 				if gs.Start[a]+gs.Lat[a] > st {
 					return fmt.Errorf("schedule: n%d at stage %d before arg n%d ready (%d)",
 						n.ID, st, a.ID, gs.Start[a]+gs.Lat[a])
+				}
+			}
+			if p := n.Pred; p != nil {
+				if gs.Start[p]+gs.Lat[p] > st {
+					return fmt.Errorf("schedule: n%d at stage %d before predicate n%d ready (%d)",
+						n.ID, st, p.ID, gs.Start[p]+gs.Lat[p])
 				}
 			}
 			for _, d := range n.EffectDeps {
@@ -439,9 +560,46 @@ func (s *Schedule) Validate() error {
 						n.ID, st, d.ID, gs.Start[d]+gs.Lat[d])
 				}
 			}
-			if st >= gs.Depth {
-				return fmt.Errorf("schedule: n%d stage %d beyond depth %d", n.ID, st, gs.Depth)
+			if gs.G.Cond != nil && hasSideEffect(n.Op) && st < gs.CondStage {
+				return fmt.Errorf("schedule: side-effecting n%d at stage %d before loop-exit decision (stage %d)",
+					n.ID, st, gs.CondStage)
 			}
+			if !n.Op.IsVLO() {
+				continue
+			}
+			ws, ok := gs.WaitStage[n]
+			if !ok {
+				return fmt.Errorf("schedule: VLO n%d has no wait stage", n.ID)
+			}
+			if ws < st || ws > gs.Depth-1 {
+				return fmt.Errorf("schedule: VLO n%d issued at stage %d waits at stage %d (depth %d)",
+					n.ID, st, ws, gs.Depth)
+			}
+			found := 0
+			for _, w := range gs.Stages[ws].WaitBefore {
+				if w == n {
+					found++
+				}
+			}
+			if found != 1 {
+				return fmt.Errorf("schedule: VLO n%d appears %d times in WaitBefore of stage %d", n.ID, found, ws)
+			}
+			if mw, ok := minWait[n]; ok && ws > mw {
+				return fmt.Errorf("schedule: VLO n%d wait stage %d is after its first consumer (stage %d)",
+					n.ID, ws, mw)
+			}
+		}
+		if gs.G.Cond != nil && gs.CondStage >= gs.Depth {
+			return fmt.Errorf("schedule: loop-exit decision at stage %d beyond depth %d", gs.CondStage, gs.Depth)
+		}
+		reorder := 0
+		for i := range gs.Stages {
+			if gs.Stages[i].Reordering {
+				reorder++
+			}
+		}
+		if reorder != gs.NumReordering {
+			return fmt.Errorf("schedule: NumReordering %d but %d stages reorder", gs.NumReordering, reorder)
 		}
 	}
 	return nil

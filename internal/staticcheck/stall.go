@@ -1,0 +1,92 @@
+package staticcheck
+
+import "paravis/internal/minic"
+
+// checkStalls is the static half of the paper's narrow-accesses finding:
+// a scalar (one-word) access to a DRAM-backed mapped array inside an
+// innermost loop body issues a bus request per element and stalls the
+// pipeline on memory. The advisory text matches the dynamic advisor's
+// wording verbatim so the two can be cross-checked.
+func checkStalls(file string, res *resolution, ts *minic.TargetStmt, ds *[]Diagnostic) {
+	mappedArray := func(d *declInfo) bool {
+		return d != nil && d.inMap && (d.typ.IsPointer() || d.typ.IsArray())
+	}
+
+	// Report one diagnostic per (loop, array), at the first scalar access.
+	checkLoop := func(loop *minic.ForStmt) {
+		seen := map[*declInfo]bool{}
+		stmtExprs(loop.Body, func(top minic.Expr) {
+			walkExpr(top, func(e minic.Expr) {
+				ix, ok := e.(*minic.Index)
+				if !ok {
+					return
+				}
+				b, ok := ix.Base.(*minic.Ident)
+				if !ok {
+					return
+				}
+				d := res.use[b]
+				if !mappedArray(d) || seen[d] {
+					return
+				}
+				// A subscript that still yields a vector (array-of-vector
+				// element) moves a full bus line; only scalar-element
+				// accesses are narrow.
+				if t := ix.Type(); t != nil && t.IsVector() {
+					return
+				}
+				seen[d] = true
+				*ds = append(*ds, diag(file, ix.Pos, RuleStallLint, SevInfo,
+					"scalar access to DRAM-backed %q in an innermost loop body; %s", d.name, ActionNarrowAccesses))
+			})
+		})
+	}
+
+	var hasLoop func(s minic.Stmt) bool
+	hasLoop = func(s minic.Stmt) bool {
+		switch st := s.(type) {
+		case *minic.BlockStmt:
+			for _, c := range st.Stmts {
+				if hasLoop(c) {
+					return true
+				}
+			}
+		case *minic.ForStmt:
+			return true
+		case *minic.IfStmt:
+			if hasLoop(st.Then) {
+				return true
+			}
+			if st.Else != nil {
+				return hasLoop(st.Else)
+			}
+		case *minic.CriticalStmt:
+			return hasLoop(st.Body)
+		}
+		return false
+	}
+
+	var scan func(s minic.Stmt)
+	scan = func(s minic.Stmt) {
+		switch st := s.(type) {
+		case *minic.BlockStmt:
+			for _, c := range st.Stmts {
+				scan(c)
+			}
+		case *minic.ForStmt:
+			if hasLoop(st.Body) {
+				scan(st.Body)
+			} else {
+				checkLoop(st)
+			}
+		case *minic.IfStmt:
+			scan(st.Then)
+			if st.Else != nil {
+				scan(st.Else)
+			}
+		case *minic.CriticalStmt:
+			scan(st.Body)
+		}
+	}
+	scan(ts.Body)
+}

@@ -1,0 +1,268 @@
+// Package staticcheck is a rule-based compile-time diagnostics engine over
+// the minic AST (post-sema) and the lowered dataflow IR. It finds, before
+// any synthesis or simulation, the defect classes the paper's dynamic
+// profiling views expose after a run: unprotected shared writes in OpenMP
+// target regions (omp-race), broken map clauses (omp-map), def-use
+// anomalies in the statement CFG (use-before-init, dead-store, unused-var)
+// and scalar DRAM traffic in hot inner loops (stall-lint, worded exactly
+// like the dynamic advisor's narrow-accesses finding so static predictions
+// can be cross-checked against profiled ones). The ir-verify rule wraps
+// the hardened structural verifiers of internal/ir and internal/schedule.
+package staticcheck
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"paravis/internal/ir"
+	"paravis/internal/lower"
+	"paravis/internal/minic"
+	"paravis/internal/schedule"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities, ordered from least to most severe. A source is "vet clean"
+// when it produces nothing above SevInfo.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// MarshalJSON emits the lowercase severity name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Stable rule identifiers.
+const (
+	RuleOMPRace       = "omp-race"        // unprotected write to shared state in a parallel region
+	RuleOMPMap        = "omp-map"         // missing/misdirected map clauses
+	RuleUseBeforeInit = "use-before-init" // read of a maybe-uninitialized scalar
+	RuleDeadStore     = "dead-store"      // assignment whose value is never read
+	RuleUnusedVar     = "unused-var"      // declaration never referenced
+	RuleStallLint     = "stall-lint"      // scalar DRAM access in an innermost loop body
+	RuleIRVerify      = "ir-verify"       // structural IR/schedule verifier failure
+	RuleFrontend      = "frontend"        // lex/parse/sema failure
+	RuleLower         = "lower"           // lowering failure not explained by an AST rule
+)
+
+// ActionNarrowAccesses is the remedy the dynamic advisor attaches to its
+// narrow-accesses finding; stall-lint uses the identical wording so a
+// static prediction and a profiled diagnosis can be cross-checked
+// verbatim (see EXPERIMENTS.md).
+const ActionNarrowAccesses = "vectorize the loads so each request fills a wider fraction of the bus (paper §V-C, version 3)"
+
+// Diagnostic is one finding with a stable rule ID and a source position.
+type Diagnostic struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	Message  string   `json:"message"`
+}
+
+// String renders the canonical human-readable form:
+// file:line:col: severity: [rule] message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: [%s] %s", d.File, d.Line, d.Col, d.Severity, d.Rule, d.Message)
+}
+
+func diag(file string, pos minic.Pos, rule string, sev Severity, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		File:     file,
+		Line:     pos.Line,
+		Col:      pos.Col,
+		Rule:     rule,
+		Severity: sev,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// Sort orders diagnostics by position, then severity (most severe first),
+// then rule, then message — a stable order for golden files.
+func Sort(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Clean reports whether the diagnostics contain nothing above info level.
+func Clean(ds []Diagnostic) bool {
+	for _, d := range ds {
+		if d.Severity > SevInfo {
+			return false
+		}
+	}
+	return true
+}
+
+// HasRule reports whether any diagnostic carries the given rule ID.
+func HasRule(ds []Diagnostic, rule string) bool {
+	for _, d := range ds {
+		if d.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckProgram runs every AST-level rule over a parsed, sema-checked
+// program: def-use dataflow lints on all functions, and the OpenMP and
+// stall rules on the target region if one exists.
+func CheckProgram(file string, prog *minic.Program) []Diagnostic {
+	var ds []Diagnostic
+	for _, fn := range prog.Funcs {
+		res := resolve(fn)
+		checkUnused(file, res, &ds)
+		checkUninit(file, res, &ds)
+		checkDeadStores(file, res, &ds)
+		if ts := findTargetStmt(fn); ts != nil {
+			checkOMP(file, res, ts, &ds)
+			checkStalls(file, res, ts, &ds)
+		}
+	}
+	Sort(ds)
+	return ds
+}
+
+// CheckKernel runs the ir-verify rule: the hardened structural IR
+// verifier, and the schedule verifier when a schedule is supplied.
+func CheckKernel(file string, k *ir.Kernel, s *schedule.Schedule) []Diagnostic {
+	var ds []Diagnostic
+	if k != nil {
+		if err := ir.Validate(k); err != nil {
+			ds = append(ds, diag(file, minic.Pos{}, RuleIRVerify, SevError, "ir verification failed: %v", err))
+		}
+	}
+	if s != nil {
+		if err := s.Validate(); err != nil {
+			ds = append(ds, diag(file, minic.Pos{}, RuleIRVerify, SevError, "schedule verification failed: %v", err))
+		}
+	}
+	return ds
+}
+
+// CheckSource runs the full vet pipeline on MiniC source: parse + sema,
+// the AST rules, then — when the AST rules found no errors — lowering,
+// scheduling and the ir-verify rule. Frontend failures become a single
+// "frontend" diagnostic; lowering failures not already explained by an
+// AST-level error become a "lower" diagnostic.
+func CheckSource(file, src string, opts minic.Options) []Diagnostic {
+	prog, err := minic.Parse(src, opts)
+	if err != nil {
+		return []Diagnostic{frontendDiag(file, err)}
+	}
+	ds := CheckProgram(file, prog)
+	hasError := false
+	for _, d := range ds {
+		if d.Severity == SevError {
+			hasError = true
+			break
+		}
+	}
+	if hasError {
+		return ds
+	}
+	k, err := lower.Lower(prog)
+	if err != nil {
+		pos := minic.Pos{}
+		var le *lower.Error
+		if errors.As(err, &le) {
+			pos = le.Pos
+		}
+		ds = append(ds, diag(file, pos, RuleLower, SevError, "%v", err))
+		Sort(ds)
+		return ds
+	}
+	s, err := schedule.Build(k, schedule.DefaultConfig())
+	if err != nil {
+		ds = append(ds, diag(file, minic.Pos{}, RuleIRVerify, SevError, "%v", err))
+		Sort(ds)
+		return ds
+	}
+	ds = append(ds, CheckKernel(file, k, s)...)
+	Sort(ds)
+	return ds
+}
+
+// frontendDiag converts a lex/parse/sema error into a diagnostic,
+// preserving its position when the error carries one.
+func frontendDiag(file string, err error) Diagnostic {
+	pos := minic.Pos{}
+	msg := err.Error()
+	var pe *minic.ParseError
+	var se *minic.SemaError
+	var le *minic.LexError
+	switch {
+	case errors.As(err, &pe):
+		pos, msg = pe.Pos, pe.Msg
+	case errors.As(err, &se):
+		pos, msg = se.Pos, se.Msg
+	case errors.As(err, &le):
+		pos, msg = le.Pos, le.Msg
+	}
+	return diag(file, pos, RuleFrontend, SevError, "%s", msg)
+}
+
+// findTargetStmt returns the function's target region, or nil. Sema
+// guarantees at most one per program.
+func findTargetStmt(fn *minic.FuncDecl) *minic.TargetStmt {
+	var found *minic.TargetStmt
+	var scan func(s minic.Stmt)
+	scan = func(s minic.Stmt) {
+		if found != nil {
+			return
+		}
+		switch st := s.(type) {
+		case *minic.TargetStmt:
+			found = st
+		case *minic.BlockStmt:
+			for _, c := range st.Stmts {
+				scan(c)
+			}
+		case *minic.ForStmt:
+			scan(st.Body)
+		case *minic.IfStmt:
+			scan(st.Then)
+			if st.Else != nil {
+				scan(st.Else)
+			}
+		case *minic.CriticalStmt:
+			scan(st.Body)
+		}
+	}
+	scan(fn.Body)
+	return found
+}
