@@ -1,0 +1,150 @@
+// Command nymbleperf runs the static performance-bound analyzer over
+// MiniC sources: per-loop initiation intervals, total-cycle lower/upper
+// bounds from constant-folded trip counts, a roofline memory-boundedness
+// verdict against the DRAM model, a static profile-buffer overflow
+// check, and wall-time bounds at the estimated Fmax. Nothing is
+// simulated — every number is derived from the schedule before synthesis.
+//
+// Usage:
+//
+//	nymbleperf [-D NAME=VALUE]... [-param NAME=VALUE]... [-json] file.mc...
+//	nymbleperf -workloads [-json]
+//
+// -param supplies integer launch arguments (e.g. -param DIM=64) so
+// data-dependent trip counts fold to constants. -workloads analyzes the
+// built-in seed kernels (GEMM versions 1-5 and pi) with their canonical
+// defines and parameters. The JSON report carries a schema "version"
+// field and is byte-stable across runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"paravis/internal/core"
+	"paravis/internal/perfbound"
+	"paravis/internal/staticcheck"
+	"paravis/internal/workloads"
+)
+
+type defineFlags map[string]string
+
+func (d defineFlags) String() string { return "" }
+func (d defineFlags) Set(v string) error {
+	name, val, found := strings.Cut(v, "=")
+	if !found {
+		val = "1"
+	}
+	if name == "" {
+		return fmt.Errorf("empty define name")
+	}
+	d[name] = val
+	return nil
+}
+
+type paramFlags map[string]int64
+
+func (p paramFlags) String() string { return "" }
+func (p paramFlags) Set(v string) error {
+	name, val, found := strings.Cut(v, "=")
+	if !found || name == "" {
+		return fmt.Errorf("expected NAME=VALUE, got %q", v)
+	}
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return fmt.Errorf("param %s: %v", name, err)
+	}
+	p[name] = n
+	return nil
+}
+
+// unit is one analyzed compilation unit in the report.
+type unit struct {
+	Name        string                   `json:"name"`
+	Report      *perfbound.Report        `json:"report,omitempty"`
+	Diagnostics []staticcheck.Diagnostic `json:"diagnostics"`
+	Error       string                   `json:"error,omitempty"`
+}
+
+func main() {
+	defines := defineFlags{}
+	params := paramFlags{}
+	flag.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
+	flag.Var(params, "param", "integer launch parameter NAME=VALUE for trip-count folding (repeatable)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	wl := flag.Bool("workloads", false, "analyze the built-in seed workloads instead of files")
+	flag.Parse()
+	if *wl == (flag.NArg() > 0) {
+		fmt.Fprintln(os.Stderr, "usage: nymbleperf [-D NAME=VALUE] [-param NAME=VALUE] [-json] file.mc...")
+		fmt.Fprintln(os.Stderr, "       nymbleperf -workloads [-json]")
+		os.Exit(2)
+	}
+
+	var units []unit
+	if *wl {
+		for _, w := range workloads.Units() {
+			units = append(units, analyzeOne(w.Name, w.Source, w.Defines, w.Params))
+		}
+	} else {
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nymbleperf:", err)
+				os.Exit(2)
+			}
+			units = append(units, analyzeOne(path, string(src), defines, params))
+		}
+	}
+
+	failed := false
+	for _, u := range units {
+		if u.Error != "" {
+			failed = true
+		}
+	}
+
+	if *asJSON {
+		report := struct {
+			Version int    `json:"version"`
+			Units   []unit `json:"units"`
+		}{Version: 1, Units: units}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "nymbleperf:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, u := range units {
+			fmt.Printf("== %s ==\n", u.Name)
+			if u.Error != "" {
+				fmt.Printf("  error: %s\n", u.Error)
+				continue
+			}
+			fmt.Print(u.Report.Format())
+			for _, d := range u.Diagnostics {
+				fmt.Printf("  %s\n", d)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func analyzeOne(name, src string, defines map[string]string, params map[string]int64) unit {
+	prog, err := core.Build(src, core.BuildOptions{Defines: defines})
+	if err != nil {
+		return unit{Name: name, Error: err.Error(), Diagnostics: []staticcheck.Diagnostic{}}
+	}
+	rep := perfbound.Analyze(prog.Kernel, prog.Sched, params, perfbound.DefaultConfig())
+	ds := staticcheck.CheckPerf(name, prog.Kernel, prog.Sched, params)
+	if ds == nil {
+		ds = []staticcheck.Diagnostic{}
+	}
+	return unit{Name: name, Report: rep, Diagnostics: ds}
+}

@@ -63,11 +63,9 @@ func main() {
 
 	var units []unit
 	if *wl {
-		for _, v := range workloads.AllGEMMVersions {
-			name := "gemm-" + strings.ToLower(strings.ReplaceAll(v.String(), " ", "-"))
-			units = append(units, vetOne(name, workloads.GEMMSource(v), workloads.GEMMDefines(v)))
+		for _, w := range workloads.Units() {
+			units = append(units, vetOne(w.Name, w.Source, w.Defines))
 		}
-		units = append(units, vetOne("pi", workloads.PiSource, workloads.PiDefines()))
 	} else {
 		for _, path := range flag.Args() {
 			src, err := os.ReadFile(path)
@@ -89,9 +87,13 @@ func main() {
 	}
 
 	if *asJSON {
+		report := struct {
+			Version int    `json:"version"`
+			Units   []unit `json:"units"`
+		}{Version: 1, Units: units}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(units); err != nil {
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintln(os.Stderr, "nymblevet:", err)
 			os.Exit(2)
 		}

@@ -3,27 +3,36 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|overhead|fig6|fig7|speedup|fig8|fig9|pi|threads]
-//	           [-dim N] [-pisteps a,b,c] [-quiet] [-j N]
+//	paperbench [-exp all|overhead|fig6|fig7|speedup|fig8|fig9|pi|threads|bounds]
+//	           [-dim N] [-pisteps a,b,c] [-quiet] [-j N] [-benchjson path]
+//
+// -exp bounds runs the static-bounds cross-validation (E10); it is not
+// part of -exp all so the default output stays byte-identical across
+// releases. -benchjson records each experiment's wall time and allocation
+// profile as machine-readable JSON (BENCH_4.json in CI).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"paravis/internal/experiments"
 	"paravis/internal/parallel"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, overhead, fig6, fig7, speedup, fig8, fig9, pi, threads")
+	exp := flag.String("exp", "all", "experiment to run: all, overhead, fig6, fig7, speedup, fig8, fig9, pi, threads, bounds")
 	dim := flag.Int("dim", 64, "GEMM matrix dimension (multiple of 16)")
 	piSteps := flag.String("pisteps", "102400,409600,1024000", "comma-separated pi iteration counts")
 	quiet := flag.Bool("quiet", false, "suppress ASCII timeline/sparkline views")
 	workers := flag.Int("j", 0, "max design points simulated concurrently (0 = GOMAXPROCS)")
+	benchJSON := flag.String("benchjson", "", "write per-experiment timing/allocation stats as JSON to this path")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -42,13 +51,16 @@ func main() {
 		opts.PiSteps = append(opts.PiSteps, n)
 	}
 
+	var bench []benchRecord
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		if err := fn(); err != nil {
+		rec, err := timed(name, fn)
+		if err != nil {
 			fatal(err)
 		}
+		bench = append(bench, rec)
 		fmt.Println()
 	}
 
@@ -116,9 +128,67 @@ func main() {
 		fmt.Print(r.Format())
 		return nil
 	})
+	// The bounds cross-validation is opt-in only: keeping it out of
+	// "-exp all" keeps the default trace byte-identical to the seed.
+	if *exp == "bounds" {
+		run("bounds", func() error {
+			r, err := experiments.RunBounds(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Format())
+			return nil
+		})
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, bench); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "paperbench:", err)
 	os.Exit(1)
+}
+
+// benchRecord is one experiment's timing in the go-bench-like JSON
+// schema (name, iterations, ns/op, allocs/op, bytes/op).
+type benchRecord struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// timed runs one experiment once, recording wall time and the allocation
+// deltas around it.
+func timed(name string, fn func() error) (benchRecord, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchRecord{
+		Name:        name,
+		Iterations:  1,
+		NsPerOp:     elapsed.Nanoseconds(),
+		AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+		BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
+	}, err
+}
+
+// writeBenchJSON writes the recorded experiment timings.
+func writeBenchJSON(path string, recs []benchRecord) error {
+	report := struct {
+		Version    int           `json:"version"`
+		Benchmarks []benchRecord `json:"benchmarks"`
+	}{Version: 1, Benchmarks: recs}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

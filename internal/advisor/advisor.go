@@ -193,7 +193,7 @@ func Advise(out *core.RunOutput, th Thresholds) []Finding {
 		stallFrac := float64(r.TotalStalls()) / float64(busy)
 		if stallFrac > th.StallFrac {
 			sev := severityByScale(100*stallFrac, 100*th.StallFrac)
-			action := "stage the working set in local BRAM (blocking) so compute reads on-chip memory instead of DRAM (paper §V-C, version 4)"
+			action := staticcheck.ActionBlockInBRAM
 			// If local memory already dominates the traffic, blocking is
 			// in place: the residual stalls are the block loads themselves.
 			if r.BRAMWordsMoved > 2*r.DRAM.ThreadWordsMoved {
@@ -220,7 +220,9 @@ func Advise(out *core.RunOutput, th Thresholds) []Finding {
 			Severity: Major,
 			Evidence: fmt.Sprintf("thread 0 alternates %d load-only and %d compute-only windows with only %.0f%% overlapped",
 				ph.MemOnly, ph.ComputeOnly, 100*ph.Overlap()),
-			Action: "double-buffer: prefetch the next block into a second BRAM while computing on the current one (paper §V-C, version 5)",
+			// Shared wording with the static perf-bound rule (see
+			// staticcheck.ActionDoubleBuffer).
+			Action: staticcheck.ActionDoubleBuffer,
 			Score:  1 - ph.Overlap(),
 		})
 	}

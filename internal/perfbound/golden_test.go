@@ -1,0 +1,135 @@
+package perfbound_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"paravis/internal/core"
+	"paravis/internal/perfbound"
+	"paravis/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite golden bound files")
+
+// TestGoldenBounds locks the rendered report of every seed workload
+// (the five GEMM optimization steps and pi) to a golden file. The
+// reports are deterministic, so any analyzer change shows up as a
+// reviewable diff.
+func TestGoldenBounds(t *testing.T) {
+	for _, w := range workloads.Units() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := core.Build(w.Source, core.BuildOptions{Defines: w.Defines})
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			rep := perfbound.Analyze(prog.Kernel, prog.Sched, w.Params, perfbound.DefaultConfig())
+			got := rep.Format()
+			path := filepath.Join("testdata", w.Name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestReportDeterministic re-analyzes a workload and checks the JSON
+// encoding is byte-identical — the property nymbleperf -json relies on.
+func TestReportDeterministic(t *testing.T) {
+	w := workloads.Units()[0]
+	prog, err := core.Build(w.Source, core.BuildOptions{Defines: w.Defines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := func() string {
+		rep := perfbound.Analyze(prog.Kernel, prog.Sched, w.Params, perfbound.DefaultConfig())
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b := enc(), enc()
+	if a != b {
+		t.Errorf("two analyses of the same kernel differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestSymbolicWorkload checks the analyzer degrades soundly without
+// launch parameters: data-dependent trip counts stay unknown, the upper
+// bound is reported unknown, and the lower bound stays positive.
+func TestSymbolicWorkload(t *testing.T) {
+	w := workloads.Units()[0] // gemm-naive: all loops bounded by DIM
+	prog, err := core.Build(w.Source, core.BuildOptions{Defines: w.Defines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := perfbound.Analyze(prog.Kernel, prog.Sched, nil, perfbound.DefaultConfig())
+	if rep.Cycles.UpperKnown {
+		t.Errorf("upper bound claimed known with DIM unbound: %+v", rep.Cycles)
+	}
+	if rep.Cycles.Upper != 0 {
+		t.Errorf("unknown upper bound must be zeroed, got %d", rep.Cycles.Upper)
+	}
+	if rep.Cycles.Lower <= 0 {
+		t.Errorf("lower bound must stay positive, got %d", rep.Cycles.Lower)
+	}
+	hasUnknown := false
+	for _, l := range rep.Loops {
+		if !l.TripsKnown {
+			hasUnknown = true
+		}
+	}
+	if !hasUnknown {
+		t.Error("expected at least one unfoldable trip count without DIM")
+	}
+}
+
+// tripSrc is a minimal strided-loop kernel: per thread,
+// ceil((N - tid)/nthreads) iterations; for N=64 and 4 threads, exactly
+// 16 for every thread.
+const tripSrc = `
+void k(float* A, int N) {
+  #pragma omp target parallel map(tofrom:A[0:N]) num_threads(4)
+  {
+    int id = omp_get_thread_num();
+    int nt = omp_get_num_threads();
+    for (int i = id; i < N; i += nt) {
+      A[i] = A[i] + 1.0f;
+    }
+  }
+}
+`
+
+// TestTripCounts folds a strided loop's trip count and checks the
+// soundness-critical inequality lower <= upper on the resulting bounds.
+func TestTripCounts(t *testing.T) {
+	prog, err := core.Build(tripSrc, core.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := perfbound.Analyze(prog.Kernel, prog.Sched, map[string]int64{"N": 64}, perfbound.DefaultConfig())
+	if len(rep.Loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(rep.Loops))
+	}
+	l := rep.Loops[0]
+	if !l.TripsKnown || l.TripsLo != 16 || l.TripsHi != 16 {
+		t.Errorf("strided loop trips = [%d,%d] known=%v, want exactly 16", l.TripsLo, l.TripsHi, l.TripsKnown)
+	}
+	if !rep.Cycles.UpperKnown || rep.Cycles.Lower > rep.Cycles.Upper || rep.Cycles.Lower <= 0 {
+		t.Errorf("bad bounds: %+v", rep.Cycles)
+	}
+}

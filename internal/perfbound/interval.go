@@ -1,0 +1,186 @@
+package perfbound
+
+// iv is an integer interval [Lo, Hi] with a Known flag: Known=false means
+// "no static information" (top of the lattice). All arithmetic saturates at
+// ±ivCap so trip-count products of deep loop nests cannot overflow int64.
+type iv struct {
+	Lo, Hi int64
+	Known  bool
+}
+
+// ivCap is the saturation bound of the interval domain. It is large enough
+// that any real cycle count fits, and small enough that sums and products
+// of saturated values stay far from int64 overflow.
+const ivCap = int64(1) << 50
+
+func exact(v int64) iv { return iv{Lo: v, Hi: v, Known: true} }
+func span(lo, hi int64) iv {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return iv{Lo: clampCap(lo), Hi: clampCap(hi), Known: true}
+}
+func unknown() iv { return iv{} }
+
+// isExact reports whether the interval pins a single value.
+func (a iv) isExact() bool { return a.Known && a.Lo == a.Hi }
+
+func clampCap(v int64) int64 {
+	if v > ivCap {
+		return ivCap
+	}
+	if v < -ivCap {
+		return -ivCap
+	}
+	return v
+}
+
+func satAdd(a, b int64) int64 { return clampCap(a + b) } // |a|,|b| <= ivCap: no overflow
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > ivCap || a < -ivCap || b > ivCap || b < -ivCap {
+		a, b = clampCap(a), clampCap(b)
+	}
+	r := a * b
+	// Saturate on overflow or out-of-range results.
+	if r/b != a || r > ivCap || r < -ivCap {
+		if (a > 0) == (b > 0) {
+			return ivCap
+		}
+		return -ivCap
+	}
+	return r
+}
+
+func (a iv) add(b iv) iv {
+	if !a.Known || !b.Known {
+		return unknown()
+	}
+	return span(satAdd(a.Lo, b.Lo), satAdd(a.Hi, b.Hi))
+}
+
+func (a iv) sub(b iv) iv {
+	if !a.Known || !b.Known {
+		return unknown()
+	}
+	return span(satAdd(a.Lo, -b.Hi), satAdd(a.Hi, -b.Lo))
+}
+
+func (a iv) mul(b iv) iv {
+	if !a.Known || !b.Known {
+		return unknown()
+	}
+	p1 := satMul(a.Lo, b.Lo)
+	p2 := satMul(a.Lo, b.Hi)
+	p3 := satMul(a.Hi, b.Lo)
+	p4 := satMul(a.Hi, b.Hi)
+	return span(min64(min64(p1, p2), min64(p3, p4)), max64(max64(p1, p2), max64(p3, p4)))
+}
+
+// div is C truncating division. Sound only when the divisor interval
+// excludes zero; otherwise unknown. t/d is monotone in t for fixed d and
+// monotone in d for fixed t, so the extremes sit at the box corners.
+func (a iv) div(b iv) iv {
+	if !a.Known || !b.Known || (b.Lo <= 0 && b.Hi >= 0) {
+		return unknown()
+	}
+	q1 := a.Lo / b.Lo
+	q2 := a.Lo / b.Hi
+	q3 := a.Hi / b.Lo
+	q4 := a.Hi / b.Hi
+	return span(min64(min64(q1, q2), min64(q3, q4)), max64(max64(q1, q2), max64(q3, q4)))
+}
+
+// rem over-approximates C's % for a positive divisor.
+func (a iv) rem(b iv) iv {
+	if !a.Known || !b.Known || b.Lo <= 0 {
+		return unknown()
+	}
+	m := b.Hi - 1
+	lo := int64(0)
+	if a.Lo < 0 {
+		lo = -m
+	}
+	return span(lo, m)
+}
+
+func (a iv) union(b iv) iv {
+	if !a.Known || !b.Known {
+		return unknown()
+	}
+	return span(min64(a.Lo, b.Lo), max64(a.Hi, b.Hi))
+}
+
+// boolIv is the [0,1] result of a comparison whose outcome is not static.
+func boolIv() iv { return span(0, 1) }
+
+// cmpLt returns the interval of (a < b): exact when the ranges are disjoint.
+func (a iv) cmpLt(b iv) iv {
+	if !a.Known || !b.Known {
+		return boolIv()
+	}
+	if a.Hi < b.Lo {
+		return exact(1)
+	}
+	if a.Lo >= b.Hi {
+		return exact(0)
+	}
+	return boolIv()
+}
+
+func (a iv) cmpLe(b iv) iv {
+	if !a.Known || !b.Known {
+		return boolIv()
+	}
+	if a.Hi <= b.Lo {
+		return exact(1)
+	}
+	if a.Lo > b.Hi {
+		return exact(0)
+	}
+	return boolIv()
+}
+
+func (a iv) cmpEq(b iv) iv {
+	if !a.Known || !b.Known {
+		return boolIv()
+	}
+	if a.isExact() && b.isExact() && a.Lo == b.Lo {
+		return exact(1)
+	}
+	if a.Hi < b.Lo || a.Lo > b.Hi {
+		return exact(0)
+	}
+	return boolIv()
+}
+
+// definitelyTrue / definitelyFalse classify a predicate interval.
+func (a iv) definitelyTrue() bool  { return a.Known && (a.Lo > 0 || a.Hi < 0) }
+func (a iv) definitelyFalse() bool { return a.isExact() && a.Lo == 0 }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ceilDiv is ceiling division for positive divisors.
+func ceilDiv(n, d int64) int64 {
+	if d <= 0 {
+		return 0
+	}
+	if n <= 0 {
+		return 0
+	}
+	return (n + d - 1) / d
+}

@@ -1,0 +1,508 @@
+// Package perfbound is a static performance-bound analyzer over the
+// scheduled IR. From the pipeline schedule (stage structure, latency
+// table, memory-port assignments) and constant-folded trip counts it
+// computes, per kernel and per loop nest: a best-case initiation
+// interval, total-cycle lower/upper bounds, a roofline
+// memory-boundedness verdict against the DRAM model, a static
+// profile-buffer overflow check, and cycles-at-Fmax wall-time bounds.
+// The bounds are designed to bracket what internal/sim measures: the
+// lower bound follows from the simulator's timing invariants (one stage
+// per cycle, Depth+1 cycles per iteration, one in-flight iteration per
+// thread, 1 DRAM accept and BeatBytes bus bytes per cycle); the upper
+// bound charges every thread its own worst-case waits and is validated
+// against the simulator by the soundness property test.
+package perfbound
+
+import (
+	"sort"
+
+	"paravis/internal/area"
+	"paravis/internal/ir"
+	"paravis/internal/mem"
+	"paravis/internal/profile"
+	"paravis/internal/schedule"
+)
+
+// Config holds the machine model the bounds are computed against. It
+// mirrors sim.Config so predictions and measurements describe the same
+// hardware.
+type Config struct {
+	DRAM        mem.DRAMConfig
+	BRAMLatency int
+	SpinRetry   int
+	ThreadStart int64
+	Profile     profile.Config
+	Lat         schedule.Latencies
+	// Slack is the multiplicative margin of the upper bound: it absorbs
+	// second-order queueing effects (bank conflicts, accept-queue
+	// ordering, spin-retry granularity) that the per-thread charge model
+	// bounds only approximately. SlackCycles is the additive floor.
+	Slack       float64
+	SlackCycles int64
+}
+
+// DefaultConfig mirrors sim.DefaultConfig plus the default latency table.
+func DefaultConfig() Config {
+	return Config{
+		DRAM:        mem.DefaultDRAMConfig(),
+		BRAMLatency: 2,
+		SpinRetry:   6,
+		ThreadStart: 25000,
+		Profile:     profile.DefaultConfig(),
+		Lat:         schedule.DefaultLatencies(),
+		Slack:       1.25,
+		SlackCycles: 2048,
+	}
+}
+
+// CycleBounds brackets the simulator's Result.Cycles. UpperKnown is
+// false when some trip count could not be constant-folded, in which
+// case Upper is meaningless.
+type CycleBounds struct {
+	Lower      int64 `json:"lower"`
+	Upper      int64 `json:"upper"`
+	UpperKnown bool  `json:"upper_known"`
+}
+
+// PortConflict reports an array whose single memory port is hit more
+// than once per loop iteration, limiting any pipelined II.
+type PortConflict struct {
+	Array    string `json:"array"`
+	Accesses int64  `json:"accesses_per_iter"`
+}
+
+// LoopReport is the per-loop-nest analysis.
+type LoopReport struct {
+	Name  string `json:"name"`
+	Depth int    `json:"pipeline_depth"`
+	// IIThread is the iteration interval the architecture achieves: one
+	// token per thread, so Depth+1 cycles between iterations.
+	IIThread int64 `json:"ii_thread"`
+	// IIBest is the best II a fully pipelined datapath could reach,
+	// floored by single-port conflicts and external-bus beats.
+	IIBest    int64  `json:"ii_best"`
+	IILimiter string `json:"ii_limiter"`
+	// Trip-count interval per entry; TripsKnown=false when the bound or
+	// step could not be constant-folded.
+	TripsLo    int64 `json:"trips_lo"`
+	TripsHi    int64 `json:"trips_hi"`
+	TripsKnown bool  `json:"trips_known"`
+	// Worst-case external traffic of one iteration of this loop body.
+	ExtBytesPerIter int64 `json:"ext_bytes_per_iter"`
+	ExtReqsPerIter  int64 `json:"ext_reqs_per_iter"`
+	LocalPerIter    int64 `json:"local_accesses_per_iter"`
+	// MemBound: aggregate demand of all threads in this loop exceeds the
+	// DRAM bus width per achievable iteration slot.
+	MemBound      bool           `json:"mem_bound"`
+	PortConflicts []PortConflict `json:"port_conflicts,omitempty"`
+}
+
+// Roofline is the kernel-level compute-vs-memory verdict.
+type Roofline struct {
+	ComputeCycles       int64   `json:"compute_cycles"`
+	MemoryCycles        int64   `json:"memory_cycles"`
+	DemandBytesPerCycle float64 `json:"demand_bytes_per_cycle"`
+	PeakBytesPerCycle   float64 `json:"peak_bytes_per_cycle"`
+	MemoryBound         bool    `json:"memory_bound"`
+}
+
+// OverflowCheck statically predicts whether the profiling unit's flush
+// traffic can exceed the DRAM bandwidth left over by the kernel, the
+// precondition for on-chip profile-buffer overflow.
+type OverflowCheck struct {
+	EventBytesPerCycle float64 `json:"event_bytes_per_cycle"`
+	StateBytesPerCycle float64 `json:"state_bytes_per_cycle"`
+	SpareBytesPerCycle float64 `json:"spare_bytes_per_cycle"`
+	Risk               bool    `json:"risk"`
+}
+
+// Report is the full static analysis of one kernel under one workload.
+type Report struct {
+	Kernel     string        `json:"kernel"`
+	NumThreads int           `json:"num_threads"`
+	Cycles     CycleBounds   `json:"cycles"`
+	Loops      []LoopReport  `json:"loops"`
+	Roofline   Roofline      `json:"roofline"`
+	Overflow   OverflowCheck `json:"overflow"`
+	FmaxMHz    float64       `json:"fmax_mhz"`
+	// Wall-clock bounds at Fmax, in microseconds (upper is 0 when the
+	// cycle upper bound is unknown).
+	WallLowerUS float64 `json:"wall_lower_us"`
+	WallUpperUS float64 `json:"wall_upper_us"`
+}
+
+// gstats are the per-iteration VLO statistics of one graph, read off the
+// schedule once. Min counts exclude predicated ops (they may not
+// execute); max counts include everything live.
+type gstats struct {
+	extLoadsMin, extLoadsMax   int64
+	extStoresMin, extStoresMax int64
+	extBeatsMin, extBeatsMax   int64
+	extBytesMin, extBytesMax   int64
+	localMax                   int64
+	locksMax                   int64
+	barriers                   int64
+	perArray                   map[string]int64 // max accesses per iter, by array name
+	localArrays                map[string]bool
+}
+
+func beatsOf(n *ir.Node, beatBytes int) int64 {
+	bytes := int64(n.Width) * int64(n.Arr.ElemWords) * mem.WordBytes
+	if bytes <= 0 {
+		bytes = mem.WordBytes
+	}
+	bb := int64(beatBytes)
+	if bb <= 0 {
+		bb = 64
+	}
+	return (bytes + bb - 1) / bb
+}
+
+func bytesOf(n *ir.Node) int64 {
+	b := int64(n.Width) * int64(n.Arr.ElemWords) * mem.WordBytes
+	if b <= 0 {
+		b = mem.WordBytes
+	}
+	return b
+}
+
+func statsOf(gs *schedule.GraphSched, beatBytes int) gstats {
+	st := gstats{perArray: map[string]int64{}, localArrays: map[string]bool{}}
+	for _, n := range gs.G.Nodes {
+		if !gs.Live[n] {
+			continue
+		}
+		switch n.Op {
+		case ir.OpLoad, ir.OpStore:
+			st.perArray[n.Arr.Name]++
+			if n.Arr.Space == ir.SpaceLocal {
+				st.localArrays[n.Arr.Name] = true
+				st.localMax++
+				continue
+			}
+			beats := beatsOf(n, beatBytes)
+			bytes := bytesOf(n)
+			st.extBeatsMax += beats
+			st.extBytesMax += bytes
+			if n.Op == ir.OpLoad {
+				st.extLoadsMax++
+			} else {
+				st.extStoresMax++
+			}
+			if n.Pred == nil {
+				st.extBeatsMin += beats
+				st.extBytesMin += bytes
+				if n.Op == ir.OpLoad {
+					st.extLoadsMin++
+				} else {
+					st.extStoresMin++
+				}
+			}
+		case ir.OpLock:
+			st.locksMax++
+		case ir.OpBarrier:
+			st.barriers++
+		}
+	}
+	return st
+}
+
+// checkStage is the stage at which a token of an exiting iteration
+// leaves the pipeline (mirrors sim's checkStage).
+func checkStage(gs *schedule.GraphSched) int64 {
+	c := int64(gs.CondStage)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// traffic totals accumulated over one thread's whole execution.
+type traffic struct {
+	reqsMin, reqsMax   int64
+	beatsMin, beatsMax int64
+	bytesMin, bytesMax int64
+	locksMax           int64
+}
+
+// lowerExec returns a sound lower bound on the cycles one execution of
+// this graph keeps its thread busy, and accumulates minimum DRAM
+// traffic (scaled by the minimum executions the caller will multiply
+// by — here we return per-execution traffic and let the caller scale).
+func lowerExec(ge *graphEval, stats map[*ir.Graph]gstats) int64 {
+	// Per iteration the frame needs Depth+1 cycles, and every
+	// non-predicated child must complete inside the iteration; children
+	// may overlap each other, so take the max.
+	gs := ge.gs
+	inner := int64(gs.Depth) + 1
+	for _, kid := range ge.kids {
+		if kid.entry.Known && kid.entry.Lo >= 1 {
+			if k := lowerExec(kid, stats); k > inner {
+				inner = k
+			}
+		}
+	}
+	if ge.g.Cond == nil {
+		return inner
+	}
+	trips := int64(0)
+	if ge.trips.Known {
+		trips = ge.trips.Lo
+	}
+	return checkStage(gs) + 1 + satMul(trips, inner)
+}
+
+// addTraffic accumulates one thread's DRAM request/beat/byte totals over
+// the whole loop tree: per-execution traffic times the execution-count
+// interval.
+func addTraffic(ge *graphEval, stats map[*ir.Graph]gstats, execLo, execHi int64, t *traffic) {
+	st := stats[ge.g]
+	tripsLo, tripsHi := int64(0), ivCap
+	if ge.trips.Known {
+		tripsLo, tripsHi = ge.trips.Lo, ge.trips.Hi
+	}
+	if ge.g.Cond == nil {
+		tripsLo, tripsHi = 1, 1
+	}
+	iterLo := satMul(execLo, tripsLo)
+	iterHi := satMul(execHi, tripsHi)
+	t.reqsMin = satAdd(t.reqsMin, satMul(iterLo, st.extLoadsMin+st.extStoresMin))
+	t.reqsMax = satAdd(t.reqsMax, satMul(iterHi, st.extLoadsMax+st.extStoresMax))
+	t.beatsMin = satAdd(t.beatsMin, satMul(iterLo, st.extBeatsMin))
+	t.beatsMax = satAdd(t.beatsMax, satMul(iterHi, st.extBeatsMax))
+	t.bytesMin = satAdd(t.bytesMin, satMul(iterLo, st.extBytesMin))
+	t.bytesMax = satAdd(t.bytesMax, satMul(iterHi, st.extBytesMax))
+	t.locksMax = satAdd(t.locksMax, satMul(iterHi, st.locksMax))
+	for _, kid := range ge.kids {
+		kLo, kHi := int64(0), int64(1)
+		if kid.entry.Known {
+			kLo, kHi = kid.entry.Lo, kid.entry.Hi
+		}
+		addTraffic(kid, stats, satMul(iterLo, kLo), satMul(iterHi, kHi), t)
+	}
+}
+
+// upperExec returns a conservative upper bound on the cycles one
+// execution of this graph charges to its own thread: pipeline time plus
+// the worst-case completion of every VLO it issues, plus its children.
+// known=false when some trip count is unresolved.
+func upperExec(ge *graphEval, stats map[*ir.Graph]gstats, cfg *Config, nt int64) (int64, bool) {
+	gs := ge.gs
+	st := stats[ge.g]
+	iter := int64(gs.Depth) + 3
+	iter = satAdd(iter, satMul(st.extLoadsMax, int64(cfg.DRAM.LatencyCycles+cfg.DRAM.BankRecovery+2)))
+	iter = satAdd(iter, st.extBeatsMax)
+	iter = satAdd(iter, satMul(st.extStoresMax, int64(cfg.DRAM.BankRecovery+2)))
+	iter = satAdd(iter, satMul(st.localMax, int64(cfg.BRAMLatency+1)))
+	iter = satAdd(iter, satMul(st.locksMax, int64(cfg.SpinRetry+cfg.Lat.MinLock+2)))
+	iter = satAdd(iter, satMul(st.barriers, satMul(nt, cfg.ThreadStart)))
+	known := true
+	for _, kid := range ge.kids {
+		ku, kk := upperExec(kid, stats, cfg, nt)
+		if !kk {
+			known = false
+		}
+		hi := int64(1)
+		if kid.entry.Known {
+			hi = kid.entry.Hi
+		}
+		iter = satAdd(iter, satMul(hi, ku))
+	}
+	if ge.g.Cond == nil {
+		return iter, known
+	}
+	if !ge.trips.Known {
+		return iter, false
+	}
+	return satAdd(checkStage(gs)+3, satMul(ge.trips.Hi, iter)), known
+}
+
+// Analyze runs the full static model for one scheduled kernel under one
+// workload (env maps scalar parameter names to their values; nil means
+// fully symbolic).
+func Analyze(k *ir.Kernel, s *schedule.Schedule, env map[string]int64, cfg Config) *Report {
+	if cfg.Slack <= 0 {
+		cfg.Slack = 1
+	}
+	nt := int64(k.NumThreads)
+	stats := make(map[*ir.Graph]gstats)
+	for _, g := range k.CollectGraphs() {
+		stats[g] = statsOf(s.ByGraph[g], cfg.DRAM.BeatBytes)
+	}
+
+	// Per-thread evaluation with exact thread ids: compute the lower
+	// bound and total traffic.
+	var lower int64
+	var tot traffic
+	var sumUpper int64
+	upperKnown := true
+	for t := int64(0); t < nt; t++ {
+		tree := evalTree(k, s, env, exact(t))
+		lb := satAdd(satMul(t, cfg.ThreadStart), lowerExec(tree, stats))
+		if lb > lower {
+			lower = lb
+		}
+		addTraffic(tree, stats, 1, 1, &tot)
+		ub, known := upperExec(tree, stats, &cfg, nt)
+		if !known {
+			upperKnown = false
+		}
+		sumUpper = satAdd(sumUpper, ub)
+	}
+	computeLower := lower
+	// DRAM serialization floors: 1 request accepted per cycle, BeatBytes
+	// transferred per cycle, across all threads.
+	memLower := max64(tot.reqsMin, tot.beatsMin)
+	if memLower > lower {
+		lower = memLower
+	}
+
+	// Upper bound: last thread start + every thread's own charged work,
+	// inflated by the profile-flush bandwidth share and the model slack.
+	lastStart := satMul(nt-1, cfg.ThreadStart)
+	upper := satAdd(lastStart, sumUpper)
+	stateBytes := int64(0)
+	evFactor := 1.0
+	if cfg.Profile.Enabled {
+		stateRecBytes := int64((2*int(nt) + 32 + 7) / 8)
+		// State records are produced at thread start/end and around each
+		// lock acquisition (Running->Spinning->Critical->Running).
+		stateBytes = satMul(stateRecBytes, satAdd(satMul(4, tot.locksMax), 4*nt))
+		upper = satAdd(upper, (stateBytes+int64(cfg.DRAM.BeatBytes)-1)/int64(cfg.DRAM.BeatBytes))
+		// Event samples: one 25-byte record per thread per sample window,
+		// stealing a fixed fraction of the flush bus.
+		evBytesPerCycle := float64(nt) * 25.0 / float64(cfg.Profile.SamplePeriod)
+		share := evBytesPerCycle / float64(cfg.DRAM.BeatBytes)
+		if share < 0.9 {
+			evFactor = 1.0 / (1.0 - share)
+		} else {
+			evFactor = 10.0
+		}
+	}
+	upper = clampCap(int64(float64(upper)*evFactor*cfg.Slack)) + cfg.SlackCycles
+
+	// Kernel-wide loop reports from an interval thread id (covers all
+	// threads at once).
+	all := evalTree(k, s, env, span(0, nt-1))
+	var loops []LoopReport
+	var walkLoops func(ge *graphEval)
+	walkLoops = func(ge *graphEval) {
+		if ge.g.Cond != nil {
+			loops = append(loops, loopReport(ge, stats[ge.g], &cfg, nt))
+		}
+		for _, kid := range ge.kids {
+			walkLoops(kid)
+		}
+	}
+	walkLoops(all)
+
+	// Roofline: does the guaranteed memory time dominate the minimum
+	// compute time? Min-side traffic keeps the verdict sound when some
+	// trip count did not fold (max-side would saturate and always claim
+	// memory-bound).
+	memCycles := max64(tot.reqsMin, tot.beatsMin)
+	demand := 0.0
+	if computeLower > 0 {
+		demand = float64(tot.bytesMin) / float64(computeLower)
+	}
+	roof := Roofline{
+		ComputeCycles:       computeLower,
+		MemoryCycles:        memCycles,
+		DemandBytesPerCycle: demand,
+		PeakBytesPerCycle:   float64(cfg.DRAM.BeatBytes),
+		MemoryBound:         memCycles > computeLower,
+	}
+
+	// Overflow: flush demand vs the bandwidth the kernel leaves free.
+	var ovf OverflowCheck
+	if cfg.Profile.Enabled {
+		ovf.EventBytesPerCycle = float64(nt) * 25.0 / float64(cfg.Profile.SamplePeriod)
+		if lower > 0 {
+			ovf.StateBytesPerCycle = float64(stateBytes) / float64(lower)
+		}
+		spare := float64(cfg.DRAM.BeatBytes) - demand
+		if spare < 0 {
+			spare = 0
+		}
+		ovf.SpareBytesPerCycle = spare
+		ovf.Risk = ovf.EventBytesPerCycle+ovf.StateBytesPerCycle > spare
+	}
+
+	if !upperKnown {
+		upper = 0
+	}
+	rep := &Report{
+		Kernel:     k.Name,
+		NumThreads: int(nt),
+		Cycles:     CycleBounds{Lower: lower, Upper: upper, UpperKnown: upperKnown},
+		Loops:      loops,
+		Roofline:   roof,
+		Overflow:   ovf,
+	}
+	ar := area.Estimate(k, s, cfg.Profile, area.DefaultCoefficients())
+	rep.FmaxMHz = ar.FmaxMHz
+	if ar.FmaxMHz > 0 {
+		rep.WallLowerUS = float64(lower) / ar.FmaxMHz
+		if upperKnown {
+			rep.WallUpperUS = float64(upper) / ar.FmaxMHz
+		}
+	}
+	return rep
+}
+
+// loopReport builds the per-loop view: achieved and best-case II, trip
+// counts, per-iteration traffic, the limiting resource and the
+// memory-boundedness of this nest in isolation.
+func loopReport(ge *graphEval, st gstats, cfg *Config, nt int64) LoopReport {
+	gs := ge.gs
+	r := LoopReport{
+		Name:            ge.g.Name,
+		Depth:           gs.Depth,
+		IIThread:        int64(gs.Depth) + 1,
+		TripsKnown:      ge.trips.Known,
+		ExtBytesPerIter: 0,
+		ExtReqsPerIter:  st.extLoadsMax + st.extStoresMax,
+		LocalPerIter:    st.localMax,
+	}
+	r.ExtBytesPerIter = st.extBytesMax
+	if ge.trips.Known {
+		r.TripsLo, r.TripsHi = ge.trips.Lo, ge.trips.Hi
+	}
+	// Best pipelined II: floored at 1, limited by single-port arrays
+	// (each port serves one access per cycle) and by the external bus
+	// (beats per iteration aggregated over all threads).
+	best := int64(1)
+	limiter := "dependencies"
+	names := make([]string, 0, len(st.perArray))
+	for name := range st.perArray {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !st.localArrays[name] {
+			continue
+		}
+		accesses := st.perArray[name]
+		if accesses > best {
+			best = accesses
+			limiter = "port-conflict:" + name
+		}
+		if accesses > 1 {
+			r.PortConflicts = append(r.PortConflicts, PortConflict{Array: name, Accesses: accesses})
+		}
+	}
+	if reqs := st.extLoadsMax + st.extStoresMax; satMul(reqs, nt) > best {
+		best = satMul(reqs, nt)
+		limiter = "dram-requests"
+	}
+	if beats := satMul(st.extBeatsMax, nt); beats > best {
+		best = beats
+		limiter = "dram-bandwidth"
+	}
+	r.IIBest = best
+	r.IILimiter = limiter
+	// The nest is memory bound when all threads' demand per achieved
+	// iteration slot exceeds the bus width.
+	r.MemBound = satMul(st.extBytesMax, nt) > satMul(r.IIThread, int64(cfg.DRAM.BeatBytes))
+	return r
+}

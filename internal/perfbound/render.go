@@ -1,0 +1,67 @@
+package perfbound
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the report in a deterministic human-readable layout,
+// stable enough to serve as golden-file content.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s (%d threads)\n", r.Kernel, r.NumThreads)
+	if r.Cycles.UpperKnown {
+		fmt.Fprintf(&b, "  cycles: [%d, %d]\n", r.Cycles.Lower, r.Cycles.Upper)
+	} else {
+		fmt.Fprintf(&b, "  cycles: [%d, unbounded] (trip count not statically known)\n", r.Cycles.Lower)
+	}
+	fmt.Fprintf(&b, "  fmax: %.1f MHz", r.FmaxMHz)
+	if r.WallLowerUS > 0 {
+		if r.WallUpperUS > 0 {
+			fmt.Fprintf(&b, "  wall: [%.1f us, %.1f us]", r.WallLowerUS, r.WallUpperUS)
+		} else {
+			fmt.Fprintf(&b, "  wall: >= %.1f us", r.WallLowerUS)
+		}
+	}
+	b.WriteString("\n")
+	verdict := "compute-bound"
+	if r.Roofline.MemoryBound {
+		verdict = "memory-bound"
+	}
+	fmt.Fprintf(&b, "  roofline: %s (compute >= %d cy, memory >= %d cy, demand %.2f B/cy of %.0f B/cy peak)\n",
+		verdict, r.Roofline.ComputeCycles, r.Roofline.MemoryCycles,
+		r.Roofline.DemandBytesPerCycle, r.Roofline.PeakBytesPerCycle)
+	if r.Overflow.EventBytesPerCycle > 0 || r.Overflow.StateBytesPerCycle > 0 {
+		risk := "ok"
+		if r.Overflow.Risk {
+			risk = "AT RISK"
+		}
+		fmt.Fprintf(&b, "  profile flush: %s (events %.3f + states %.3f B/cy vs %.2f B/cy spare)\n",
+			risk, r.Overflow.EventBytesPerCycle, r.Overflow.StateBytesPerCycle,
+			r.Overflow.SpareBytesPerCycle)
+	}
+	for _, l := range r.Loops {
+		trips := "trips unknown"
+		if l.TripsKnown {
+			if l.TripsLo == l.TripsHi {
+				trips = fmt.Sprintf("trips %d", l.TripsLo)
+			} else {
+				trips = fmt.Sprintf("trips [%d, %d]", l.TripsLo, l.TripsHi)
+			}
+		}
+		fmt.Fprintf(&b, "  loop %s: depth %d, II %d (best pipelined II %d, limited by %s), %s\n",
+			l.Name, l.Depth, l.IIThread, l.IIBest, l.IILimiter, trips)
+		if l.ExtReqsPerIter > 0 || l.LocalPerIter > 0 {
+			bound := "compute-bound"
+			if l.MemBound {
+				bound = "memory-bound"
+			}
+			fmt.Fprintf(&b, "    mem: %d ext req/iter (%d B), %d local acc/iter -> %s\n",
+				l.ExtReqsPerIter, l.ExtBytesPerIter, l.LocalPerIter, bound)
+		}
+		for _, pc := range l.PortConflicts {
+			fmt.Fprintf(&b, "    port conflict: array %s hit %d times per iteration\n", pc.Array, pc.Accesses)
+		}
+	}
+	return b.String()
+}

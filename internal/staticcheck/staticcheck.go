@@ -59,6 +59,7 @@ const (
 	RuleIRVerify      = "ir-verify"       // structural IR/schedule verifier failure
 	RuleFrontend      = "frontend"        // lex/parse/sema failure
 	RuleLower         = "lower"           // lowering failure not explained by an AST rule
+	RulePerfBound     = "perf-bound"      // static performance-bound findings (II, roofline, overflow)
 )
 
 // ActionNarrowAccesses is the remedy the dynamic advisor attaches to its
@@ -66,6 +67,15 @@ const (
 // static prediction and a profiled diagnosis can be cross-checked
 // verbatim (see EXPERIMENTS.md).
 const ActionNarrowAccesses = "vectorize the loads so each request fills a wider fraction of the bus (paper §V-C, version 3)"
+
+// ActionBlockInBRAM and ActionDoubleBuffer are the remedies the dynamic
+// advisor attaches to its memory-bound and distinct-phases findings; the
+// static perf-bound rule uses the identical wording so a pre-simulation
+// prediction and a profiled diagnosis can be cross-checked verbatim.
+const (
+	ActionBlockInBRAM  = "stage the working set in local BRAM (blocking) so compute reads on-chip memory instead of DRAM (paper §V-C, version 4)"
+	ActionDoubleBuffer = "double-buffer: prefetch the next block into a second BRAM while computing on the current one (paper §V-C, version 5)"
+)
 
 // Diagnostic is one finding with a stable rule ID and a source position.
 type Diagnostic struct {

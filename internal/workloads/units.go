@@ -1,0 +1,44 @@
+package workloads
+
+import "strings"
+
+// Unit is one built-in seed workload: a named MiniC source with its
+// canonical macro defines and the scalar launch parameters the
+// performance model folds trip counts against. Shared by nymblevet
+// -workloads and nymbleperf -workloads so both tools enumerate the
+// exact same units.
+type Unit struct {
+	Name    string
+	Source  string
+	Defines map[string]string
+	// Params are the integer launch arguments of the canonical run
+	// (the same values the experiments pass to the simulator).
+	Params map[string]int64
+}
+
+// UnitName returns the canonical unit name of a GEMM version
+// ("gemm-naive", "gemm-no-critical-sections", ...).
+func UnitName(v GEMMVersion) string {
+	return "gemm-" + strings.ToLower(strings.ReplaceAll(v.String(), " ", "-"))
+}
+
+// Units enumerates the seed workloads in canonical order: the five GEMM
+// optimization steps at DIM=64, then pi at 102400 steps.
+func Units() []Unit {
+	var us []Unit
+	for _, v := range AllGEMMVersions {
+		us = append(us, Unit{
+			Name:    UnitName(v),
+			Source:  GEMMSource(v),
+			Defines: GEMMDefines(v),
+			Params:  map[string]int64{"DIM": 64},
+		})
+	}
+	us = append(us, Unit{
+		Name:    "pi",
+		Source:  PiSource,
+		Defines: PiDefines(),
+		Params:  map[string]int64{"steps": 102400, "threads": 8},
+	})
+	return us
+}
