@@ -7,6 +7,7 @@ package paravis
 // writer (a handful of fixed buffers per call, none per record).
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -22,7 +23,7 @@ func benchProfileRun(b *testing.B) *experiments.GEMMRun {
 	b.Helper()
 	cfg := benchOpts(24).SimCfg
 	cfg.Profile.SamplePeriod = 64
-	r, err := experiments.RunGEMM(workloads.GEMMNaive, 24, 8, cfg)
+	r, err := experiments.RunGEMM(context.Background(), workloads.GEMMNaive, 24, 8, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -7,6 +7,7 @@ package paravis
 // `go test -bench=. -benchmem` doubles as a compact reproduction run.
 
 import (
+	"context"
 	"testing"
 
 	"paravis/internal/experiments"
@@ -27,7 +28,7 @@ func benchOpts(dim int) experiments.Options {
 // all six designs with and without the profiling unit.
 func BenchmarkOverheadGEMM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunOverhead(8, 0)
+		r, err := experiments.RunOverhead(context.Background(), 8, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -42,7 +43,7 @@ func BenchmarkOverheadGEMM(b *testing.B) {
 func BenchmarkFig6StateView(b *testing.B) {
 	opts := benchOpts(32)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig6(opts)
+		r, err := experiments.RunFig6(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func BenchmarkFig6StateView(b *testing.B) {
 func BenchmarkFig7Bandwidth(b *testing.B) {
 	opts := benchOpts(32)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunSpeedups(opts)
+		r, err := experiments.RunSpeedups(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func BenchmarkFig7Bandwidth(b *testing.B) {
 func BenchmarkGEMMSpeedups(b *testing.B) {
 	opts := benchOpts(32)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunSpeedups(opts)
+		r, err := experiments.RunSpeedups(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func BenchmarkGEMMSpeedups(b *testing.B) {
 func BenchmarkFig8Blocked(b *testing.B) {
 	opts := benchOpts(32)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunPhases(opts)
+		r, err := experiments.RunPhases(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func BenchmarkFig8Blocked(b *testing.B) {
 func BenchmarkFig9DoubleBuffer(b *testing.B) {
 	opts := benchOpts(32)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunPhases(opts)
+		r, err := experiments.RunPhases(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,7 +115,7 @@ func BenchmarkFig11to13Pi(b *testing.B) {
 	opts := benchOpts(32)
 	opts.PiSteps = []int{19_200, 76_800, 192_000}
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunPi(opts)
+		r, err := experiments.RunPi(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func BenchmarkFig11to13Pi(b *testing.B) {
 func BenchmarkThreadScaling(b *testing.B) {
 	opts := benchOpts(32)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunThreadScaling(opts, []int{1, 4, 8, 16})
+		r, err := experiments.RunThreadScaling(context.Background(), opts, []int{1, 4, 8, 16})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +151,7 @@ func BenchmarkAblationSamplePeriod(b *testing.B) {
 				cfg := sim.DefaultConfig()
 				cfg.MaxCycles = 2_000_000_000
 				cfg.Profile.SamplePeriod = period
-				r, err := experiments.RunGEMM(workloads.GEMMNoCritical, 32, 8, cfg)
+				r, err := experiments.RunGEMM(context.Background(), workloads.GEMMNoCritical, 32, 8, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -169,11 +170,11 @@ func BenchmarkAblationProfilingPerturbation(b *testing.B) {
 		on.MaxCycles = 2_000_000_000
 		off := on
 		off.Profile = profile.Config{Enabled: false}
-		rOn, err := experiments.RunGEMM(workloads.GEMMNoCritical, 32, 8, on)
+		rOn, err := experiments.RunGEMM(context.Background(), workloads.GEMMNoCritical, 32, 8, on)
 		if err != nil {
 			b.Fatal(err)
 		}
-		rOff, err := experiments.RunGEMM(workloads.GEMMNoCritical, 32, 8, off)
+		rOff, err := experiments.RunGEMM(context.Background(), workloads.GEMMNoCritical, 32, 8, off)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -192,11 +193,11 @@ func BenchmarkAblationDRAMLatency(b *testing.B) {
 				cfg := sim.DefaultConfig()
 				cfg.MaxCycles = 2_000_000_000
 				cfg.DRAM.LatencyCycles = lat
-				vec, err := experiments.RunGEMM(workloads.GEMMPartialVec, 32, 8, cfg)
+				vec, err := experiments.RunGEMM(context.Background(), workloads.GEMMPartialVec, 32, 8, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
-				blk, err := experiments.RunGEMM(workloads.GEMMBlocked, 32, 8, cfg)
+				blk, err := experiments.RunGEMM(context.Background(), workloads.GEMMBlocked, 32, 8, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -224,7 +225,7 @@ func BenchmarkEngineStep(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunGEMM(workloads.GEMMNoCritical, 16, 8, cfg)
+		r, err := experiments.RunGEMM(context.Background(), workloads.GEMMNoCritical, 16, 8, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

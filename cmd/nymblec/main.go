@@ -1,7 +1,9 @@
 // Command nymblec compiles a MiniC+OpenMP source through the HLS flow and
 // reports on the generated accelerator: kernel interface, dataflow graphs,
 // pipeline schedule and estimated hardware footprint (with and without the
-// profiling unit).
+// profiling unit). The -json report uses the same versioned schema
+// (internal/api) as the nymbled daemon's /v1/compile response, so both
+// emit byte-identical JSON for the same input.
 //
 // With -vet it instead runs the compile-time diagnostics engine (OpenMP
 // race/map checks, def-use lints, stall-lint and the IR/schedule
@@ -13,64 +15,21 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"paravis/internal/area"
+	"paravis/internal/api"
+	"paravis/internal/cli"
 	"paravis/internal/core"
 	"paravis/internal/ir"
-	"paravis/internal/profile"
 	"paravis/internal/staticcheck"
 )
 
-type defineFlags map[string]string
-
-func (d defineFlags) String() string { return "" }
-func (d defineFlags) Set(v string) error {
-	name, val, found := strings.Cut(v, "=")
-	if !found {
-		val = "1"
-	}
-	if name == "" {
-		return fmt.Errorf("empty define name")
-	}
-	d[name] = val
-	return nil
-}
-
-type report struct {
-	Kernel      string        `json:"kernel"`
-	Threads     int           `json:"threads"`
-	VectorLanes int           `json:"vector_lanes"`
-	Params      []string      `json:"params"`
-	Maps        []string      `json:"maps"`
-	Locals      []string      `json:"locals"`
-	Graphs      []graphReport `json:"graphs"`
-	Area        areaReport    `json:"area"`
-}
-
-type graphReport struct {
-	Name       string `json:"name"`
-	Nodes      int    `json:"nodes"`
-	Depth      int    `json:"pipeline_depth"`
-	CondStage  int    `json:"cond_stage"`
-	Reordering int    `json:"reordering_stages"`
-}
-
-type areaReport struct {
-	BaseALMs       int     `json:"base_alms"`
-	BaseRegisters  int     `json:"base_registers"`
-	BaseFmaxMHz    float64 `json:"base_fmax_mhz"`
-	RegOverheadPct float64 `json:"profiling_register_overhead_pct"`
-	ALMOverheadPct float64 `json:"profiling_alm_overhead_pct"`
-	FmaxDeltaMHz   float64 `json:"profiling_fmax_delta_mhz"`
-}
-
 func main() {
-	defines := defineFlags{}
+	defines := cli.Defines{}
 	flag.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
 	dumpIR := flag.Bool("dump-ir", false, "print the dataflow IR")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
@@ -87,9 +46,7 @@ func main() {
 	if *vet {
 		ds := core.Vet(flag.Arg(0), string(src), core.BuildOptions{Defines: defines})
 		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(ds); err != nil {
+			if err := api.Encode(os.Stdout, ds); err != nil {
 				fatal(err)
 			}
 		} else {
@@ -107,7 +64,7 @@ func main() {
 		}
 		return
 	}
-	p, err := core.Build(string(src), core.BuildOptions{Defines: defines})
+	p, err := core.Build(context.Background(), string(src), core.BuildOptions{Defines: defines})
 	if err != nil {
 		fatal(err)
 	}
@@ -115,47 +72,9 @@ func main() {
 		fmt.Print(ir.Dump(p.Kernel))
 	}
 
-	o := area.Overhead(p.Kernel, p.Sched, profile.DefaultConfig(), area.DefaultCoefficients())
-	rep := report{
-		Kernel:      p.Kernel.Name,
-		Threads:     p.Kernel.NumThreads,
-		VectorLanes: p.Kernel.VectorLanes,
-		Area: areaReport{
-			BaseALMs:       o.Without.ALMs,
-			BaseRegisters:  o.Without.Registers,
-			BaseFmaxMHz:    o.Without.FmaxMHz,
-			RegOverheadPct: o.RegisterPct(),
-			ALMOverheadPct: o.ALMPct(),
-			FmaxDeltaMHz:   o.FmaxDeltaMHz(),
-		},
-	}
-	for _, prm := range p.Kernel.Params {
-		kind := "int"
-		if prm.Pointer {
-			kind = "ptr"
-		} else if prm.Float {
-			kind = "float"
-		}
-		rep.Params = append(rep.Params, fmt.Sprintf("%s:%s", prm.Name, kind))
-	}
-	for _, m := range p.Kernel.Maps {
-		rep.Maps = append(rep.Maps, fmt.Sprintf("%s(%s)", m.Dir, m.Name))
-	}
-	for _, l := range p.Kernel.Locals {
-		rep.Locals = append(rep.Locals, fmt.Sprintf("%s[%d elems x %dB]", l.Name, l.NumElems, l.ElemWords*4))
-	}
-	for _, g := range p.Kernel.CollectGraphs() {
-		gs := p.Sched.ByGraph[g]
-		rep.Graphs = append(rep.Graphs, graphReport{
-			Name: g.Name, Nodes: len(g.Nodes), Depth: gs.Depth,
-			CondStage: gs.CondStage, Reordering: gs.NumReordering,
-		})
-	}
-
+	rep := api.NewCompileReport(p)
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		if err := api.Encode(os.Stdout, rep); err != nil {
 			fatal(err)
 		}
 		return

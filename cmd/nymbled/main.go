@@ -1,0 +1,84 @@
+// Command nymbled serves the nymble tool family over HTTP/JSON:
+//
+//	POST /v1/compile              compile report (nymblec -json)
+//	POST /v1/vet                  compile-time diagnostics (nymblevet -json)
+//	POST /v1/perf                 static performance bounds (nymbleperf -json)
+//	POST /v1/run                  enqueue a simulation job (add "wait":true for sync)
+//	GET  /v1/jobs/{id}            poll a job document
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	GET  /v1/jobs/{id}/trace/{f}  download trace.prv, trace.prv.gz, trace.pcf, trace.row
+//	GET  /healthz                 liveness
+//	GET  /metrics                 Prometheus text: requests, latency, cache, queue
+//
+// Responses marshal the same internal/api structs as the CLIs' -json
+// modes, so daemon and CLI output are byte-identical for the same
+// input; trace downloads stream the exact bytes nymblesim writes to
+// disk. Builds go through a content-addressed compile cache (see the
+// X-Nymbled-Cache response header), simulations run on a bounded
+// worker pool, and SIGINT/SIGTERM drains in-flight jobs before exit.
+//
+// Usage:
+//
+//	nymbled [-addr :8080] [-j N] [-maxcycles N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"paravis/internal/server"
+	"paravis/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("j", 0, "max simulations running concurrently (0 = GOMAXPROCS)")
+	maxCycles := flag.Int64("maxcycles", 0, "default simulation cycle budget (0 = library default)")
+	drain := flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	if *maxCycles > 0 {
+		cfg.MaxCycles = *maxCycles
+	}
+	srv := server.New(server.Options{Workers: *workers, SimCfg: cfg})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "nymbled: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "nymbled: shutting down, draining jobs")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "nymbled: http shutdown:", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "nymbled: job drain:", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nymbled:", err)
+	os.Exit(1)
+}

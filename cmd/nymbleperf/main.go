@@ -4,6 +4,9 @@
 // verdict against the DRAM model, a static profile-buffer overflow
 // check, and wall-time bounds at the estimated Fmax. Nothing is
 // simulated — every number is derived from the schedule before synthesis.
+// The -json report shares its versioned schema (internal/api) with the
+// nymbled daemon's /v1/perf response, so both emit byte-identical JSON
+// for the same input.
 //
 // Usage:
 //
@@ -13,66 +16,26 @@
 // -param supplies integer launch arguments (e.g. -param DIM=64) so
 // data-dependent trip counts fold to constants. -workloads analyzes the
 // built-in seed kernels (GEMM versions 1-5 and pi) with their canonical
-// defines and parameters. The JSON report carries a schema "version"
-// field and is byte-stable across runs.
+// defines and parameters.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"paravis/internal/api"
+	"paravis/internal/cli"
 	"paravis/internal/core"
 	"paravis/internal/perfbound"
 	"paravis/internal/staticcheck"
 	"paravis/internal/workloads"
 )
 
-type defineFlags map[string]string
-
-func (d defineFlags) String() string { return "" }
-func (d defineFlags) Set(v string) error {
-	name, val, found := strings.Cut(v, "=")
-	if !found {
-		val = "1"
-	}
-	if name == "" {
-		return fmt.Errorf("empty define name")
-	}
-	d[name] = val
-	return nil
-}
-
-type paramFlags map[string]int64
-
-func (p paramFlags) String() string { return "" }
-func (p paramFlags) Set(v string) error {
-	name, val, found := strings.Cut(v, "=")
-	if !found || name == "" {
-		return fmt.Errorf("expected NAME=VALUE, got %q", v)
-	}
-	n, err := strconv.ParseInt(val, 10, 64)
-	if err != nil {
-		return fmt.Errorf("param %s: %v", name, err)
-	}
-	p[name] = n
-	return nil
-}
-
-// unit is one analyzed compilation unit in the report.
-type unit struct {
-	Name        string                   `json:"name"`
-	Report      *perfbound.Report        `json:"report,omitempty"`
-	Diagnostics []staticcheck.Diagnostic `json:"diagnostics"`
-	Error       string                   `json:"error,omitempty"`
-}
-
 func main() {
-	defines := defineFlags{}
-	params := paramFlags{}
+	defines := cli.Defines{}
+	params := cli.Params{}
 	flag.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
 	flag.Var(params, "param", "integer launch parameter NAME=VALUE for trip-count folding (repeatable)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
@@ -84,7 +47,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var units []unit
+	var units []api.PerfUnit
 	if *wl {
 		for _, w := range workloads.Units() {
 			units = append(units, analyzeOne(w.Name, w.Source, w.Defines, w.Params))
@@ -108,13 +71,8 @@ func main() {
 	}
 
 	if *asJSON {
-		report := struct {
-			Version int    `json:"version"`
-			Units   []unit `json:"units"`
-		}{Version: 1, Units: units}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
+		report := api.PerfReport{SchemaVersion: api.Version, Units: units}
+		if err := api.Encode(os.Stdout, report); err != nil {
 			fmt.Fprintln(os.Stderr, "nymbleperf:", err)
 			os.Exit(2)
 		}
@@ -136,15 +94,12 @@ func main() {
 	}
 }
 
-func analyzeOne(name, src string, defines map[string]string, params map[string]int64) unit {
-	prog, err := core.Build(src, core.BuildOptions{Defines: defines})
+func analyzeOne(name, src string, defines map[string]string, params map[string]int64) api.PerfUnit {
+	prog, err := core.Build(context.Background(), src, core.BuildOptions{Defines: defines})
 	if err != nil {
-		return unit{Name: name, Error: err.Error(), Diagnostics: []staticcheck.Diagnostic{}}
+		return api.NewPerfUnit(name, nil, nil, err)
 	}
 	rep := perfbound.Analyze(prog.Kernel, prog.Sched, params, perfbound.DefaultConfig())
 	ds := staticcheck.CheckPerf(name, prog.Kernel, prog.Sched, params)
-	if ds == nil {
-		ds = []staticcheck.Diagnostic{}
-	}
-	return unit{Name: name, Report: rep, Diagnostics: ds}
+	return api.NewPerfUnit(name, rep, ds, nil)
 }

@@ -1,7 +1,8 @@
 // Command nymblesim compiles a MiniC+OpenMP kernel, simulates it on the
 // cycle-level Nymble-MT accelerator model with the profiling unit attached,
 // writes the Paraver trace bundle (.prv/.pcf/.row) and prints a run
-// summary.
+// summary. Ctrl-C cancels the simulation cleanly through the engine's
+// context support.
 //
 // Arguments are passed as name=value pairs; pointer parameters get
 // zero-filled buffers whose sizes come from the map clauses (use
@@ -18,36 +19,25 @@
 package main
 
 import (
-	"encoding/binary"
+	"context"
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"os/signal"
 	"sort"
-	"strconv"
 	"strings"
+	"syscall"
 
 	"paravis/internal/advisor"
+	"paravis/internal/cli"
 	"paravis/internal/core"
 	"paravis/internal/parallel"
 	"paravis/internal/paraver/analysis"
 	"paravis/internal/sim"
 )
 
-type defineFlags map[string]string
-
-func (d defineFlags) String() string { return "" }
-func (d defineFlags) Set(v string) error {
-	name, val, found := strings.Cut(v, "=")
-	if !found {
-		val = "1"
-	}
-	d[name] = val
-	return nil
-}
-
 func main() {
-	defines := defineFlags{}
+	defines := cli.Defines{}
 	flag.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
 	outDir := flag.String("o", "traces", "output directory for the Paraver bundle")
 	base := flag.String("name", "", "trace base name (default: kernel name)")
@@ -63,54 +53,39 @@ func main() {
 	if *workers > 0 {
 		parallel.SetDefaultWorkers(*workers)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
 	src := string(srcBytes)
 
-	ints := map[string]int64{}
-	floats := map[string]float64{}
-	bufFiles := map[string]string{}
-	for _, a := range flag.Args()[1:] {
-		name, val, found := strings.Cut(a, "=")
-		if !found {
-			fatal(fmt.Errorf("argument %q is not name=value", a))
-		}
-		if strings.HasPrefix(val, "@") {
-			bufFiles[name] = val[1:]
-			continue
-		}
-		if iv, err := strconv.ParseInt(val, 10, 64); err == nil {
-			ints[name] = iv
-			continue
-		}
-		fv, err := strconv.ParseFloat(val, 64)
-		if err != nil {
-			fatal(fmt.Errorf("argument %q: %v", a, err))
-		}
-		floats[name] = fv
+	ints, floats, bufFiles, err := cli.ParseArgs(flag.Args()[1:])
+	if err != nil {
+		fatal(err)
 	}
 
 	if *sweep != "" {
-		if err := runSweep(src, defines, *sweep, *workers, ints, floats, bufFiles, *noProfile); err != nil {
+		if err := runSweep(ctx, src, defines, *sweep, *workers, ints, floats, bufFiles, *noProfile); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
-	p, err := core.Build(src, core.BuildOptions{Defines: defines})
+	p, err := core.Build(ctx, src, core.BuildOptions{Defines: defines})
 	if err != nil {
 		fatal(err)
 	}
-	args, err := makeArgs(p, ints, floats, bufFiles)
+	args, err := cli.MakeArgs(p, ints, floats, bufFiles)
 	if err != nil {
 		fatal(err)
 	}
 
 	cfg := sim.DefaultConfig()
 	cfg.Profile.Enabled = !*noProfile
-	out, err := p.Run(args, cfg)
+	out, err := p.Run(ctx, args, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -167,52 +142,10 @@ func main() {
 	}
 }
 
-// makeArgs sizes zero-filled buffers from the program's map clauses and
-// fills them from @file arguments. Scalar maps are copied so concurrent
-// sweep runs never share argument state.
-func makeArgs(p *core.Program, ints map[string]int64, floats map[string]float64, bufFiles map[string]string) (sim.Args, error) {
-	args := sim.Args{
-		Ints:    map[string]int64{},
-		Floats:  map[string]float64{},
-		Buffers: map[string]*sim.Buffer{},
-	}
-	env := map[string]int64{}
-	for k, v := range ints {
-		args.Ints[k] = v
-		env[k] = v
-	}
-	for k, v := range floats {
-		args.Floats[k] = v
-	}
-	for _, m := range p.Kernel.Maps {
-		if m.Scalar {
-			continue
-		}
-		length, err := m.Len.Eval(env)
-		if err != nil {
-			return sim.Args{}, fmt.Errorf("map %s: %v", m.Name, err)
-		}
-		low := int64(0)
-		if m.Low != nil {
-			low, _ = m.Low.Eval(env)
-		}
-		buf := sim.NewZeroBuffer(int(low + length))
-		if path, ok := bufFiles[m.Name]; ok {
-			data, err := loadF32(path)
-			if err != nil {
-				return sim.Args{}, err
-			}
-			copy(buf.Words, sim.NewFloatBuffer(data).Words)
-		}
-		args.Buffers[m.Name] = buf
-	}
-	return args, nil
-}
-
 // runSweep compiles and simulates the kernel once per value of the swept
 // macro. Design points are independent, so they run concurrently; the table
 // is printed in the order the values were given.
-func runSweep(src string, defines defineFlags, spec string, workers int,
+func runSweep(ctx context.Context, src string, defines cli.Defines, spec string, workers int,
 	ints map[string]int64, floats map[string]float64, bufFiles map[string]string, noProfile bool) error {
 	name, list, found := strings.Cut(spec, "=")
 	if !found || list == "" {
@@ -230,22 +163,22 @@ func runSweep(src string, defines defineFlags, spec string, workers int,
 	}
 	pts := make([]point, len(vals))
 	err := parallel.ForEach(workers, len(vals), func(i int) error {
-		defs := defineFlags{}
+		defs := cli.Defines{}
 		for k, v := range defines {
 			defs[k] = v
 		}
 		defs[name] = vals[i]
-		p, err := core.Build(src, core.BuildOptions{Defines: defs})
+		p, err := core.Build(ctx, src, core.BuildOptions{Defines: defs})
 		if err != nil {
 			return fmt.Errorf("%s=%s: %w", name, vals[i], err)
 		}
-		args, err := makeArgs(p, ints, floats, bufFiles)
+		args, err := cli.MakeArgs(p, ints, floats, bufFiles)
 		if err != nil {
 			return fmt.Errorf("%s=%s: %w", name, vals[i], err)
 		}
 		cfg := sim.DefaultConfig()
 		cfg.Profile.Enabled = !noProfile
-		out, err := p.Run(args, cfg)
+		out, err := p.Run(ctx, args, cfg)
 		if err != nil {
 			return fmt.Errorf("%s=%s: %w", name, vals[i], err)
 		}
@@ -277,21 +210,6 @@ func runSweep(src string, defines defineFlags, spec string, workers int,
 			v, pts[i].threads, pts[i].cycles, pts[i].stalls, sp, pts[i].bw, pts[i].gflops)
 	}
 	return nil
-}
-
-func loadF32(path string) ([]float32, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	if len(raw)%4 != 0 {
-		return nil, fmt.Errorf("%s: size %d is not a multiple of 4", path, len(raw))
-	}
-	out := make([]float32, len(raw)/4)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
-	}
-	return out, nil
 }
 
 func fatal(err error) {

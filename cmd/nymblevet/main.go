@@ -2,7 +2,9 @@
 // sources: the OpenMP race and map-clause checkers, the def-use dataflow
 // lints (use-before-init, dead-store, unused-var), stall-lint and the
 // hardened IR/schedule verifiers. It never simulates anything — every
-// finding is produced before synthesis.
+// finding is produced before synthesis. The -json report shares its
+// versioned schema (internal/api) with the nymbled daemon's /v1/vet
+// response, so both emit byte-identical JSON for the same input.
 //
 // Usage:
 //
@@ -16,41 +18,19 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"paravis/internal/api"
+	"paravis/internal/cli"
 	"paravis/internal/core"
 	"paravis/internal/staticcheck"
 	"paravis/internal/workloads"
 )
 
-type defineFlags map[string]string
-
-func (d defineFlags) String() string { return "" }
-func (d defineFlags) Set(v string) error {
-	name, val, found := strings.Cut(v, "=")
-	if !found {
-		val = "1"
-	}
-	if name == "" {
-		return fmt.Errorf("empty define name")
-	}
-	d[name] = val
-	return nil
-}
-
-// unit is one vetted compilation unit in the report.
-type unit struct {
-	Name        string                   `json:"name"`
-	Clean       bool                     `json:"clean"`
-	Diagnostics []staticcheck.Diagnostic `json:"diagnostics"`
-}
-
 func main() {
-	defines := defineFlags{}
+	defines := cli.Defines{}
 	flag.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	wl := flag.Bool("workloads", false, "vet the built-in seed workloads instead of files")
@@ -61,7 +41,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var units []unit
+	var units []api.VetUnit
 	if *wl {
 		for _, w := range workloads.Units() {
 			units = append(units, vetOne(w.Name, w.Source, w.Defines))
@@ -87,13 +67,8 @@ func main() {
 	}
 
 	if *asJSON {
-		report := struct {
-			Version int    `json:"version"`
-			Units   []unit `json:"units"`
-		}{Version: 1, Units: units}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
+		report := api.VetReport{SchemaVersion: api.Version, Units: units}
+		if err := api.Encode(os.Stdout, report); err != nil {
 			fmt.Fprintln(os.Stderr, "nymblevet:", err)
 			os.Exit(2)
 		}
@@ -114,10 +89,6 @@ func main() {
 	}
 }
 
-func vetOne(name, src string, defines map[string]string) unit {
-	ds := core.Vet(name, src, core.BuildOptions{Defines: defines})
-	if ds == nil {
-		ds = []staticcheck.Diagnostic{}
-	}
-	return unit{Name: name, Clean: staticcheck.Clean(ds), Diagnostics: ds}
+func vetOne(name, src string, defines map[string]string) api.VetUnit {
+	return api.NewVetUnit(name, core.Vet(name, src, core.BuildOptions{Defines: defines}))
 }

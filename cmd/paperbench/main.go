@@ -13,13 +13,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"paravis/internal/experiments"
@@ -38,6 +41,8 @@ func main() {
 	if *workers > 0 {
 		parallel.SetDefaultWorkers(*workers)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	opts := experiments.DefaultOptions()
 	opts.GEMMDim = *dim
 	opts.Quiet = *quiet
@@ -65,7 +70,7 @@ func main() {
 	}
 
 	run("overhead", func() error {
-		r, err := experiments.RunOverhead(opts.Threads, opts.Workers)
+		r, err := experiments.RunOverhead(ctx, opts.Threads, opts.Workers)
 		if err != nil {
 			return err
 		}
@@ -73,7 +78,7 @@ func main() {
 		return nil
 	})
 	run("fig6", func() error {
-		r, err := experiments.RunFig6(opts)
+		r, err := experiments.RunFig6(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -81,7 +86,7 @@ func main() {
 		return nil
 	})
 	speedups := func() error {
-		r, err := experiments.RunSpeedups(opts)
+		r, err := experiments.RunSpeedups(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -95,7 +100,7 @@ func main() {
 		run("fig7", speedups)
 	}
 	run("fig8", func() error {
-		r, err := experiments.RunPhases(opts)
+		r, err := experiments.RunPhases(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -104,7 +109,7 @@ func main() {
 	})
 	if *exp == "fig9" {
 		run("fig9", func() error {
-			r, err := experiments.RunPhases(opts)
+			r, err := experiments.RunPhases(ctx, opts)
 			if err != nil {
 				return err
 			}
@@ -113,7 +118,7 @@ func main() {
 		})
 	}
 	run("pi", func() error {
-		r, err := experiments.RunPi(opts)
+		r, err := experiments.RunPi(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -121,7 +126,7 @@ func main() {
 		return nil
 	})
 	run("threads", func() error {
-		r, err := experiments.RunThreadScaling(opts, []int{1, 2, 4, 8, 12, 16})
+		r, err := experiments.RunThreadScaling(ctx, opts, []int{1, 2, 4, 8, 12, 16})
 		if err != nil {
 			return err
 		}
@@ -132,7 +137,7 @@ func main() {
 	// "-exp all" keeps the default trace byte-identical to the seed.
 	if *exp == "bounds" {
 		run("bounds", func() error {
-			r, err := experiments.RunBounds(opts)
+			r, err := experiments.RunBounds(ctx, opts)
 			if err != nil {
 				return err
 			}

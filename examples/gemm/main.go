@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,21 +26,22 @@ func main() {
 
 	fmt.Printf("== GEMM case study, %dx%d matrices, 8 hardware threads ==\n\n", *dim, *dim)
 
-	fig6, err := experiments.RunFig6(opts)
+	ctx := context.Background()
+	fig6, err := experiments.RunFig6(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(fig6.Format())
 	fmt.Println()
 
-	speed, err := experiments.RunSpeedups(opts)
+	speed, err := experiments.RunSpeedups(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(speed.Format())
 	fmt.Println()
 
-	phases, err := experiments.RunPhases(opts)
+	phases, err := experiments.RunPhases(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

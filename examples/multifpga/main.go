@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,7 +37,7 @@ func main() {
 	cfg.FPGAs = *fpgas
 	cfg.LinkLatency = *linkLat
 
-	res, err := cluster.RunStencil(initial, *steps, cfg)
+	res, err := cluster.RunStencil(context.Background(), initial, *steps, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

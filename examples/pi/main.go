@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,7 +28,8 @@ func main() {
 	traces := flag.String("traces", "", "if set, write Paraver bundles to this directory")
 	flag.Parse()
 
-	prog, err := core.Build(workloads.PiSource, core.BuildOptions{Defines: workloads.PiDefines()})
+	ctx := context.Background()
+	prog, err := core.Build(ctx, workloads.PiSource, core.BuildOptions{Defines: workloads.PiDefines()})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func main() {
 			log.Fatalf("bad steps %q", f)
 		}
 		// Call the MiniC function like the paper's host binary would.
-		ret, out, err := prog.Call(
+		ret, out, err := prog.Call(ctx,
 			[]host.Value{host.IntValue(int64(steps)), host.IntValue(8)},
 			nil, sim.DefaultConfig())
 		if err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,8 @@ void saxpy(float* X, float* Y, float a, int n) {
 
 func main() {
 	// 1. Compile: parse -> lower to dataflow IR -> schedule -> datapath.
-	prog, err := core.Build(src, core.BuildOptions{})
+	ctx := context.Background()
+	prog, err := core.Build(ctx, src, core.BuildOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func main() {
 	xb, yb := sim.NewFloatBuffer(x), sim.NewFloatBuffer(y)
 
 	// 3. Run on the simulated accelerator.
-	out, err := prog.Run(sim.Args{
+	out, err := prog.Run(ctx, sim.Args{
 		Floats:  map[string]float64{"a": 2},
 		Ints:    map[string]int64{"n": int64(n)},
 		Buffers: map[string]*sim.Buffer{"X": xb, "Y": yb},

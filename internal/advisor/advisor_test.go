@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 
 func runVersion(t *testing.T, v workloads.GEMMVersion, dim int) *core.RunOutput {
 	t.Helper()
-	p, err := core.Build(workloads.GEMMSource(v), core.BuildOptions{
+	p, err := core.Build(context.Background(), workloads.GEMMSource(v), core.BuildOptions{
 		Defines: workloads.GEMMDefines(v),
 	})
 	if err != nil {
@@ -23,7 +24,7 @@ func runVersion(t *testing.T, v workloads.GEMMVersion, dim int) *core.RunOutput 
 	cfg := sim.DefaultConfig()
 	cfg.MaxCycles = 2_000_000_000
 	cfg.Profile.SamplePeriod = 256
-	out, err := p.Run(sim.Args{
+	out, err := p.Run(context.Background(), sim.Args{
 		Ints: map[string]int64{"DIM": int64(dim)},
 		Buffers: map[string]*sim.Buffer{
 			"A": sim.NewFloatBuffer(a), "B": sim.NewFloatBuffer(b),
@@ -77,14 +78,14 @@ func TestAdvisorReproducesPaperNarrative(t *testing.T) {
 
 func TestAdvisorLaunchOverhead(t *testing.T) {
 	// A trivially small kernel with large start overhead: the pi scenario.
-	p, err := core.Build(workloads.PiSource, core.BuildOptions{Defines: workloads.PiDefines()})
+	p, err := core.Build(context.Background(), workloads.PiSource, core.BuildOptions{Defines: workloads.PiDefines()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := sim.DefaultConfig()
 	cfg.ThreadStart = 25_000
 	cfg.MaxCycles = 500_000_000
-	out, err := p.Run(sim.Args{
+	out, err := p.Run(context.Background(), sim.Args{
 		Ints:   map[string]int64{"steps": 25_600, "threads": 8},
 		Floats: map[string]float64{"step": 1.0 / 25_600, "final_sum": 0},
 	}, cfg)

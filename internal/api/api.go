@@ -1,0 +1,302 @@
+// Package api defines the versioned request/response types of the nymble
+// tool family. The nymbled daemon and the -json modes of nymblec,
+// nymblevet and nymbleperf all marshal these exact structs through
+// Encode, so the JSON a client sees over HTTP is byte-identical to what
+// the corresponding CLI prints for the same input. Every top-level
+// response carries a schema "version" field; fields marshal in the
+// declared order and map keys sort, so reports are byte-stable across
+// runs.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"paravis/internal/area"
+	"paravis/internal/core"
+	"paravis/internal/paraver/analysis"
+	"paravis/internal/perfbound"
+	"paravis/internal/profile"
+	"paravis/internal/staticcheck"
+)
+
+// Version is the schema version stamped into every top-level report.
+const Version = 1
+
+// Encode writes v as two-space-indented JSON with a trailing newline —
+// the one serialization shared by the CLIs and the daemon.
+func Encode(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// Error is the JSON error envelope of the daemon.
+type Error struct {
+	SchemaVersion int    `json:"version"`
+	Err           string `json:"error"`
+	// Kind classifies the failure for programmatic handling:
+	// "bad_request", "compile_error", "max_cycles", "canceled",
+	// "deadline", "not_found", "internal".
+	Kind string `json:"kind,omitempty"`
+}
+
+// CompileRequest asks for a build of one MiniC source.
+type CompileRequest struct {
+	SchemaVersion int               `json:"version"`
+	Source        string            `json:"source"`
+	Defines       map[string]string `json:"defines,omitempty"`
+	VectorLanes   int               `json:"vector_lanes,omitempty"`
+}
+
+// CompileReport describes a compiled accelerator: kernel interface,
+// per-graph schedule shape and the estimated hardware footprint with and
+// without the profiling unit. It is nymblec's -json output.
+type CompileReport struct {
+	SchemaVersion int           `json:"version"`
+	Kernel        string        `json:"kernel"`
+	Threads       int           `json:"threads"`
+	VectorLanes   int           `json:"vector_lanes"`
+	Params        []string      `json:"params"`
+	Maps          []string      `json:"maps"`
+	Locals        []string      `json:"locals"`
+	Graphs        []GraphReport `json:"graphs"`
+	Area          AreaReport    `json:"area"`
+}
+
+// GraphReport summarizes one dataflow graph's schedule.
+type GraphReport struct {
+	Name       string `json:"name"`
+	Nodes      int    `json:"nodes"`
+	Depth      int    `json:"pipeline_depth"`
+	CondStage  int    `json:"cond_stage"`
+	Reordering int    `json:"reordering_stages"`
+}
+
+// AreaReport summarizes the hardware footprint study for one design.
+type AreaReport struct {
+	BaseALMs       int     `json:"base_alms"`
+	BaseRegisters  int     `json:"base_registers"`
+	BaseFmaxMHz    float64 `json:"base_fmax_mhz"`
+	RegOverheadPct float64 `json:"profiling_register_overhead_pct"`
+	ALMOverheadPct float64 `json:"profiling_alm_overhead_pct"`
+	FmaxDeltaMHz   float64 `json:"profiling_fmax_delta_mhz"`
+}
+
+// NewCompileReport assembles the report for a compiled program.
+func NewCompileReport(p *core.Program) CompileReport {
+	o := p.AreaOverhead(profile.DefaultConfig())
+	rep := CompileReport{
+		SchemaVersion: Version,
+		Kernel:        p.Kernel.Name,
+		Threads:       p.Kernel.NumThreads,
+		VectorLanes:   p.Kernel.VectorLanes,
+		Area:          NewAreaReport(o),
+	}
+	for _, prm := range p.Kernel.Params {
+		kind := "int"
+		if prm.Pointer {
+			kind = "ptr"
+		} else if prm.Float {
+			kind = "float"
+		}
+		rep.Params = append(rep.Params, fmt.Sprintf("%s:%s", prm.Name, kind))
+	}
+	for _, m := range p.Kernel.Maps {
+		rep.Maps = append(rep.Maps, fmt.Sprintf("%s(%s)", m.Dir, m.Name))
+	}
+	for _, l := range p.Kernel.Locals {
+		rep.Locals = append(rep.Locals, fmt.Sprintf("%s[%d elems x %dB]", l.Name, l.NumElems, l.ElemWords*4))
+	}
+	for _, g := range p.Kernel.CollectGraphs() {
+		gs := p.Sched.ByGraph[g]
+		rep.Graphs = append(rep.Graphs, GraphReport{
+			Name: g.Name, Nodes: len(g.Nodes), Depth: gs.Depth,
+			CondStage: gs.CondStage, Reordering: gs.NumReordering,
+		})
+	}
+	return rep
+}
+
+// NewAreaReport converts an overhead study into its wire form.
+func NewAreaReport(o area.OverheadReport) AreaReport {
+	return AreaReport{
+		BaseALMs:       o.Without.ALMs,
+		BaseRegisters:  o.Without.Registers,
+		BaseFmaxMHz:    o.Without.FmaxMHz,
+		RegOverheadPct: o.RegisterPct(),
+		ALMOverheadPct: o.ALMPct(),
+		FmaxDeltaMHz:   o.FmaxDeltaMHz(),
+	}
+}
+
+// VetRequest asks for compile-time diagnostics on one source.
+type VetRequest struct {
+	SchemaVersion int `json:"version"`
+	// Name labels the unit in the report (a file path for the CLI).
+	Name    string            `json:"name,omitempty"`
+	Source  string            `json:"source"`
+	Defines map[string]string `json:"defines,omitempty"`
+}
+
+// VetUnit is one vetted compilation unit in a report.
+type VetUnit struct {
+	Name        string                   `json:"name"`
+	Clean       bool                     `json:"clean"`
+	Diagnostics []staticcheck.Diagnostic `json:"diagnostics"`
+}
+
+// NewVetUnit wraps one unit's diagnostics (nil becomes an empty list so
+// the JSON is stable).
+func NewVetUnit(name string, ds []staticcheck.Diagnostic) VetUnit {
+	if ds == nil {
+		ds = []staticcheck.Diagnostic{}
+	}
+	return VetUnit{Name: name, Clean: staticcheck.Clean(ds), Diagnostics: ds}
+}
+
+// VetReport is nymblevet's -json output and the daemon's /v1/vet
+// response.
+type VetReport struct {
+	SchemaVersion int       `json:"version"`
+	Units         []VetUnit `json:"units"`
+}
+
+// PerfRequest asks for a static performance-bound analysis.
+type PerfRequest struct {
+	SchemaVersion int               `json:"version"`
+	Name          string            `json:"name,omitempty"`
+	Source        string            `json:"source"`
+	Defines       map[string]string `json:"defines,omitempty"`
+	// Params are integer launch arguments for trip-count folding.
+	Params map[string]int64 `json:"params,omitempty"`
+}
+
+// PerfUnit is one analyzed compilation unit in a report.
+type PerfUnit struct {
+	Name        string                   `json:"name"`
+	Report      *perfbound.Report        `json:"report,omitempty"`
+	Diagnostics []staticcheck.Diagnostic `json:"diagnostics"`
+	Error       string                   `json:"error,omitempty"`
+}
+
+// NewPerfUnit wraps one unit's bound report and diagnostics; err is the
+// compile error when the unit did not build.
+func NewPerfUnit(name string, rep *perfbound.Report, ds []staticcheck.Diagnostic, err error) PerfUnit {
+	if ds == nil {
+		ds = []staticcheck.Diagnostic{}
+	}
+	u := PerfUnit{Name: name, Report: rep, Diagnostics: ds}
+	if err != nil {
+		u.Error = err.Error()
+	}
+	return u
+}
+
+// PerfReport is nymbleperf's -json output and the daemon's /v1/perf
+// response.
+type PerfReport struct {
+	SchemaVersion int        `json:"version"`
+	Units         []PerfUnit `json:"units"`
+}
+
+// RunRequest asks for a full simulation with the profiling unit.
+type RunRequest struct {
+	SchemaVersion int               `json:"version"`
+	Source        string            `json:"source"`
+	Defines       map[string]string `json:"defines,omitempty"`
+	VectorLanes   int               `json:"vector_lanes,omitempty"`
+	// Ints / Floats are scalar launch arguments by parameter name.
+	Ints   map[string]int64   `json:"ints,omitempty"`
+	Floats map[string]float64 `json:"floats,omitempty"`
+	// Buffers optionally preloads named map buffers with float32 data
+	// (buffers not listed here are zero-filled and sized from the map
+	// clauses, exactly like nymblesim).
+	Buffers map[string][]float32 `json:"buffers,omitempty"`
+	// NoProfile disables the profiling unit (no trace is produced).
+	NoProfile bool `json:"no_profile,omitempty"`
+	// MaxCycles overrides the simulation cycle budget (0 = default).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// TimeoutMs bounds the wall-clock simulation time; past it the run
+	// fails with kind "deadline".
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Wait makes POST /v1/run synchronous: the response is the finished
+	// job document instead of a queued one.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// Job states.
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// Job is the daemon's job document: POST /v1/run returns it and
+// GET /v1/jobs/{id} polls it.
+type Job struct {
+	SchemaVersion int    `json:"version"`
+	ID            string `json:"id"`
+	State         string `json:"state"`
+	Kernel        string `json:"kernel,omitempty"`
+	Error         string `json:"error,omitempty"`
+	// ErrorKind classifies failures: "compile_error", "max_cycles",
+	// "canceled", "deadline", "run_error".
+	ErrorKind string      `json:"error_kind,omitempty"`
+	Summary   *RunSummary `json:"summary,omitempty"`
+	// Trace lists the downloadable bundle files once the job is done
+	// (empty when profiling was disabled).
+	Trace []string `json:"trace,omitempty"`
+}
+
+// RunSummary is the machine-readable form of nymblesim's run summary.
+type RunSummary struct {
+	Kernel           string             `json:"kernel"`
+	Threads          int                `json:"threads"`
+	Cycles           int64              `json:"cycles"`
+	TimeMs           float64            `json:"time_ms"`
+	FmaxMHz          float64            `json:"fmax_mhz"`
+	Stalls           int64              `json:"stalls"`
+	FpOps            int64              `json:"fp_ops"`
+	LockAcquisitions int64              `json:"lock_acquisitions"`
+	LockContended    int64              `json:"lock_contended"`
+	DRAMTransactions int64              `json:"dram_transactions"`
+	DRAMReadBytes    int64              `json:"dram_read_bytes"`
+	DRAMWriteBytes   int64              `json:"dram_write_bytes"`
+	StallsByLoop     map[string]int64   `json:"stalls_by_loop,omitempty"`
+	ScalarsOut       map[string]float64 `json:"scalars_out,omitempty"`
+	ScalarsOutInt    map[string]int64   `json:"scalars_out_int,omitempty"`
+	// BWBytesPerCycle / GFlops are trace-derived (zero without profiling).
+	BWBytesPerCycle float64 `json:"bw_bytes_per_cycle,omitempty"`
+	GFlops          float64 `json:"gflops,omitempty"`
+}
+
+// NewRunSummary assembles the summary for a finished run.
+func NewRunSummary(p *core.Program, out *core.RunOutput) *RunSummary {
+	r := out.Result
+	s := &RunSummary{
+		Kernel:           p.Kernel.Name,
+		Threads:          p.Kernel.NumThreads,
+		Cycles:           r.Cycles,
+		TimeMs:           1e3 * out.Seconds(r.Cycles),
+		FmaxMHz:          out.FmaxMHz,
+		Stalls:           r.TotalStalls(),
+		FpOps:            r.TotalFpOps(),
+		LockAcquisitions: r.LockAcquisitions,
+		LockContended:    r.LockContended,
+		DRAMTransactions: r.DRAM.Transactions,
+		DRAMReadBytes:    r.DRAM.ReadWordsMoved * 4,
+		DRAMWriteBytes:   r.DRAM.WriteWordsMoved * 4,
+		StallsByLoop:     r.StallsByLoop,
+		ScalarsOut:       r.ScalarsOut,
+		ScalarsOutInt:    r.ScalarsOutInt,
+	}
+	if out.Trace != nil {
+		s.BWBytesPerCycle = analysis.AvgBandwidthBytesPerCycle(out.Trace)
+		s.GFlops = analysis.GFlops(out.Trace, out.FmaxMHz)
+	}
+	return s
+}

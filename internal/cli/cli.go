@@ -1,0 +1,124 @@
+// Package cli holds the argument-handling helpers shared by the nymble
+// command-line tools: the repeatable -D macro-define and -param flags,
+// name=value launch-argument parsing (with @file.f32 buffer loading) and
+// buffer construction from a compiled program's map clauses. Before this
+// package each tool carried its own copy; now they and the nymbled
+// daemon agree on one behaviour.
+package cli
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"paravis/internal/core"
+	"paravis/internal/sim"
+)
+
+// Defines is a repeatable -D NAME=VALUE flag (bare -D NAME means
+// NAME=1, like a C compiler).
+type Defines map[string]string
+
+func (d Defines) String() string { return "" }
+
+// Set records one NAME=VALUE definition.
+func (d Defines) Set(v string) error {
+	name, val, found := strings.Cut(v, "=")
+	if !found {
+		val = "1"
+	}
+	if name == "" {
+		return fmt.Errorf("empty define name")
+	}
+	d[name] = val
+	return nil
+}
+
+// Params is a repeatable -param NAME=VALUE flag carrying integer launch
+// parameters (trip-count folding, canonical run arguments).
+type Params map[string]int64
+
+func (p Params) String() string { return "" }
+
+// Set records one NAME=VALUE integer parameter.
+func (p Params) Set(v string) error {
+	name, val, found := strings.Cut(v, "=")
+	if !found || name == "" {
+		return fmt.Errorf("expected NAME=VALUE, got %q", v)
+	}
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return fmt.Errorf("param %s: %v", name, err)
+	}
+	p[name] = n
+	return nil
+}
+
+// ParseArgs splits positional name=value launch arguments into integer
+// and float scalars plus @file buffer references (name=@file.f32 loads
+// raw little-endian float32 data).
+func ParseArgs(args []string) (ints map[string]int64, floats map[string]float64, bufFiles map[string]string, err error) {
+	ints = map[string]int64{}
+	floats = map[string]float64{}
+	bufFiles = map[string]string{}
+	for _, a := range args {
+		name, val, found := strings.Cut(a, "=")
+		if !found {
+			return nil, nil, nil, fmt.Errorf("argument %q is not name=value", a)
+		}
+		if strings.HasPrefix(val, "@") {
+			bufFiles[name] = val[1:]
+			continue
+		}
+		if iv, err := strconv.ParseInt(val, 10, 64); err == nil {
+			ints[name] = iv
+			continue
+		}
+		fv, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("argument %q: %v", a, err)
+		}
+		floats[name] = fv
+	}
+	return ints, floats, bufFiles, nil
+}
+
+// LoadF32 reads a raw little-endian float32 file.
+func LoadF32(path string) ([]float32, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("%s: size %d is not a multiple of 4", path, len(raw))
+	}
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return out, nil
+}
+
+// MakeArgs sizes zero-filled buffers from the program's map clauses and
+// fills them from @file arguments.
+func MakeArgs(p *core.Program, ints map[string]int64, floats map[string]float64, bufFiles map[string]string) (sim.Args, error) {
+	args, err := p.SizedArgs(ints, floats)
+	if err != nil {
+		return sim.Args{}, err
+	}
+	for name, path := range bufFiles {
+		buf, ok := args.Buffers[name]
+		if !ok {
+			return sim.Args{}, fmt.Errorf("argument %s=@%s does not name a mapped buffer", name, path)
+		}
+		data, err := LoadF32(path)
+		if err != nil {
+			return sim.Args{}, err
+		}
+		copy(buf.Words, sim.NewFloatBuffer(data).Words)
+	}
+	return args, nil
+}

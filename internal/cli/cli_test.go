@@ -1,0 +1,111 @@
+package cli
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"paravis/internal/core"
+	"paravis/internal/workloads"
+)
+
+func TestDefinesSet(t *testing.T) {
+	d := Defines{}
+	if err := d.Set("DIM=64"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("FLAG"); err != nil {
+		t.Fatal(err)
+	}
+	if d["DIM"] != "64" || d["FLAG"] != "1" {
+		t.Fatalf("defines = %v", d)
+	}
+}
+
+func TestParamsSet(t *testing.T) {
+	p := Params{}
+	if err := p.Set("N=128"); err != nil {
+		t.Fatal(err)
+	}
+	if p["N"] != 128 {
+		t.Fatalf("params = %v", p)
+	}
+	if err := p.Set("bad"); err == nil {
+		t.Error("missing value accepted")
+	}
+	if err := p.Set("N=xyz"); err == nil {
+		t.Error("non-integer value accepted")
+	}
+}
+
+func TestParseArgs(t *testing.T) {
+	ints, floats, bufs, err := ParseArgs([]string{"n=16", "a=2.5", "X=@data.f32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ints["n"] != 16 {
+		t.Errorf("ints = %v", ints)
+	}
+	if floats["a"] != 2.5 {
+		t.Errorf("floats = %v", floats)
+	}
+	if bufs["X"] != "data.f32" {
+		t.Errorf("bufs = %v", bufs)
+	}
+	if _, _, _, err := ParseArgs([]string{"noequals"}); err == nil {
+		t.Error("malformed argument accepted")
+	}
+}
+
+func TestLoadF32(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.f32")
+	want := []float32{1, 2.5, -3}
+	raw := make([]byte, 4*len(want))
+	for i, f := range want {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(f))
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadF32(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if err := os.WriteFile(path, raw[:5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadF32(path); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestMakeArgsSizesBuffersAndRejectsUnknown(t *testing.T) {
+	p, err := core.Build(context.Background(),
+		workloads.GEMMSource(workloads.GEMMNaive),
+		core.BuildOptions{Defines: workloads.GEMMDefines(workloads.GEMMNaive)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	args, err := MakeArgs(p, map[string]int64{"DIM": 16}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"A", "B", "C"} {
+		buf, ok := args.Buffers[name]
+		if !ok || len(buf.Words) != 16*16 {
+			t.Fatalf("buffer %s sized wrong: %v", name, args.Buffers)
+		}
+	}
+	if _, err := MakeArgs(p, map[string]int64{"DIM": 16}, nil,
+		map[string]string{"NOPE": "x.f32"}); err == nil {
+		t.Error("unknown @file buffer accepted")
+	}
+}

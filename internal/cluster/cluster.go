@@ -13,6 +13,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"paravis/internal/core"
@@ -111,7 +112,7 @@ func Reference(initial []float32, steps int) []float32 {
 
 // RunStencil partitions `initial` across cfg.FPGAs accelerators and runs
 // `steps` lockstep Jacobi sweeps with halo exchanges in between.
-func RunStencil(initial []float32, steps int, cfg Config) (*Result, error) {
+func RunStencil(ctx context.Context, initial []float32, steps int, cfg Config) (*Result, error) {
 	cells := len(initial)
 	if cfg.FPGAs < 1 {
 		return nil, fmt.Errorf("cluster: need at least one FPGA")
@@ -124,7 +125,7 @@ func RunStencil(initial []float32, steps int, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("cluster: chunk of %d cells too small", chunk)
 	}
 
-	prog, err := core.Build(StencilSource, core.BuildOptions{})
+	prog, err := core.Build(ctx, StencilSource, core.BuildOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +181,7 @@ func RunStencil(initial []float32, steps int, cfg Config) (*Result, error) {
 			// fixed boundaries are restored below.
 			ubuf := sim.NewFloatBuffer(field[f])
 			vbuf := sim.NewZeroBuffer(chunk + 2)
-			out, err := prog.Run(sim.Args{
+			out, err := prog.Run(ctx, sim.Args{
 				Ints:    map[string]int64{"n": int64(chunk)},
 				Buffers: map[string]*sim.Buffer{"U": ubuf, "V": vbuf},
 			}, cfg.Sim)

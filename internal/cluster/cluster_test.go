@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestStencilMatchesReference(t *testing.T) {
 	initial := ramp(32)
 	cfg := DefaultConfig()
 	cfg.FPGAs = 2
-	res, err := RunStencil(initial, 4, cfg)
+	res, err := RunStencil(context.Background(), initial, 4, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestStencilFourFPGAs(t *testing.T) {
 	initial := ramp(64)
 	cfg := DefaultConfig()
 	cfg.FPGAs = 4
-	res, err := RunStencil(initial, 3, cfg)
+	res, err := RunStencil(context.Background(), initial, 3, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestStencilFourFPGAs(t *testing.T) {
 func TestStencilTraceWellFormed(t *testing.T) {
 	initial := ramp(32)
 	cfg := DefaultConfig()
-	res, err := RunStencil(initial, 2, cfg)
+	res, err := RunStencil(context.Background(), initial, 2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestStencilSingleFPGA(t *testing.T) {
 	initial := ramp(16)
 	cfg := DefaultConfig()
 	cfg.FPGAs = 1
-	res, err := RunStencil(initial, 3, cfg)
+	res, err := RunStencil(context.Background(), initial, 3, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,16 +114,16 @@ func TestStencilSingleFPGA(t *testing.T) {
 func TestStencilErrors(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.FPGAs = 3
-	if _, err := RunStencil(ramp(32), 1, cfg); err == nil {
+	if _, err := RunStencil(context.Background(), ramp(32), 1, cfg); err == nil {
 		t.Error("expected indivisible-partition error")
 	}
 	cfg.FPGAs = 0
-	if _, err := RunStencil(ramp(32), 1, cfg); err == nil {
+	if _, err := RunStencil(context.Background(), ramp(32), 1, cfg); err == nil {
 		t.Error("expected FPGA-count error")
 	}
 	cfg = DefaultConfig()
 	cfg.FPGAs = 16
-	if _, err := RunStencil(ramp(16), 1, cfg); err == nil {
+	if _, err := RunStencil(context.Background(), ramp(16), 1, cfg); err == nil {
 		t.Error("expected chunk-too-small error")
 	}
 }
@@ -131,7 +132,7 @@ func TestStencilCostAccounting(t *testing.T) {
 	initial := ramp(32)
 	cfg := DefaultConfig()
 	cfg.LinkLatency = 5000 // dominate with link cost
-	res, err := RunStencil(initial, 2, cfg)
+	res, err := RunStencil(context.Background(), initial, 2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestStencilCostAccounting(t *testing.T) {
 }
 
 func TestWriteClusterBundle(t *testing.T) {
-	res, err := RunStencil(ramp(32), 2, DefaultConfig())
+	res, err := RunStencil(context.Background(), ramp(32), 2, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

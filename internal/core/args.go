@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"paravis/internal/sim"
+)
+
+// SizedArgs builds launch arguments for the program: scalar values are
+// copied in and every non-scalar map clause gets a zero-filled buffer
+// sized from its low/length expressions evaluated against the integer
+// arguments. Callers that have real data (the CLIs' @file.f32 arguments,
+// the daemon's inline buffers) overwrite the zero words afterwards.
+// Scalar maps are copied, so concurrent runs never share argument state.
+func (p *Program) SizedArgs(ints map[string]int64, floats map[string]float64) (sim.Args, error) {
+	args := sim.Args{
+		Ints:    map[string]int64{},
+		Floats:  map[string]float64{},
+		Buffers: map[string]*sim.Buffer{},
+	}
+	env := map[string]int64{}
+	for k, v := range ints {
+		args.Ints[k] = v
+		env[k] = v
+	}
+	for k, v := range floats {
+		args.Floats[k] = v
+	}
+	for _, m := range p.Kernel.Maps {
+		if m.Scalar {
+			continue
+		}
+		length, err := m.Len.Eval(env)
+		if err != nil {
+			return sim.Args{}, fmt.Errorf("core: map %s: %w", m.Name, err)
+		}
+		low := int64(0)
+		if m.Low != nil {
+			low, _ = m.Low.Eval(env)
+		}
+		if length <= 0 {
+			return sim.Args{}, fmt.Errorf("core: map %s has non-positive length %d", m.Name, length)
+		}
+		args.Buffers[m.Name] = sim.NewZeroBuffer(int(low + length))
+	}
+	return args, nil
+}

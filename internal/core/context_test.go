@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"paravis/internal/sim"
+	"paravis/internal/workloads"
+)
+
+// longPiArgs is a simulation that would run for minutes: the context
+// tests rely on it definitely outliving any deadline they set.
+func longPiProgram(t *testing.T) (*Program, sim.Args) {
+	t.Helper()
+	p, err := Build(context.Background(), workloads.PiSource, BuildOptions{Defines: workloads.PiDefines()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := int64(500_000_000)
+	return p, sim.Args{
+		Ints:   map[string]int64{"steps": steps, "threads": 8},
+		Floats: map[string]float64{"step": 1.0 / float64(steps), "final_sum": 0},
+	}
+}
+
+func TestRunCanceledMidSim(t *testing.T) {
+	p, args := longPiProgram(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	cfg := fastCfg()
+	cfg.MaxCycles = 1 << 62
+	start := time.Now()
+	_, err := p.Run(ctx, args, cfg)
+	if err == nil {
+		t.Fatal("canceled run returned no error")
+	}
+	var ce *sim.ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T %v, want *sim.ErrCanceled", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err %v does not unwrap to context.Canceled", err)
+	}
+	if ce.Kernel == "" || ce.Cycle <= 0 {
+		t.Errorf("ErrCanceled carries no position: %+v", ce)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v; the event loop is not polling the context", elapsed)
+	}
+}
+
+func TestRunDeadlineMidSim(t *testing.T) {
+	p, args := longPiProgram(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	cfg := fastCfg()
+	cfg.MaxCycles = 1 << 62
+	_, err := p.Run(ctx, args, cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded via ErrCanceled", err)
+	}
+}
+
+func TestMaxCyclesTypedError(t *testing.T) {
+	p, args := longPiProgram(t)
+	cfg := fastCfg()
+	cfg.MaxCycles = 5000
+	_, err := p.Run(context.Background(), args, cfg)
+	var me *sim.ErrMaxCycles
+	if !errors.As(err, &me) {
+		t.Fatalf("err = %T %v, want *sim.ErrMaxCycles", err, err)
+	}
+	if me.Kernel != p.Kernel.Name {
+		t.Errorf("ErrMaxCycles.Kernel = %q, want %q", me.Kernel, p.Kernel.Name)
+	}
+	if me.Limit != 5000 {
+		t.Errorf("ErrMaxCycles.Limit = %d, want 5000", me.Limit)
+	}
+	// A max-cycles overrun is not a context failure.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		t.Error("ErrMaxCycles unwraps to a context error")
+	}
+}
+
+func TestBuildCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Build(ctx, workloads.PiSource, BuildOptions{Defines: workloads.PiDefines()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

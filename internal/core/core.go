@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"paravis/internal/area"
@@ -51,8 +52,16 @@ type Program struct {
 
 // Build compiles MiniC source through the full flow: parse, semantic
 // analysis, lowering to dataflow IR, static scheduling and datapath
-// compilation.
-func Build(src string, opts BuildOptions) (*Program, error) {
+// compilation. The context is consulted between compilation phases so a
+// server can abandon a build whose client has gone away; ctx may be nil,
+// meaning Background.
+func Build(ctx context.Context, src string, opts BuildOptions) (*Program, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: build canceled: %w", err)
+	}
 	prog, err := minic.Parse(src, minic.Options{
 		Defines:     opts.Defines,
 		VectorLanes: opts.VectorLanes,
@@ -70,6 +79,9 @@ func Build(src string, opts BuildOptions) (*Program, error) {
 	}
 	if err := ir.Validate(k); err != nil {
 		return nil, fmt.Errorf("core: post-lower verification: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: build canceled: %w", err)
 	}
 	scfg := schedule.DefaultConfig()
 	if opts.Schedule != nil {
@@ -136,9 +148,11 @@ func (o *RunOutput) Seconds(cycles int64) float64 {
 	return float64(cycles) / (o.FmaxMHz * 1e6)
 }
 
-// Run simulates the accelerator with the given arguments.
-func (p *Program) Run(args sim.Args, cfg sim.Config) (*RunOutput, error) {
-	res, err := sim.Run(p.CK, args, cfg)
+// Run simulates the accelerator with the given arguments. The context is
+// checked inside the simulator's event loop: cancellation or a deadline
+// stops the run with a *sim.ErrCanceled, composing with cfg.MaxCycles.
+func (p *Program) Run(ctx context.Context, args sim.Args, cfg sim.Config) (*RunOutput, error) {
+	res, err := sim.Run(ctx, p.CK, args, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +176,7 @@ func (p *Program) AreaOverhead(profCfg profile.Config) area.OverheadReport {
 // before the region execute on the (interpreted) CPU, the region runs on
 // the simulated accelerator, mapped scalars flow back, and the function's
 // return value is produced. Buffers back the pointer parameters.
-func (p *Program) Call(args []host.Value, buffers map[string]*sim.Buffer, cfg sim.Config) (host.Value, *RunOutput, error) {
+func (p *Program) Call(ctx context.Context, args []host.Value, buffers map[string]*sim.Buffer, cfg sim.Config) (host.Value, *RunOutput, error) {
 	var out *RunOutput
 	launcher := host.LauncherFunc(func(ts *minic.TargetStmt, env map[string]host.Value) (map[string]host.Value, error) {
 		simArgs := sim.Args{
@@ -199,7 +213,7 @@ func (p *Program) Call(args []host.Value, buffers map[string]*sim.Buffer, cfg si
 				simArgs.Ints[m.Name] = v.AsInt()
 			}
 		}
-		o, err := p.Run(simArgs, cfg)
+		o, err := p.Run(ctx, simArgs, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -22,7 +23,7 @@ func fastCfg() sim.Config {
 }
 
 func TestBuildAndRunGEMM(t *testing.T) {
-	p, err := Build(workloads.GEMMSource(workloads.GEMMNaive), BuildOptions{
+	p, err := Build(context.Background(), workloads.GEMMSource(workloads.GEMMNaive), BuildOptions{
 		Defines: workloads.GEMMDefines(workloads.GEMMNaive),
 	})
 	if err != nil {
@@ -31,7 +32,7 @@ func TestBuildAndRunGEMM(t *testing.T) {
 	dim := 16
 	a, b := workloads.GEMMInputs(dim)
 	cbuf := sim.NewZeroBuffer(dim * dim)
-	out, err := p.Run(sim.Args{
+	out, err := p.Run(context.Background(), sim.Args{
 		Ints: map[string]int64{"DIM": int64(dim)},
 		Buffers: map[string]*sim.Buffer{
 			"A": sim.NewFloatBuffer(a), "B": sim.NewFloatBuffer(b), "C": cbuf,
@@ -62,7 +63,7 @@ func TestBuildAndRunGEMM(t *testing.T) {
 }
 
 func TestTraceShowsCriticalAndSpin(t *testing.T) {
-	p, err := Build(workloads.GEMMSource(workloads.GEMMNaive), BuildOptions{
+	p, err := Build(context.Background(), workloads.GEMMSource(workloads.GEMMNaive), BuildOptions{
 		Defines: workloads.GEMMDefines(workloads.GEMMNaive),
 	})
 	if err != nil {
@@ -70,7 +71,7 @@ func TestTraceShowsCriticalAndSpin(t *testing.T) {
 	}
 	dim := 16
 	a, b := workloads.GEMMInputs(dim)
-	out, err := p.Run(sim.Args{
+	out, err := p.Run(context.Background(), sim.Args{
 		Ints: map[string]int64{"DIM": int64(dim)},
 		Buffers: map[string]*sim.Buffer{
 			"A": sim.NewFloatBuffer(a), "B": sim.NewFloatBuffer(b),
@@ -90,11 +91,11 @@ func TestTraceShowsCriticalAndSpin(t *testing.T) {
 }
 
 func TestWriteTraceBundle(t *testing.T) {
-	p, err := Build(workloads.PiSource, BuildOptions{Defines: workloads.PiDefines()})
+	p, err := Build(context.Background(), workloads.PiSource, BuildOptions{Defines: workloads.PiDefines()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := p.Run(sim.Args{
+	out, err := p.Run(context.Background(), sim.Args{
 		Ints:   map[string]int64{"steps": 1024, "threads": 8},
 		Floats: map[string]float64{"step": 1.0 / 1024, "final_sum": 0},
 	}, fastCfg())
@@ -121,12 +122,12 @@ func TestWriteTraceBundle(t *testing.T) {
 }
 
 func TestCallEndToEndPi(t *testing.T) {
-	p, err := Build(workloads.PiSource, BuildOptions{Defines: workloads.PiDefines()})
+	p, err := Build(context.Background(), workloads.PiSource, BuildOptions{Defines: workloads.PiDefines()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	steps := 2048
-	ret, out, err := p.Call(
+	ret, out, err := p.Call(context.Background(),
 		[]host.Value{host.IntValue(int64(steps)), host.IntValue(8)},
 		nil, fastCfg())
 	if err != nil {
@@ -147,7 +148,7 @@ func TestCallEndToEndPi(t *testing.T) {
 }
 
 func TestAreaOverheadReport(t *testing.T) {
-	p, err := Build(workloads.PiSource, BuildOptions{Defines: workloads.PiDefines()})
+	p, err := Build(context.Background(), workloads.PiSource, BuildOptions{Defines: workloads.PiDefines()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,22 +159,22 @@ func TestAreaOverheadReport(t *testing.T) {
 }
 
 func TestBuildErrors(t *testing.T) {
-	if _, err := Build("void f() { int x = ; }", BuildOptions{}); err == nil {
+	if _, err := Build(context.Background(), "void f() { int x = ; }", BuildOptions{}); err == nil {
 		t.Error("syntax error not reported")
 	}
-	if _, err := Build("void f() { int x = 1; x = x; }", BuildOptions{}); err == nil {
+	if _, err := Build(context.Background(), "void f() { int x = 1; x = x; }", BuildOptions{}); err == nil {
 		t.Error("missing target region not reported")
 	}
 }
 
 func TestRunWithoutProfilingHasNoTrace(t *testing.T) {
-	p, err := Build(workloads.PiSource, BuildOptions{Defines: workloads.PiDefines()})
+	p, err := Build(context.Background(), workloads.PiSource, BuildOptions{Defines: workloads.PiDefines()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := fastCfg()
 	cfg.Profile.Enabled = false
-	out, err := p.Run(sim.Args{
+	out, err := p.Run(context.Background(), sim.Args{
 		Ints:   map[string]int64{"steps": 512, "threads": 8},
 		Floats: map[string]float64{"step": 1.0 / 512, "final_sum": 0},
 	}, cfg)

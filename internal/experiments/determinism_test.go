@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"paravis/internal/workloads"
@@ -30,35 +31,35 @@ func TestParallelRunnersAreDeterministic(t *testing.T) {
 	}
 	experiments := []experiment{
 		{"overhead", func(opts Options) (string, error) {
-			r, err := RunOverhead(4, opts.Workers)
+			r, err := RunOverhead(context.Background(), 4, opts.Workers)
 			if err != nil {
 				return "", err
 			}
 			return r.Format(), nil
 		}},
 		{"speedups", func(opts Options) (string, error) {
-			r, err := RunSpeedups(opts)
+			r, err := RunSpeedups(context.Background(), opts)
 			if err != nil {
 				return "", err
 			}
 			return r.Format(), nil
 		}},
 		{"phases", func(opts Options) (string, error) {
-			r, err := RunPhases(opts)
+			r, err := RunPhases(context.Background(), opts)
 			if err != nil {
 				return "", err
 			}
 			return r.Format(), nil
 		}},
 		{"pi", func(opts Options) (string, error) {
-			r, err := RunPi(opts)
+			r, err := RunPi(context.Background(), opts)
 			if err != nil {
 				return "", err
 			}
 			return r.Format(), nil
 		}},
 		{"threads", func(opts Options) (string, error) {
-			r, err := RunThreadScaling(opts, []int{1, 2, 4})
+			r, err := RunThreadScaling(context.Background(), opts, []int{1, 2, 4})
 			if err != nil {
 				return "", err
 			}
@@ -87,18 +88,18 @@ func TestParallelRunnersAreDeterministic(t *testing.T) {
 // The compile cache must hand back the same program for repeated builds of
 // the same design point, and distinct programs for distinct points.
 func TestCompileCacheSharing(t *testing.T) {
-	a, err := buildGEMM(workloads.GEMMNaive, 4)
+	a, err := buildGEMM(context.Background(), workloads.GEMMNaive, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := buildGEMM(workloads.GEMMNaive, 4)
+	b, err := buildGEMM(context.Background(), workloads.GEMMNaive, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Error("same design point compiled twice")
 	}
-	c, err := buildGEMM(workloads.GEMMNaive, 8)
+	c, err := buildGEMM(context.Background(), workloads.GEMMNaive, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

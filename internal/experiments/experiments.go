@@ -6,9 +6,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
 
 	"paravis/internal/area"
 	"paravis/internal/core"
@@ -53,47 +53,28 @@ func DefaultOptions() Options {
 	}
 }
 
-// buildKey identifies one compiled design point in the shared cache.
-type buildKey struct {
-	v       workloads.GEMMVersion
-	threads int
-	pi      bool
-}
-
-type buildEntry struct {
-	once sync.Once
-	p    *core.Program
-	err  error
-}
-
-// buildCache memoizes compiles across all experiments, so each
-// (workload, threads) design point is compiled exactly once no matter how
-// many experiments or workers request it. Compiled programs are immutable
-// (the simulator only reads the kernel), so sharing one instance across
-// concurrent runs is safe.
-var buildCache sync.Map // buildKey -> *buildEntry
-
-func cachedBuild(key buildKey, build func() (*core.Program, error)) (*core.Program, error) {
-	e, _ := buildCache.LoadOrStore(key, &buildEntry{})
-	ent := e.(*buildEntry)
-	ent.once.Do(func() { ent.p, ent.err = build() })
-	return ent.p, ent.err
-}
+// buildCache memoizes compiles across all experiments through the
+// content-addressed core.Cache (the same cache type the nymbled daemon
+// serves from), so each (workload, threads) design point is compiled
+// exactly once no matter how many experiments or workers request it.
+// Compiled programs are immutable (the simulator only reads the kernel),
+// so sharing one instance across concurrent runs is safe.
+var buildCache = core.NewCache()
 
 // buildGEMM compiles one GEMM version (cached).
-func buildGEMM(v workloads.GEMMVersion, threads int) (*core.Program, error) {
-	return cachedBuild(buildKey{v: v, threads: threads}, func() (*core.Program, error) {
-		return core.Build(workloads.GEMMSource(v), core.BuildOptions{
-			Defines: workloads.GEMMDefinesThreads(v, threads),
-		})
+func buildGEMM(ctx context.Context, v workloads.GEMMVersion, threads int) (*core.Program, error) {
+	p, _, err := buildCache.Build(ctx, workloads.GEMMSource(v), core.BuildOptions{
+		Defines: workloads.GEMMDefinesThreads(v, threads),
 	})
+	return p, err
 }
 
 // buildPi compiles the pi kernel (cached).
-func buildPi() (*core.Program, error) {
-	return cachedBuild(buildKey{pi: true}, func() (*core.Program, error) {
-		return core.Build(workloads.PiSource, core.BuildOptions{Defines: workloads.PiDefines()})
+func buildPi(ctx context.Context) (*core.Program, error) {
+	p, _, err := buildCache.Build(ctx, workloads.PiSource, core.BuildOptions{
+		Defines: workloads.PiDefines(),
 	})
+	return p, err
 }
 
 // GEMMRun is one simulated GEMM version with its trace-derived metrics.
@@ -110,14 +91,14 @@ type GEMMRun struct {
 
 // RunGEMM simulates one version and checks the result against the
 // reference implementation.
-func RunGEMM(v workloads.GEMMVersion, dim, threads int, cfg sim.Config) (*GEMMRun, error) {
-	p, err := buildGEMM(v, threads)
+func RunGEMM(ctx context.Context, v workloads.GEMMVersion, dim, threads int, cfg sim.Config) (*GEMMRun, error) {
+	p, err := buildGEMM(ctx, v, threads)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", v, err)
 	}
 	a, b := workloads.GEMMInputs(dim)
 	cbuf := sim.NewZeroBuffer(dim * dim)
-	out, err := p.Run(sim.Args{
+	out, err := p.Run(ctx, sim.Args{
 		Ints: map[string]int64{"DIM": int64(dim)},
 		Buffers: map[string]*sim.Buffer{
 			"A": sim.NewFloatBuffer(a), "B": sim.NewFloatBuffer(b), "C": cbuf,
@@ -168,7 +149,7 @@ type OverheadResult struct {
 // RunOverhead estimates all six designs with and without profiling. The
 // designs compile independently and fan out across workers; the reduction
 // runs in index order so the result is worker-count independent.
-func RunOverhead(threads, workers int) (*OverheadResult, error) {
+func RunOverhead(ctx context.Context, threads, workers int) (*OverheadResult, error) {
 	n := len(workloads.AllGEMMVersions)
 	rows := make([]OverheadRow, n+1) // GEMM versions + pi
 	err := parallel.ForEach(workers, n+1, func(i int) error {
@@ -178,9 +159,9 @@ func RunOverhead(threads, workers int) (*OverheadResult, error) {
 		if i < n {
 			v := workloads.AllGEMMVersions[i]
 			name = v.String()
-			p, err = buildGEMM(v, threads)
+			p, err = buildGEMM(ctx, v, threads)
 		} else {
-			p, err = buildPi()
+			p, err = buildPi(ctx)
 		}
 		if err != nil {
 			return err
@@ -243,8 +224,8 @@ type Fig6Result struct {
 }
 
 // RunFig6 reproduces the Fig. 6 state view.
-func RunFig6(opts Options) (*Fig6Result, error) {
-	run, err := RunGEMM(workloads.GEMMNaive, opts.GEMMDim, opts.Threads, opts.SimCfg)
+func RunFig6(ctx context.Context, opts Options) (*Fig6Result, error) {
+	run, err := RunGEMM(ctx, workloads.GEMMNaive, opts.GEMMDim, opts.Threads, opts.SimCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +313,7 @@ var PaperSpeedups = map[workloads.GEMMVersion]float64{
 }
 
 // RunSpeedups simulates all five versions, fanned out across workers.
-func RunSpeedups(opts Options) (*SpeedupResult, error) {
+func RunSpeedups(ctx context.Context, opts Options) (*SpeedupResult, error) {
 	n := len(workloads.AllGEMMVersions)
 	res := &SpeedupResult{
 		Runs:     make([]*GEMMRun, n),
@@ -340,7 +321,7 @@ func RunSpeedups(opts Options) (*SpeedupResult, error) {
 	}
 	err := parallel.ForEach(opts.Workers, n, func(i int) error {
 		v := workloads.AllGEMMVersions[i]
-		run, err := RunGEMM(v, opts.GEMMDim, opts.Threads, opts.SimCfg)
+		run, err := RunGEMM(ctx, v, opts.GEMMDim, opts.Threads, opts.SimCfg)
 		if err != nil {
 			return err
 		}
@@ -406,13 +387,13 @@ type PhaseResult struct {
 // RunPhases reproduces Figs. 8 and 9. Like the paper's zoomed views, the
 // phase structure is analyzed on a single thread's event stream, sampled at
 // a fine period.
-func RunPhases(opts Options) (*PhaseResult, error) {
+func RunPhases(ctx context.Context, opts Options) (*PhaseResult, error) {
 	cfg := opts.SimCfg
 	cfg.Profile.SamplePeriod = 256
 	versions := []workloads.GEMMVersion{workloads.GEMMBlocked, workloads.GEMMDoubleBuffered}
 	runs := make([]*GEMMRun, len(versions))
 	err := parallel.ForEach(opts.Workers, len(versions), func(i int) error {
-		run, err := RunGEMM(versions[i], opts.GEMMDim, opts.Threads, cfg)
+		run, err := RunGEMM(ctx, versions[i], opts.GEMMDim, opts.Threads, cfg)
 		if err != nil {
 			return err
 		}
@@ -500,15 +481,15 @@ var PaperPiGFlops = []float64{0.146, 0.556, 1.507}
 
 // RunPi simulates the pi kernel for each step count. The program is
 // compiled once and shared; the step-count sweep fans out across workers.
-func RunPi(opts Options) (*PiResult, error) {
-	p, err := buildPi()
+func RunPi(ctx context.Context, opts Options) (*PiResult, error) {
+	p, err := buildPi(ctx)
 	if err != nil {
 		return nil, err
 	}
 	res := &PiResult{Runs: make([]*PiRun, len(opts.PiSteps))}
 	err = parallel.ForEach(opts.Workers, len(opts.PiSteps), func(i int) error {
 		steps := opts.PiSteps[i]
-		out, err := p.Run(sim.Args{
+		out, err := p.Run(ctx, sim.Args{
 			Ints:   map[string]int64{"steps": int64(steps), "threads": int64(opts.Threads)},
 			Floats: map[string]float64{"step": 1.0 / float64(steps), "final_sum": 0},
 		}, opts.SimCfg)
@@ -589,13 +570,13 @@ type ThreadScalingResult struct {
 // RunThreadScaling sweeps NT for the no-critical GEMM (the naive one
 // serializes on the lock, masking the effect). Each thread count is an
 // independent design point and fans out across workers.
-func RunThreadScaling(opts Options, counts []int) (*ThreadScalingResult, error) {
+func RunThreadScaling(ctx context.Context, opts Options, counts []int) (*ThreadScalingResult, error) {
 	res := &ThreadScalingResult{
 		Threads: append([]int(nil), counts...),
 		Cycles:  make([]int64, len(counts)),
 	}
 	err := parallel.ForEach(opts.Workers, len(counts), func(i int) error {
-		run, err := RunGEMM(workloads.GEMMNoCritical, opts.GEMMDim, counts[i], opts.SimCfg)
+		run, err := RunGEMM(ctx, workloads.GEMMNoCritical, opts.GEMMDim, counts[i], opts.SimCfg)
 		if err != nil {
 			return err
 		}

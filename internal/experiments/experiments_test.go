@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func testOpts() Options {
 }
 
 func TestOverheadMatchesPaperShape(t *testing.T) {
-	r, err := RunOverhead(8, 0)
+	r, err := RunOverhead(context.Background(), 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestOverheadMatchesPaperShape(t *testing.T) {
 }
 
 func TestFig6ShapeHolds(t *testing.T) {
-	r, err := RunFig6(testOpts())
+	r, err := RunFig6(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestFig6ShapeHolds(t *testing.T) {
 }
 
 func TestSpeedupShapeHolds(t *testing.T) {
-	r, err := RunSpeedups(testOpts())
+	r, err := RunSpeedups(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestSpeedupShapeHolds(t *testing.T) {
 }
 
 func TestPhaseShapeHolds(t *testing.T) {
-	r, err := RunPhases(testOpts())
+	r, err := RunPhases(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestPhaseShapeHolds(t *testing.T) {
 }
 
 func TestPiShapeHolds(t *testing.T) {
-	r, err := RunPi(testOpts())
+	r, err := RunPi(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestPiShapeHolds(t *testing.T) {
 }
 
 func TestThreadScalingShapeHolds(t *testing.T) {
-	r, err := RunThreadScaling(testOpts(), []int{1, 4, 8, 16})
+	r, err := RunThreadScaling(context.Background(), testOpts(), []int{1, 4, 8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,14 +173,14 @@ func TestThreadScalingShapeHolds(t *testing.T) {
 
 func TestFormatsMentionPaperValues(t *testing.T) {
 	opts := testOpts()
-	sp, err := RunSpeedups(opts)
+	sp, err := RunSpeedups(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sp.Format(), "paper") {
 		t.Error("speedup format must cite paper values")
 	}
-	pi, err := RunPi(opts)
+	pi, err := RunPi(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -60,22 +61,22 @@ type BoundsResult struct {
 // over the five GEMM optimization steps and the pi kernel, reporting
 // prediction error per step. Simulations come from the shared build/run
 // paths, so measured numbers are identical to the other experiments'.
-func RunBounds(opts Options) (*BoundsResult, error) {
+func RunBounds(ctx context.Context, opts Options) (*BoundsResult, error) {
 	pcfg := boundConfig(opts.SimCfg)
 	res := &BoundsResult{}
 	for _, v := range workloads.AllGEMMVersions {
-		p, err := buildGEMM(v, opts.Threads)
+		p, err := buildGEMM(ctx, v, opts.Threads)
 		if err != nil {
 			return nil, err
 		}
 		rep := perfbound.Analyze(p.Kernel, p.Sched, map[string]int64{"DIM": int64(opts.GEMMDim)}, pcfg)
-		run, err := RunGEMM(v, opts.GEMMDim, opts.Threads, opts.SimCfg)
+		run, err := RunGEMM(ctx, v, opts.GEMMDim, opts.Threads, opts.SimCfg)
 		if err != nil {
 			return nil, err
 		}
 		res.Rows = append(res.Rows, boundRow(workloads.UnitName(v), rep, run.Cycles, run.Out.Result))
 	}
-	p, err := buildPi()
+	p, err := buildPi(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +86,7 @@ func RunBounds(opts Options) (*BoundsResult, error) {
 	piOpts := opts
 	piOpts.PiSteps = opts.PiSteps[:1]
 	piOpts.Quiet = true
-	pi, err := RunPi(piOpts)
+	pi, err := RunPi(ctx, piOpts)
 	if err != nil {
 		return nil, err
 	}

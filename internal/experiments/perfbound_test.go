@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestBoundsSoundOnSeedWorkloads is the model's soundness property: for
 // every seed workload at the canonical parameters, the statically
@@ -14,7 +17,7 @@ func TestBoundsSoundOnSeedWorkloads(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Quiet = true
 	opts.PiSteps = opts.PiSteps[:1]
-	res, err := RunBounds(opts)
+	res, err := RunBounds(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +45,7 @@ func TestBoundsDisabledProfile(t *testing.T) {
 	opts.Quiet = true
 	opts.PiSteps = opts.PiSteps[:1]
 	opts.SimCfg.Profile.Enabled = false
-	res, err := RunBounds(opts)
+	res, err := RunBounds(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Submit after Close has been called.
+var ErrPoolClosed = errors.New("parallel: pool closed")
+
+// Pool is a long-lived bounded worker pool for a server: jobs are
+// submitted one at a time, queue until a worker frees up, and run on at
+// most `workers` goroutines. Unlike ForEach — which fans a fixed batch
+// out and joins it — a Pool outlives any one request, exposes its queue
+// depth and in-flight count for metrics, and drains gracefully on Close.
+type Pool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []func()
+	inFlight int
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of worker goroutines
+// (workers <= 0 uses DefaultWorkers()).
+func NewPool(workers int) *Pool {
+	workers = Resolve(workers)
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		fn := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		p.inFlight++
+		p.mu.Unlock()
+
+		fn()
+
+		p.mu.Lock()
+		p.inFlight--
+		if p.closed {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Submit enqueues a job. It never blocks: the job waits in the queue
+// until a worker is free. Returns ErrPoolClosed after Close.
+func (p *Pool) Submit(fn func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.queue = append(p.queue, fn)
+	p.cond.Signal()
+	return nil
+}
+
+// QueueDepth reports how many jobs are waiting for a worker.
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// InFlight reports how many jobs are currently executing.
+func (p *Pool) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inFlight
+}
+
+// Close stops accepting new jobs, lets the queued and in-flight ones
+// finish, and waits for every worker to exit. Callers that want queued
+// jobs to finish fast rather than run fully should cancel the contexts
+// those jobs observe before calling Close.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}

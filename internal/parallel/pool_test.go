@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverySubmittedJob(t *testing.T) {
+	p := NewPool(4)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() {
+			defer wg.Done()
+			ran.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100 jobs", ran.Load())
+	}
+	p.Close()
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() {
+			defer wg.Done()
+			n := cur.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, pool bound is %d", got, workers)
+	}
+}
+
+func TestPoolCloseDrainsQueue(t *testing.T) {
+	p := NewPool(1)
+	var ran atomic.Int64
+	block := make(chan struct{})
+	if err := p.Submit(func() { <-block; ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := p.Submit(func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := p.QueueDepth(); d == 0 {
+		t.Error("queue depth is 0 while worker is blocked")
+	}
+	close(block)
+	p.Close()
+	if ran.Load() != 6 {
+		t.Fatalf("Close drained %d of 6 jobs", ran.Load())
+	}
+	if err := p.Submit(func() {}); err != ErrPoolClosed {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+	if p.InFlight() != 0 || p.QueueDepth() != 0 {
+		t.Errorf("closed pool reports inFlight=%d queue=%d", p.InFlight(), p.QueueDepth())
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close()
+}

@@ -1,6 +1,7 @@
 package perfbound_test
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -22,7 +23,7 @@ func TestGoldenBounds(t *testing.T) {
 	for _, w := range workloads.Units() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
-			prog, err := core.Build(w.Source, core.BuildOptions{Defines: w.Defines})
+			prog, err := core.Build(context.Background(), w.Source, core.BuildOptions{Defines: w.Defines})
 			if err != nil {
 				t.Fatalf("build: %v", err)
 			}
@@ -50,7 +51,7 @@ func TestGoldenBounds(t *testing.T) {
 // encoding is byte-identical — the property nymbleperf -json relies on.
 func TestReportDeterministic(t *testing.T) {
 	w := workloads.Units()[0]
-	prog, err := core.Build(w.Source, core.BuildOptions{Defines: w.Defines})
+	prog, err := core.Build(context.Background(), w.Source, core.BuildOptions{Defines: w.Defines})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestReportDeterministic(t *testing.T) {
 // bound is reported unknown, and the lower bound stays positive.
 func TestSymbolicWorkload(t *testing.T) {
 	w := workloads.Units()[0] // gemm-naive: all loops bounded by DIM
-	prog, err := core.Build(w.Source, core.BuildOptions{Defines: w.Defines})
+	prog, err := core.Build(context.Background(), w.Source, core.BuildOptions{Defines: w.Defines})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ void k(float* A, int N) {
 // TestTripCounts folds a strided loop's trip count and checks the
 // soundness-critical inequality lower <= upper on the resulting bounds.
 func TestTripCounts(t *testing.T) {
-	prog, err := core.Build(tripSrc, core.BuildOptions{})
+	prog, err := core.Build(context.Background(), tripSrc, core.BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

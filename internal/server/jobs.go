@@ -1,0 +1,331 @@
+package server
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"paravis/internal/api"
+	"paravis/internal/core"
+	"paravis/internal/mem"
+	"paravis/internal/sim"
+)
+
+// job is one queued/running/finished simulation. The job owns its
+// context: DELETE /v1/jobs/{id}, a per-request timeout and server
+// shutdown all cancel it, and the simulator's event loop notices.
+type job struct {
+	id     string
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	state    string
+	kernel   string
+	errMsg   string
+	errKind  string
+	summary  *api.RunSummary
+	trace    []string
+	out      *core.RunOutput
+	canceled bool
+}
+
+func (j *job) snapshot() api.Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return api.Job{
+		SchemaVersion: api.Version,
+		ID:            j.id,
+		State:         j.state,
+		Kernel:        j.kernel,
+		Error:         j.errMsg,
+		ErrorKind:     j.errKind,
+		Summary:       j.summary,
+		Trace:         j.trace,
+	}
+}
+
+// setState transitions the job unless it was already canceled (a
+// canceled job stays canceled even if the worker later reports in).
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.canceled {
+		j.state = state
+	}
+}
+
+func (j *job) markCanceled(reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == api.JobDone || j.state == api.JobFailed {
+		return
+	}
+	j.canceled = true
+	j.state = api.JobCanceled
+	if j.errMsg == "" {
+		j.errMsg = reason
+		j.errKind = "canceled"
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req api.RunRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if s.closing() {
+		writeError(w, http.StatusServiceUnavailable, "shutting_down",
+			errors.New("server is shutting down"))
+		return
+	}
+
+	// Compile synchronously (through the cache) so malformed kernels fail
+	// the POST itself rather than a queued job.
+	p, err := s.build(r.Context(), w, req.Source, buildOptions(req.Defines, req.VectorLanes))
+	if err != nil {
+		writeBuildError(w, err)
+		return
+	}
+	args, err := makeRunArgs(p, &req)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "bad_args", err)
+		return
+	}
+	cfg := s.cfg.SimCfg
+	cfg.Profile.Enabled = !req.NoProfile
+	if req.MaxCycles > 0 {
+		cfg.MaxCycles = req.MaxCycles
+	}
+
+	// The job outlives the POST: its context descends from Background,
+	// not the request, so an async client may disconnect freely. Wait
+	// mode ties the two together below.
+	ctx, cancelCause := context.WithCancelCause(context.Background())
+	cancelTimer := context.CancelFunc(func() {})
+	if req.TimeoutMs > 0 {
+		ctx, cancelTimer = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+	}
+	cancel := func(cause error) {
+		cancelCause(cause)
+		cancelTimer()
+	}
+
+	j := &job{
+		id:     fmt.Sprintf("job-%d", s.jobSeq.next()),
+		cancel: cancel,
+		done:   make(chan struct{}),
+		state:  api.JobQueued,
+		kernel: p.Kernel.Name,
+	}
+	s.jobs.Store(j.id, j)
+	s.metrics.jobsCreated.Add(1)
+
+	if err := s.pool.Submit(func() {
+		defer close(j.done)
+		defer cancel(errors.New("job finished"))
+		s.runJob(ctx, j, p, args, cfg)
+	}); err != nil {
+		s.jobs.Delete(j.id)
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", err)
+		return
+	}
+
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, j.snapshot())
+		return
+	}
+	// Synchronous mode: the client waits for the result, so the client
+	// going away cancels the simulation and frees the worker slot.
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		j.cancel(context.Cause(r.Context()))
+		j.markCanceled("client disconnected")
+		<-j.done
+	}
+	doc := j.snapshot()
+	writeJSON(w, waitStatus(doc), doc)
+}
+
+// waitStatus maps a finished job document onto the synchronous-mode
+// HTTP status: cycle-budget overruns are the request's fault (422), not
+// a server failure (500).
+func waitStatus(doc api.Job) int {
+	switch doc.State {
+	case api.JobDone:
+		return http.StatusOK
+	case api.JobCanceled:
+		if doc.ErrorKind == "deadline" {
+			return http.StatusGatewayTimeout
+		}
+		return 499
+	default:
+		switch doc.ErrorKind {
+		case "max_cycles":
+			return http.StatusUnprocessableEntity
+		case "deadline":
+			return http.StatusGatewayTimeout
+		default:
+			return http.StatusInternalServerError
+		}
+	}
+}
+
+// runJob executes one simulation on a pool worker.
+func (s *Server) runJob(ctx context.Context, j *job, p *core.Program, args sim.Args, cfg sim.Config) {
+	j.setState(api.JobRunning)
+	s.metrics.simsStarted.Add(1)
+	out, err := p.Run(ctx, args, cfg)
+	s.metrics.simsFinished.Add(1)
+	if err != nil {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.errMsg = err.Error()
+		var maxErr *sim.ErrMaxCycles
+		var canErr *sim.ErrCanceled
+		switch {
+		case errors.As(err, &maxErr):
+			j.state = api.JobFailed
+			j.errKind = "max_cycles"
+		case errors.As(err, &canErr):
+			j.canceled = true
+			j.state = api.JobCanceled
+			j.errKind = "canceled"
+			if errors.Is(err, context.DeadlineExceeded) {
+				j.errKind = "deadline"
+			}
+		default:
+			j.state = api.JobFailed
+			j.errKind = "run_error"
+		}
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.canceled {
+		return
+	}
+	j.state = api.JobDone
+	j.out = out
+	j.summary = api.NewRunSummary(p, out)
+	if out.Streams != nil {
+		j.trace = []string{"trace.prv", "trace.prv.gz", "trace.pcf", "trace.row"}
+	}
+}
+
+// makeRunArgs sizes the kernel's buffers from its map clauses and
+// preloads any the request supplied, mirroring nymblesim's argument
+// handling.
+func makeRunArgs(p *core.Program, req *api.RunRequest) (sim.Args, error) {
+	args, err := p.SizedArgs(req.Ints, req.Floats)
+	if err != nil {
+		return sim.Args{}, err
+	}
+	for name, data := range req.Buffers {
+		buf, ok := args.Buffers[name]
+		if !ok {
+			return sim.Args{}, fmt.Errorf("buffer %q is not a mapped pointer of kernel %s", name, p.Kernel.Name)
+		}
+		if len(data) > len(buf.Words) {
+			return sim.Args{}, fmt.Errorf("buffer %q holds %d elements, got %d", name, len(buf.Words), len(data))
+		}
+		copy(buf.Words, mem.FloatsToWords(data))
+	}
+	return args, nil
+}
+
+func (s *Server) findJob(w http.ResponseWriter, r *http.Request) *job {
+	v, ok := s.jobs.Load(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("no job %q", r.PathValue("id")))
+		return nil
+	}
+	return v.(*job)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if j := s.findJob(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.findJob(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel(errors.New("canceled by client"))
+	j.markCanceled("canceled by client")
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleTrace streams one Paraver bundle file straight from the job's
+// record streams — the same writers nymblesim uses, so the bytes are
+// identical to the files it would have put on disk.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.findJob(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	out := j.out
+	state := j.state
+	j.mu.Unlock()
+	if state != api.JobDone {
+		writeError(w, http.StatusConflict, "not_done",
+			fmt.Errorf("job %s is %s, not done", j.id, state))
+		return
+	}
+	if out == nil || out.Streams == nil {
+		writeError(w, http.StatusNotFound, "no_trace",
+			fmt.Errorf("job %s has no trace (profiling disabled)", j.id))
+		return
+	}
+	st := out.Streams
+	var err error
+	switch r.PathValue("file") {
+	case "trace.prv":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = st.WritePRV(w)
+	case "trace.prv.gz":
+		w.Header().Set("Content-Type", "application/gzip")
+		// BestSpeed matches the on-disk WriteBundleGz path byte for byte.
+		gz, gerr := gzip.NewWriterLevel(w, gzip.BestSpeed)
+		if gerr != nil {
+			err = gerr
+			break
+		}
+		if err = st.WritePRV(gz); err == nil {
+			err = gz.Close()
+		}
+	case "trace.pcf":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = st.WritePCF(w)
+	case "trace.row":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = st.WriteROW(w)
+	default:
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("no bundle file %q", r.PathValue("file")))
+		return
+	}
+	if err != nil {
+		// Headers are gone; all we can do is abort the stream.
+		s.metrics.traceErrors.Add(1)
+	}
+}
+
+// newStrictDecoder parses request bodies with unknown fields rejected,
+// so typos in request JSON surface as 400s instead of silent defaults.
+func newStrictDecoder(r *http.Request) *json.Decoder {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec
+}

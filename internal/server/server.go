@@ -1,0 +1,256 @@
+// Package server implements the nymbled daemon: the whole nymble tool
+// family behind one HTTP/JSON service. POST /v1/compile, /v1/vet and
+// /v1/perf wrap the same library calls as nymblec, nymblevet and
+// nymbleperf and marshal the same internal/api structs, so their
+// responses are byte-identical to the CLIs' -json output. POST /v1/run
+// enqueues a full simulation as an asynchronous job on a bounded worker
+// pool; clients poll GET /v1/jobs/{id} and download the Paraver bundle
+// streamed straight from the profiling unit's record streams — the
+// exact bytes nymblesim would have written to disk.
+//
+// Builds are single-flighted through a content-addressed compile cache
+// (hits are reported via the X-Nymbled-Cache header so the body stays
+// byte-identical either way), every request runs under the client's
+// context (cancellation and per-job deadlines propagate into the
+// simulator's event loop), and Shutdown drains in-flight jobs.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"paravis/internal/api"
+	"paravis/internal/core"
+	"paravis/internal/parallel"
+	"paravis/internal/perfbound"
+	"paravis/internal/sim"
+	"paravis/internal/staticcheck"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds how many simulations run concurrently (<= 0 uses
+	// parallel.DefaultWorkers()).
+	Workers int
+	// SimCfg is the base simulator configuration; per-request MaxCycles
+	// overrides apply on top of it.
+	SimCfg sim.Config
+}
+
+// Server is the nymbled request handler plus its long-lived state: the
+// compile cache, the simulation worker pool and the job registry.
+type Server struct {
+	cache *core.Cache
+	pool  *parallel.Pool
+	cfg   Options
+
+	jobs    sync.Map // job id -> *job
+	jobSeq  counter
+	metrics metrics
+
+	shutMu   sync.Mutex
+	shutdown bool
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	if opts.SimCfg.MaxCycles == 0 {
+		opts.SimCfg = sim.DefaultConfig()
+	}
+	return &Server{
+		cache: core.NewCache(),
+		pool:  parallel.NewPool(opts.Workers),
+		cfg:   opts,
+	}
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.instrument("compile", s.handleCompile))
+	mux.HandleFunc("POST /v1/vet", s.instrument("vet", s.handleVet))
+	mux.HandleFunc("POST /v1/perf", s.instrument("perf", s.handlePerf))
+	mux.HandleFunc("POST /v1/run", s.instrument("run", s.handleRun))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJobGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs", s.handleJobCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace/{file}", s.instrument("trace", s.handleTrace))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Shutdown stops accepting new jobs, cancels the ones still queued or
+// running, and waits for the worker pool to drain. The ctx bounds the
+// wait; on expiry the pool is abandoned (its goroutines exit once their
+// canceled simulations notice).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutMu.Lock()
+	already := s.shutdown
+	s.shutdown = true
+	s.shutMu.Unlock()
+	if already {
+		return nil
+	}
+	s.jobs.Range(func(_, v any) bool {
+		v.(*job).cancel(errors.New("server shutting down"))
+		return true
+	})
+	done := make(chan struct{})
+	go func() {
+		s.pool.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown wait: %w", ctx.Err())
+	}
+}
+
+func (s *Server) closing() bool {
+	s.shutMu.Lock()
+	defer s.shutMu.Unlock()
+	return s.shutdown
+}
+
+// buildOptions translates the wire compile parameters into core options.
+func buildOptions(defines map[string]string, lanes int) core.BuildOptions {
+	return core.BuildOptions{Defines: defines, VectorLanes: lanes}
+}
+
+// build compiles through the content-addressed cache and records the
+// hit in the response header (never the body, so responses stay
+// byte-identical across cache states).
+func (s *Server) build(ctx context.Context, w http.ResponseWriter, src string, opts core.BuildOptions) (*core.Program, error) {
+	p, hit, err := s.cache.Build(ctx, src, opts)
+	if w != nil {
+		if hit {
+			w.Header().Set("X-Nymbled-Cache", "hit")
+		} else {
+			w.Header().Set("X-Nymbled-Cache", "miss")
+		}
+	}
+	return p, err
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req api.CompileRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	p, err := s.build(r.Context(), w, req.Source, buildOptions(req.Defines, req.VectorLanes))
+	if err != nil {
+		writeBuildError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.NewCompileReport(p))
+}
+
+func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
+	var req api.VetRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "<request>"
+	}
+	ds := core.Vet(name, req.Source, buildOptions(req.Defines, 0))
+	writeJSON(w, http.StatusOK, api.VetReport{
+		SchemaVersion: api.Version,
+		Units:         []api.VetUnit{api.NewVetUnit(name, ds)},
+	})
+}
+
+func (s *Server) handlePerf(w http.ResponseWriter, r *http.Request) {
+	var req api.PerfRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "<request>"
+	}
+	p, err := s.build(r.Context(), w, req.Source, buildOptions(req.Defines, 0))
+	var unit api.PerfUnit
+	if err != nil {
+		if isCtxErr(err) {
+			writeBuildError(w, err)
+			return
+		}
+		unit = api.NewPerfUnit(name, nil, nil, err)
+	} else {
+		rep := perfbound.Analyze(p.Kernel, p.Sched, req.Params, perfbound.DefaultConfig())
+		ds := staticcheck.CheckPerf(name, p.Kernel, p.Sched, req.Params)
+		unit = api.NewPerfUnit(name, rep, ds, nil)
+	}
+	writeJSON(w, http.StatusOK, api.PerfReport{
+		SchemaVersion: api.Version,
+		Units:         []api.PerfUnit{unit},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.closing() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "shutting down")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// isCtxErr reports whether err is rooted in a context cancellation or
+// deadline (as opposed to a real compile/run failure).
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// writeBuildError maps a core.Build failure onto the wire: compile
+// errors are the client's fault (422), abandoned builds map to 499/504.
+func writeBuildError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline", err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, 499, "canceled", err) // nginx's client-closed-request
+	default:
+		writeError(w, http.StatusUnprocessableEntity, "compile_error", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, kind string, err error) {
+	writeJSON(w, status, api.Error{SchemaVersion: api.Version, Err: err.Error(), Kind: kind})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = api.Encode(w, v)
+}
+
+// decode parses the JSON request body; on failure it writes the 400 and
+// reports false.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := decodeJSON(r, v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err)
+		return false
+	}
+	return true
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	if ct := r.Header.Get("Content-Type"); ct != "" && !strings.HasPrefix(ct, "application/json") {
+		return fmt.Errorf("unsupported content type %q", ct)
+	}
+	dec := newStrictDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -386,17 +387,32 @@ func (e *engine) flushProfile(cycle int64, bytes int) {
 	_ = e.dram.Submit(req)
 }
 
-func (e *engine) run() error {
+// ctxCheckMask throttles context polls in the event loop: the context is
+// consulted once every ctxCheckMask+1 iterations, so cancellation latency
+// is bounded without a per-cycle atomic load on the hot path.
+const ctxCheckMask = 1<<12 - 1
+
+func (e *engine) run(ctx context.Context) error {
 	maxCycles := e.cfg.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = 4_000_000_000
 	}
 	nDone := 0
+	iter := uint64(0)
+	done := ctx.Done()
 	e.profNext = e.prof.NextBoundary()
 	for {
 		if nDone == len(e.threads) && !e.dram.Busy() {
 			break
 		}
+		if iter&ctxCheckMask == 0 && done != nil {
+			select {
+			case <-done:
+				return &ErrCanceled{Kernel: e.ck.K.Name, Cycle: e.cycle, Cause: ctx.Err()}
+			default:
+			}
+		}
+		iter++
 		progress := false
 		e.woken = false
 		for e.nextStart < len(e.threads) && e.threads[e.nextStart].startAt <= e.cycle {
@@ -479,7 +495,7 @@ func (e *engine) run() error {
 		}
 		e.cycle++
 		if e.cycle > maxCycles {
-			return fmt.Errorf("sim: exceeded MaxCycles=%d", maxCycles)
+			return &ErrMaxCycles{Kernel: e.ck.K.Name, Limit: maxCycles}
 		}
 	}
 	// The final profiler flush still writes its buffers out; drain the

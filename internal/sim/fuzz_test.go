@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -97,7 +98,7 @@ void fz(float* A, float* B, int n) {
 		ck := compileSrc(t, src, nil)
 		out := NewZeroBuffer(n)
 		cfg := fastConfig()
-		_, err := Run(ck, Args{
+		_, err := Run(context.Background(), ck, Args{
 			Ints:    map[string]int64{"n": int64(n)},
 			Buffers: map[string]*Buffer{"A": NewFloatBuffer(in), "B": out},
 		}, cfg)
@@ -186,7 +187,7 @@ void fz(int* A, int* B, int n) {
 `, exprSrc)
 		ck := compileSrc(t, src, nil)
 		out := NewZeroBuffer(n)
-		_, err := Run(ck, Args{
+		_, err := Run(context.Background(), ck, Args{
 			Ints:    map[string]int64{"n": int64(n)},
 			Buffers: map[string]*Buffer{"A": NewIntBuffer(in), "B": out},
 		}, fastConfig())

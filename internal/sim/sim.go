@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"paravis/internal/hw"
@@ -139,13 +140,19 @@ func (r *Result) TotalStalls() int64 {
 	return s
 }
 
-// Run executes the kernel to completion.
-func Run(ck *hw.CKernel, args Args, cfg Config) (*Result, error) {
+// Run executes the kernel to completion. The context is checked inside
+// the event loop: cancelling it (or letting its deadline pass) stops the
+// simulation with an *ErrCanceled, composing with the MaxCycles budget
+// (whichever trips first wins). ctx may be nil, meaning Background.
+func Run(ctx context.Context, ck *hw.CKernel, args Args, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e, err := newEngine(ck, args, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.run(); err != nil {
+	if err := e.run(ctx); err != nil {
 		return nil, err
 	}
 	return e.finish()

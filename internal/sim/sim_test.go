@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -57,7 +58,7 @@ void scale(float* A, int n) {
 		in[i] = float32(i)
 	}
 	buf := NewFloatBuffer(in)
-	res, err := Run(ck, Args{
+	res, err := Run(context.Background(), ck, Args{
 		Ints:    map[string]int64{"n": int64(n)},
 		Buffers: map[string]*Buffer{"A": buf},
 	}, fastConfig())
@@ -101,7 +102,7 @@ void total(float* A, float* out, int n) {
 		want += in[i]
 	}
 	out := NewZeroBuffer(1)
-	_, err := Run(ck, Args{
+	_, err := Run(context.Background(), ck, Args{
 		Ints:    map[string]int64{"n": int64(n)},
 		Buffers: map[string]*Buffer{"A": NewFloatBuffer(in), "out": out},
 	}, fastConfig())
@@ -163,7 +164,7 @@ func TestSimGEMMNaiveMatchesReference(t *testing.T) {
 		b[i] = float32((i*3)%7) - 3
 	}
 	cbuf := NewZeroBuffer(dim * dim)
-	res, err := Run(ck, Args{
+	res, err := Run(context.Background(), ck, Args{
 		Ints: map[string]int64{"DIM": int64(dim)},
 		Buffers: map[string]*Buffer{
 			"A": NewFloatBuffer(a), "B": NewFloatBuffer(b), "C": cbuf,
@@ -205,7 +206,7 @@ void accum(float* dummy, int n, float total) {
 }
 `
 	ck := compileSrc(t, src, nil)
-	res, err := Run(ck, Args{
+	res, err := Run(context.Background(), ck, Args{
 		Ints:    map[string]int64{"n": 1},
 		Floats:  map[string]float64{"total": 10},
 		Buffers: map[string]*Buffer{"dummy": NewZeroBuffer(1)},
@@ -242,7 +243,7 @@ void vsum(float* A, float* out, int n) {
 		want[i%4] += in[i]
 	}
 	out := NewZeroBuffer(4)
-	_, err := Run(ck, Args{
+	_, err := Run(context.Background(), ck, Args{
 		Ints:    map[string]int64{"n": int64(n)},
 		Buffers: map[string]*Buffer{"A": NewFloatBuffer(in), "out": out},
 	}, fastConfig())
@@ -282,7 +283,7 @@ void rev(float* A, int n) {
 		in[i] = float32(i)
 	}
 	buf := NewFloatBuffer(in)
-	_, err := Run(ck, Args{
+	_, err := Run(context.Background(), ck, Args{
 		Ints:    map[string]int64{"n": int64(n)},
 		Buffers: map[string]*Buffer{"A": buf},
 	}, fastConfig())
@@ -325,7 +326,7 @@ void clampneg(float* A, int n) {
 		in[i] = float32(i%5) - 2
 	}
 	buf := NewFloatBuffer(in)
-	_, err := Run(ck, Args{
+	_, err := Run(context.Background(), ck, Args{
 		Ints:    map[string]int64{"n": int64(n)},
 		Buffers: map[string]*Buffer{"A": buf},
 	}, fastConfig())
@@ -368,7 +369,7 @@ void usum(float* A, float* out, int n) {
 		want += in[i]
 	}
 	out := NewZeroBuffer(1)
-	_, err := Run(ck, Args{
+	_, err := Run(context.Background(), ck, Args{
 		Ints:    map[string]int64{"n": int64(n)},
 		Buffers: map[string]*Buffer{"A": NewFloatBuffer(in), "out": out},
 	}, fastConfig())
@@ -394,7 +395,7 @@ void phases(float* A, int n) {
 `
 	ck := compileSrc(t, src, nil)
 	buf := NewZeroBuffer(8)
-	_, err := Run(ck, Args{
+	_, err := Run(context.Background(), ck, Args{
 		Ints:    map[string]int64{"n": 8},
 		Buffers: map[string]*Buffer{"A": buf},
 	}, fastConfig())
@@ -421,7 +422,7 @@ func TestSimDeterminism(t *testing.T) {
 			b[i] = float32(i % 4)
 		}
 		cbuf := NewZeroBuffer(dim * dim)
-		res, err := Run(ck, Args{
+		res, err := Run(context.Background(), ck, Args{
 			Ints: map[string]int64{"DIM": int64(dim)},
 			Buffers: map[string]*Buffer{
 				"A": NewFloatBuffer(a), "B": NewFloatBuffer(b), "C": cbuf,
@@ -451,7 +452,7 @@ func TestSimProfilerStates(t *testing.T) {
 	b := make([]float32, dim*dim)
 	cbuf := NewZeroBuffer(dim * dim)
 	cfg := fastConfig()
-	res, err := Run(ck, Args{
+	res, err := Run(context.Background(), ck, Args{
 		Ints: map[string]int64{"DIM": int64(dim)},
 		Buffers: map[string]*Buffer{
 			"A": NewFloatBuffer(a), "B": NewFloatBuffer(b), "C": cbuf,
@@ -501,7 +502,7 @@ func TestSimProfilingPerturbationSmall(t *testing.T) {
 		}
 		cfg := fastConfig()
 		cfg.Profile.Enabled = enabled
-		res, err := Run(ck, Args{
+		res, err := Run(context.Background(), ck, Args{
 			Ints: map[string]int64{"DIM": int64(dim)},
 			Buffers: map[string]*Buffer{
 				"A": NewFloatBuffer(a), "B": NewFloatBuffer(b), "C": NewZeroBuffer(dim * dim),
@@ -534,7 +535,7 @@ void quick(float* A, int n) {
 	ck := compileSrc(t, src, nil)
 	cfg := fastConfig()
 	cfg.ThreadStart = 1000
-	res, err := Run(ck, Args{
+	res, err := Run(context.Background(), ck, Args{
 		Ints:    map[string]int64{"n": 8},
 		Buffers: map[string]*Buffer{"A": NewZeroBuffer(8)},
 	}, cfg)
@@ -551,7 +552,7 @@ void quick(float* A, int n) {
 
 func TestSimMissingArgs(t *testing.T) {
 	ck := compileSrc(t, gemmNaiveSrc, nil)
-	_, err := Run(ck, Args{}, fastConfig())
+	_, err := Run(context.Background(), ck, Args{}, fastConfig())
 	if err == nil {
 		t.Fatal("expected missing-argument error")
 	}
@@ -562,7 +563,7 @@ func TestSimStallHotspots(t *testing.T) {
 	dim := 12
 	a := make([]float32, dim*dim)
 	b := make([]float32, dim*dim)
-	res, err := Run(ck, Args{
+	res, err := Run(context.Background(), ck, Args{
 		Ints: map[string]int64{"DIM": int64(dim)},
 		Buffers: map[string]*Buffer{
 			"A": NewFloatBuffer(a), "B": NewFloatBuffer(b), "C": NewZeroBuffer(dim * dim),

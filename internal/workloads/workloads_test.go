@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -41,7 +42,7 @@ func runGEMM(t testing.TB, v GEMMVersion, dim int) (*sim.Result, []float32) {
 	cfg := sim.DefaultConfig()
 	cfg.ThreadStart = 100
 	cfg.MaxCycles = 200_000_000
-	res, err := sim.Run(ck, sim.Args{
+	res, err := sim.Run(context.Background(), ck, sim.Args{
 		Ints: map[string]int64{"DIM": int64(dim)},
 		Buffers: map[string]*sim.Buffer{
 			"A": sim.NewFloatBuffer(a),
@@ -129,7 +130,7 @@ func TestPiKernel(t *testing.T) {
 	cfg := sim.DefaultConfig()
 	cfg.ThreadStart = 200
 	cfg.MaxCycles = 100_000_000
-	res, err := sim.Run(ck, sim.Args{
+	res, err := sim.Run(context.Background(), ck, sim.Args{
 		Ints:   map[string]int64{"steps": int64(steps), "threads": 8},
 		Floats: map[string]float64{"final_sum": 0, "step": 1.0 / float64(steps)},
 	}, cfg)
