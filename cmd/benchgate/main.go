@@ -1,0 +1,98 @@
+// Command benchgate compares two paperbench -benchjson reports and fails
+// (exit 1) if the current suite regressed more than the tolerance versus
+// the committed baseline. CI runs it against the repo's BENCH_6.json so a
+// slowdown in the simulator hot path breaks the bench job instead of
+// landing silently.
+//
+// Only records present in both files are compared (by name), so adding or
+// removing an experiment does not trip the gate. The check is on the
+// summed wall time of the shared records — per-record noise on short
+// experiments would make a per-record gate flaky.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_6.json -current new.json [-tol 0.20]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type record struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+type report struct {
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func load(path string) (map[string]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]int64, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		m[b.Name] = b.NsPerOp
+	}
+	return m, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_6.json", "committed baseline report")
+	current := flag.String("current", "", "freshly measured report")
+	tol := flag.Float64("tol", 0.20, "allowed fractional regression of total wall time")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fatal(err)
+	}
+	var baseTotal, curTotal int64
+	shared := 0
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			continue
+		}
+		shared++
+		baseTotal += b
+		curTotal += c
+		ratio := float64(c)/float64(b) - 1
+		mark := " "
+		if ratio > *tol {
+			mark = "!"
+		}
+		fmt.Printf("%s %-18s %10.1fms -> %10.1fms  %+6.1f%%\n",
+			mark, name, float64(b)/1e6, float64(c)/1e6, 100*ratio)
+	}
+	if shared == 0 {
+		fatal(fmt.Errorf("no shared benchmark records between %s and %s", *baseline, *current))
+	}
+	ratio := float64(curTotal)/float64(baseTotal) - 1
+	fmt.Printf("total: %.1fms -> %.1fms (%+.1f%%, tolerance %.0f%%)\n",
+		float64(baseTotal)/1e6, float64(curTotal)/1e6, 100*ratio, 100**tol)
+	if ratio > *tol {
+		fatal(fmt.Errorf("suite regressed %.1f%% > %.0f%% tolerance", 100*ratio, 100**tol))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

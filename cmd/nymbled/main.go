@@ -19,7 +19,7 @@
 //
 // Usage:
 //
-//	nymbled [-addr :8080] [-j N] [-maxcycles N]
+//	nymbled [-addr :8080] [-j N] [-maxcycles N] [-pprof addr]
 package main
 
 import (
@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +43,7 @@ func main() {
 	workers := flag.Int("j", 0, "max simulations running concurrently (0 = GOMAXPROCS)")
 	maxCycles := flag.Int64("maxcycles", 0, "default simulation cycle budget (0 = library default)")
 	drain := flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; off by default)")
 	flag.Parse()
 
 	cfg := sim.DefaultConfig()
@@ -50,6 +52,23 @@ func main() {
 	}
 	srv := server.New(server.Options{Workers: *workers, SimCfg: cfg})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Profiling endpoint on its own listener, so the debug surface never
+	// shares a port with the service API. Off unless -pprof is given.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "nymbled: pprof on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "nymbled: pprof:", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

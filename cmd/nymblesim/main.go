@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	nymblesim [-D NAME=VALUE]... [-o dir] [-name base] [-noprofile] [-gzip]
+//	nymblesim [-D NAME=VALUE]... [-o dir] [-name base] [-noprofile] [-interp] [-gzip]
 //	          [-j N] [-sweep NAME=v1,v2,...] file.mc arg=value...
 package main
 
@@ -42,12 +42,13 @@ func main() {
 	outDir := flag.String("o", "traces", "output directory for the Paraver bundle")
 	base := flag.String("name", "", "trace base name (default: kernel name)")
 	noProfile := flag.Bool("noprofile", false, "disable the profiling unit")
+	interp := flag.Bool("interp", false, "force the interpreted engine (per-op dispatch) instead of specialized stage closures")
 	gz := flag.Bool("gzip", false, "gzip-compress the trace body (trace.prv.gz)")
 	sweep := flag.String("sweep", "", "sweep a macro: NAME=v1,v2,... (one design point per value)")
 	workers := flag.Int("j", 0, "max design points simulated concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: nymblesim [-D N=V] [-o dir] [-name base] [-noprofile] [-gzip] [-j N] [-sweep NAME=v1,v2,...] file.mc arg=value...")
+		fmt.Fprintln(os.Stderr, "usage: nymblesim [-D N=V] [-o dir] [-name base] [-noprofile] [-interp] [-gzip] [-j N] [-sweep NAME=v1,v2,...] file.mc arg=value...")
 		os.Exit(2)
 	}
 	if *workers > 0 {
@@ -68,7 +69,7 @@ func main() {
 	}
 
 	if *sweep != "" {
-		if err := runSweep(ctx, src, defines, *sweep, *workers, ints, floats, bufFiles, *noProfile); err != nil {
+		if err := runSweep(ctx, src, defines, *sweep, *workers, ints, floats, bufFiles, *noProfile, *interp); err != nil {
 			fatal(err)
 		}
 		return
@@ -85,6 +86,7 @@ func main() {
 
 	cfg := sim.DefaultConfig()
 	cfg.Profile.Enabled = !*noProfile
+	cfg.Interp = *interp
 	out, err := p.Run(ctx, args, cfg)
 	if err != nil {
 		fatal(err)
@@ -146,7 +148,7 @@ func main() {
 // macro. Design points are independent, so they run concurrently; the table
 // is printed in the order the values were given.
 func runSweep(ctx context.Context, src string, defines cli.Defines, spec string, workers int,
-	ints map[string]int64, floats map[string]float64, bufFiles map[string]string, noProfile bool) error {
+	ints map[string]int64, floats map[string]float64, bufFiles map[string]string, noProfile, interp bool) error {
 	name, list, found := strings.Cut(spec, "=")
 	if !found || list == "" {
 		return fmt.Errorf("-sweep wants NAME=v1,v2,..., got %q", spec)
@@ -178,6 +180,7 @@ func runSweep(ctx context.Context, src string, defines cli.Defines, spec string,
 		}
 		cfg := sim.DefaultConfig()
 		cfg.Profile.Enabled = !noProfile
+		cfg.Interp = interp
 		out, err := p.Run(ctx, args, cfg)
 		if err != nil {
 			return fmt.Errorf("%s=%s: %w", name, vals[i], err)

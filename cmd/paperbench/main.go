@@ -4,12 +4,18 @@
 // Usage:
 //
 //	paperbench [-exp all|overhead|fig6|fig7|speedup|fig8|fig9|pi|threads|bounds]
-//	           [-dim N] [-pisteps a,b,c] [-quiet] [-j N] [-benchjson path]
+//	           [-dim N] [-pisteps a,b,c] [-quiet] [-j N] [-interp]
+//	           [-benchjson path]
 //
 // -exp bounds runs the static-bounds cross-validation (E10); it is not
 // part of -exp all so the default output stays byte-identical across
-// releases. -benchjson records each experiment's wall time and allocation
-// profile as machine-readable JSON (BENCH_4.json in CI).
+// releases. -interp forces the interpreted per-op engine instead of the
+// specialized stage closures (the output must be byte-identical either
+// way — the interpreter is the differential-testing oracle). -benchjson
+// records each experiment's wall time and allocation profile as
+// machine-readable JSON (BENCH_6.json in CI); in that mode every
+// simulating experiment is timed under both engines, so the file carries
+// per-workload before (interp) and after (specialized) wall times.
 package main
 
 import (
@@ -35,6 +41,7 @@ func main() {
 	piSteps := flag.String("pisteps", "102400,409600,1024000", "comma-separated pi iteration counts")
 	quiet := flag.Bool("quiet", false, "suppress ASCII timeline/sparkline views")
 	workers := flag.Int("j", 0, "max design points simulated concurrently (0 = GOMAXPROCS)")
+	interp := flag.Bool("interp", false, "force the interpreted engine (per-op dispatch) instead of specialized stage closures")
 	benchJSON := flag.String("benchjson", "", "write per-experiment timing/allocation stats as JSON to this path")
 	flag.Parse()
 
@@ -47,6 +54,7 @@ func main() {
 	opts.GEMMDim = *dim
 	opts.Quiet = *quiet
 	opts.Workers = *workers
+	opts.SimCfg.Interp = *interp
 	opts.PiSteps = nil
 	for _, f := range strings.Split(*piSteps, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -57,92 +65,108 @@ func main() {
 	}
 
 	var bench []benchRecord
-	run := func(name string, fn func() error) {
+	// run executes one experiment, printing its formatted report. With
+	// -benchjson the experiment is additionally re-run (silently) under
+	// the other engine, so the JSON records before/after pairs:
+	// "<name>/interp" is the interpreted (pre-specialization) time,
+	// "<name>/spec" the specialized one. Compiles are shared through the
+	// experiments build cache, so the rerun only re-simulates.
+	run := func(name string, sims bool, fn func(o experiments.Options) (string, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		rec, err := timed(name, fn)
+		recName := name
+		if sims {
+			recName = name + engineSuffix(opts.SimCfg.Interp)
+		}
+		rec, err := timed(recName, func() error {
+			out, err := fn(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+			return nil
+		})
 		if err != nil {
 			fatal(err)
 		}
 		bench = append(bench, rec)
+		if *benchJSON != "" && sims {
+			other := opts
+			other.SimCfg.Interp = !opts.SimCfg.Interp
+			rec2, err := timed(name+engineSuffix(other.SimCfg.Interp), func() error {
+				_, err := fn(other)
+				return err
+			})
+			if err != nil {
+				fatal(err)
+			}
+			bench = append(bench, rec2)
+		}
 		fmt.Println()
 	}
 
-	run("overhead", func() error {
-		r, err := experiments.RunOverhead(ctx, opts.Threads, opts.Workers)
+	run("overhead", false, func(o experiments.Options) (string, error) {
+		r, err := experiments.RunOverhead(ctx, o.Threads, o.Workers)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Print(r.Format())
-		return nil
+		return r.Format(), nil
 	})
-	run("fig6", func() error {
-		r, err := experiments.RunFig6(ctx, opts)
+	run("fig6", true, func(o experiments.Options) (string, error) {
+		r, err := experiments.RunFig6(ctx, o)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Print(r.Format())
-		return nil
+		return r.Format(), nil
 	})
-	speedups := func() error {
-		r, err := experiments.RunSpeedups(ctx, opts)
+	speedups := func(o experiments.Options) (string, error) {
+		r, err := experiments.RunSpeedups(ctx, o)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Print(r.Format())
-		return nil
+		return r.Format(), nil
 	}
 	switch *exp {
 	case "all", "speedup":
-		run("speedup", speedups)
+		run("speedup", true, speedups)
 	case "fig7":
-		run("fig7", speedups)
+		run("fig7", true, speedups)
 	}
-	run("fig8", func() error {
-		r, err := experiments.RunPhases(ctx, opts)
+	phases := func(o experiments.Options) (string, error) {
+		r, err := experiments.RunPhases(ctx, o)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Print(r.Format())
-		return nil
-	})
+		return r.Format(), nil
+	}
+	run("fig8", true, phases)
 	if *exp == "fig9" {
-		run("fig9", func() error {
-			r, err := experiments.RunPhases(ctx, opts)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.Format())
-			return nil
-		})
+		run("fig9", true, phases)
 	}
-	run("pi", func() error {
-		r, err := experiments.RunPi(ctx, opts)
+	run("pi", true, func(o experiments.Options) (string, error) {
+		r, err := experiments.RunPi(ctx, o)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Print(r.Format())
-		return nil
+		return r.Format(), nil
 	})
-	run("threads", func() error {
-		r, err := experiments.RunThreadScaling(ctx, opts, []int{1, 2, 4, 8, 12, 16})
+	run("threads", true, func(o experiments.Options) (string, error) {
+		r, err := experiments.RunThreadScaling(ctx, o, []int{1, 2, 4, 8, 12, 16})
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Print(r.Format())
-		return nil
+		return r.Format(), nil
 	})
 	// The bounds cross-validation is opt-in only: keeping it out of
 	// "-exp all" keeps the default trace byte-identical to the seed.
 	if *exp == "bounds" {
-		run("bounds", func() error {
-			r, err := experiments.RunBounds(ctx, opts)
+		run("bounds", true, func(o experiments.Options) (string, error) {
+			r, err := experiments.RunBounds(ctx, o)
 			if err != nil {
-				return err
+				return "", err
 			}
-			fmt.Print(r.Format())
-			return nil
+			return r.Format(), nil
 		})
 	}
 	if *benchJSON != "" {
@@ -150,6 +174,13 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+func engineSuffix(interp bool) string {
+	if interp {
+		return "/interp"
+	}
+	return "/spec"
 }
 
 func fatal(err error) {
@@ -190,7 +221,7 @@ func writeBenchJSON(path string, recs []benchRecord) error {
 	report := struct {
 		Version    int           `json:"version"`
 		Benchmarks []benchRecord `json:"benchmarks"`
-	}{Version: 1, Benchmarks: recs}
+	}{Version: 2, Benchmarks: recs}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

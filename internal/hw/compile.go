@@ -104,6 +104,17 @@ type CGraph struct {
 	CarryPos  []int32
 	// HasVLO reports whether any stage issues a VLO.
 	HasVLO bool
+	// Static[s] reports whether stage s is a static (non-reordering)
+	// stage, mirrored out of Stages so occupancy checks on the engine's
+	// hot path load one byte instead of a CStage.
+	Static []bool
+	// CheckStage is the stage from whose end the loop-exit decision is
+	// taken (max(CondStage, 1)), precomputed for the engine.
+	CheckStage int32
+	// CheckAt is the stage whose completion triggers the loop-exit test:
+	// CheckStage-1, or -2 (matching no stage) for non-loop graphs, so the
+	// engine's per-stage test is a single comparison.
+	CheckAt int32
 }
 
 // LoopOutRef ties a parent-graph LoopOut node to a carried register.
@@ -122,6 +133,9 @@ type CKernel struct {
 	// GlobalNames maps external-array names to GlobalIdx order.
 	GlobalNames []string
 	Lanes       int
+	// Spec holds the specialized stage-closure programs, indexed like
+	// Graphs; a nil entry means the graph must run interpreted.
+	Spec []*SpecGraph
 }
 
 // GlobalIndex returns the table index of a named global array, or -1.
@@ -163,6 +177,7 @@ func Compile(k *ir.Kernel, s *schedule.Schedule) (*CKernel, error) {
 		}
 		ck.Graphs = append(ck.Graphs, cg)
 	}
+	ck.Spec = Specialize(ck)
 	return ck, nil
 }
 
@@ -287,6 +302,7 @@ func compileGraph(ck *CKernel, g *ir.Graph, gs *schedule.GraphSched, gIndex map[
 	}
 
 	// Stage tables come straight from the schedule.
+	cg.Static = make([]bool, gs.Depth)
 	for si := range gs.Stages {
 		st := &gs.Stages[si]
 		cst := &cg.Stages[si]
@@ -294,12 +310,21 @@ func compileGraph(ck *CKernel, g *ir.Graph, gs *schedule.GraphSched, gIndex map[
 		cst.FpOps = st.FpOps
 		cst.FpLanes = st.FpLanes
 		cst.Reordering = st.Reordering
+		cg.Static[si] = !st.Reordering
 		for _, n := range st.Pure {
 			cst.Pure = append(cst.Pure, pos[n])
 		}
 		for _, n := range st.Issue {
 			cst.Issue = append(cst.Issue, pos[n])
 		}
+	}
+	cg.CheckStage = int32(cg.CondStage)
+	if cg.CheckStage < 1 {
+		cg.CheckStage = 1
+	}
+	cg.CheckAt = -2
+	if cg.CondIdx >= 0 {
+		cg.CheckAt = cg.CheckStage - 1
 	}
 	return cg, nil
 }

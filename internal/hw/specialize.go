@@ -1,0 +1,302 @@
+package hw
+
+import "paravis/internal/ir"
+
+// This file is the kernel-specialization pass: after scheduling, every
+// graph's pure dataflow is compiled once into a flat array of
+// type-specialized stage closures (threaded-code style). Operand positions
+// are resolved to precomputed indices into the frame's flat register file,
+// int/float/vector variants are split at compile time, and the engine's
+// inner loop becomes "call the next closure in the stage array" — no
+// per-cycle switch on Op or Kind, no map lookups, no interface boxing.
+// The interpreted path (EvalPure) stays available behind the simulator's
+// Interp escape hatch and serves as the differential-testing oracle.
+
+// ExecEnv carries the run-constant inputs a specialized closure needs
+// beyond the register file: the resolved kernel parameters and the
+// executing hardware thread's identity.
+type ExecEnv struct {
+	Params     []Value
+	ThreadID   int64
+	NumThreads int64
+}
+
+// PureFn executes one pure node against the frame's register file. The
+// node's operand and destination slots are captured at specialization time.
+type PureFn func(vals []Value, env *ExecEnv)
+
+// SpecGraph holds one graph's specialized stage program: Fns is the flat
+// closure array, stage s spans Fns[Off[s]:Off[s+1]] in schedule order.
+type SpecGraph struct {
+	Fns []PureFn
+	Off []int32
+	// Fused merges each stage's closures into one (nil for stages with no
+	// pure work), so the engine dispatches a whole stage in at most one
+	// indirect call.
+	Fused []PureFn
+}
+
+// Stage returns the closure slice of one stage.
+func (sg *SpecGraph) Stage(s int32) []PureFn { return sg.Fns[sg.Off[s]:sg.Off[s+1]] }
+
+// Specialize compiles every graph of a compiled kernel into stage-closure
+// form. Graphs containing a pure op the specializer cannot execute (only
+// float/vector modulo, which the interpreter also rejects at runtime) get a
+// nil entry, and the engine falls back to the interpreted path for them.
+func Specialize(ck *CKernel) []*SpecGraph {
+	out := make([]*SpecGraph, len(ck.Graphs))
+	for i, cg := range ck.Graphs {
+		out[i] = specializeGraph(cg)
+	}
+	return out
+}
+
+func specializeGraph(cg *CGraph) *SpecGraph {
+	sg := &SpecGraph{Off: make([]int32, 1, len(cg.Stages)+1)}
+	for si := range cg.Stages {
+		for _, pos := range cg.Stages[si].Pure {
+			fn, ok := specializeNode(cg, pos)
+			if !ok {
+				return nil
+			}
+			if fn != nil {
+				sg.Fns = append(sg.Fns, fn)
+			}
+		}
+		sg.Off = append(sg.Off, int32(len(sg.Fns)))
+	}
+	sg.Fused = make([]PureFn, len(cg.Stages))
+	for si := range sg.Fused {
+		sg.Fused[si] = fuse(sg.Stage(int32(si)))
+	}
+	return sg
+}
+
+// fuse folds a stage's closure list into a single call, keeping schedule
+// order. Small counts get unrolled wrappers to avoid loop overhead.
+func fuse(fns []PureFn) PureFn {
+	switch len(fns) {
+	case 0:
+		return nil
+	case 1:
+		return fns[0]
+	case 2:
+		f0, f1 := fns[0], fns[1]
+		return func(v []Value, env *ExecEnv) { f0(v, env); f1(v, env) }
+	case 3:
+		f0, f1, f2 := fns[0], fns[1], fns[2]
+		return func(v []Value, env *ExecEnv) { f0(v, env); f1(v, env); f2(v, env) }
+	default:
+		return func(v []Value, env *ExecEnv) {
+			for _, fn := range fns {
+				fn(v, env)
+			}
+		}
+	}
+}
+
+// specializeNode compiles one pure node into a closure. It returns
+// (nil, true) for nodes that evaluate to nothing (engine-written slots),
+// and (nil, false) when the node cannot be specialized.
+func specializeNode(cg *CGraph, pos int32) (PureFn, bool) {
+	n := &cg.Nodes[pos]
+	p := pos
+	a, b, c := n.A0, n.A1, n.A2
+	switch n.Op {
+	case ir.OpConstInt:
+		k := n.IVal
+		return func(v []Value, _ *ExecEnv) { v[p].I = k }, true
+	case ir.OpConstFloat:
+		k := n.FVal
+		return func(v []Value, _ *ExecEnv) { v[p].F = k }, true
+	case ir.OpParam:
+		idx := n.ParamIdx
+		return func(v []Value, env *ExecEnv) { v[p] = env.Params[idx] }, true
+	case ir.OpThreadID:
+		return func(v []Value, env *ExecEnv) { v[p].I = env.ThreadID }, true
+	case ir.OpNumThreads:
+		return func(v []Value, env *ExecEnv) { v[p].I = env.NumThreads }, true
+	case ir.OpLiveIn, ir.OpCarry, ir.OpLoopOut:
+		// Written by the engine (iteration entry / loop completion).
+		return nil, true
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem:
+		return specializeArith(n, p, a, b)
+	case ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe, ir.OpEq, ir.OpNe:
+		return specializeCmp(cg, n, p, a, b), true
+	case ir.OpAnd:
+		return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].I != 0 && v[b].I != 0) }, true
+	case ir.OpOr:
+		return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].I != 0 || v[b].I != 0) }, true
+	case ir.OpNot:
+		return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].I == 0) }, true
+	case ir.OpSelect:
+		switch n.Kind {
+		case ir.KindVec:
+			return func(v []Value, _ *ExecEnv) {
+				src := &v[b]
+				if v[a].I == 0 {
+					src = &v[c]
+				}
+				dst := ensureVec(&v[p], len(src.V))
+				copy(dst, src.V)
+			}, true
+		case ir.KindFloat:
+			return func(v []Value, _ *ExecEnv) {
+				if v[a].I != 0 {
+					v[p].F = v[b].F
+				} else {
+					v[p].F = v[c].F
+				}
+			}, true
+		default:
+			return func(v []Value, _ *ExecEnv) {
+				if v[a].I != 0 {
+					v[p].I = v[b].I
+				} else {
+					v[p].I = v[c].I
+				}
+			}, true
+		}
+	case ir.OpIntToFloat:
+		return func(v []Value, _ *ExecEnv) { v[p].F = float32(v[a].I) }, true
+	case ir.OpFloatToInt:
+		return func(v []Value, _ *ExecEnv) { v[p].I = int64(v[a].F) }, true
+	case ir.OpSplat:
+		lanes := int(n.Lanes)
+		return func(v []Value, _ *ExecEnv) {
+			dst := ensureVec(&v[p], lanes)
+			f := v[a].F
+			for i := range dst {
+				dst[i] = f
+			}
+		}, true
+	case ir.OpExtract:
+		return func(v []Value, _ *ExecEnv) {
+			src := v[a].V
+			v[p].F = src[wrapLane(v[b].I, len(src))]
+		}, true
+	case ir.OpInsert:
+		return func(v []Value, _ *ExecEnv) {
+			src := v[a].V
+			lane := wrapLane(v[b].I, len(src))
+			dst := ensureVec(&v[p], len(src))
+			copy(dst, src)
+			dst[lane] = v[c].F
+		}, true
+	}
+	return nil, false
+}
+
+func specializeArith(n *CNode, p, a, b int32) (PureFn, bool) {
+	switch n.Kind {
+	case ir.KindInt:
+		switch n.Op {
+		case ir.OpAdd:
+			return func(v []Value, _ *ExecEnv) { v[p].I = v[a].I + v[b].I }, true
+		case ir.OpSub:
+			return func(v []Value, _ *ExecEnv) { v[p].I = v[a].I - v[b].I }, true
+		case ir.OpMul:
+			return func(v []Value, _ *ExecEnv) { v[p].I = v[a].I * v[b].I }, true
+		case ir.OpDiv:
+			// A hardware divider produces a defined garbage value for a
+			// zero divisor; speculative evaluation must not abort.
+			return func(v []Value, _ *ExecEnv) {
+				if d := v[b].I; d == 0 {
+					v[p].I = 0
+				} else {
+					v[p].I = v[a].I / d
+				}
+			}, true
+		case ir.OpRem:
+			return func(v []Value, _ *ExecEnv) {
+				if d := v[b].I; d == 0 {
+					v[p].I = 0
+				} else {
+					v[p].I = v[a].I % d
+				}
+			}, true
+		}
+	case ir.KindFloat:
+		switch n.Op {
+		case ir.OpAdd:
+			return func(v []Value, _ *ExecEnv) { v[p].F = v[a].F + v[b].F }, true
+		case ir.OpSub:
+			return func(v []Value, _ *ExecEnv) { v[p].F = v[a].F - v[b].F }, true
+		case ir.OpMul:
+			return func(v []Value, _ *ExecEnv) { v[p].F = v[a].F * v[b].F }, true
+		case ir.OpDiv:
+			return func(v []Value, _ *ExecEnv) { v[p].F = v[a].F / v[b].F }, true
+		}
+	case ir.KindVec:
+		switch n.Op {
+		case ir.OpAdd:
+			return func(v []Value, _ *ExecEnv) {
+				av, bv := v[a].V, v[b].V
+				dst := ensureVec(&v[p], len(av))
+				for i := range dst {
+					dst[i] = av[i] + bv[i]
+				}
+			}, true
+		case ir.OpSub:
+			return func(v []Value, _ *ExecEnv) {
+				av, bv := v[a].V, v[b].V
+				dst := ensureVec(&v[p], len(av))
+				for i := range dst {
+					dst[i] = av[i] - bv[i]
+				}
+			}, true
+		case ir.OpMul:
+			return func(v []Value, _ *ExecEnv) {
+				av, bv := v[a].V, v[b].V
+				dst := ensureVec(&v[p], len(av))
+				for i := range dst {
+					dst[i] = av[i] * bv[i]
+				}
+			}, true
+		case ir.OpDiv:
+			return func(v []Value, _ *ExecEnv) {
+				av, bv := v[a].V, v[b].V
+				dst := ensureVec(&v[p], len(av))
+				for i := range dst {
+					dst[i] = av[i] / bv[i]
+				}
+			}, true
+		}
+	}
+	// Float/vector modulo: the interpreter rejects it at runtime, so the
+	// whole graph falls back to the interpreted path.
+	return nil, false
+}
+
+func specializeCmp(cg *CGraph, n *CNode, p, a, b int32) PureFn {
+	if cg.Nodes[n.A0].Kind == ir.KindFloat {
+		switch n.Op {
+		case ir.OpLt:
+			return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].F < v[b].F) }
+		case ir.OpLe:
+			return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].F <= v[b].F) }
+		case ir.OpGt:
+			return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].F > v[b].F) }
+		case ir.OpGe:
+			return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].F >= v[b].F) }
+		case ir.OpEq:
+			return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].F == v[b].F) }
+		default:
+			return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].F != v[b].F) }
+		}
+	}
+	switch n.Op {
+	case ir.OpLt:
+		return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].I < v[b].I) }
+	case ir.OpLe:
+		return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].I <= v[b].I) }
+	case ir.OpGt:
+		return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].I > v[b].I) }
+	case ir.OpGe:
+		return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].I >= v[b].I) }
+	case ir.OpEq:
+		return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].I == v[b].I) }
+	default:
+		return func(v []Value, _ *ExecEnv) { v[p].I = boolToInt(v[a].I != v[b].I) }
+	}
+}

@@ -8,9 +8,10 @@
 package mem
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"math/bits"
+	"sync"
 )
 
 // WordBytes is the byte size of one memory word (32-bit words everywhere).
@@ -93,23 +94,61 @@ type completion struct {
 	seq   int64
 }
 
-type completionHeap []completion
-
-func (h completionHeap) Len() int { return len(h) }
-func (h completionHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
-	}
-	return h[i].seq < h[j].seq
+// bank is one interleaved DDR bank: its recovery deadline plus its own
+// completion min-heap, ordered by (cycle, seq). Sharding the single global
+// completion heap per bank keeps each heap tiny (sift depth ~1) and, being
+// concrete-typed with reused backing storage, costs zero allocations per
+// transaction — container/heap's Push(any)/Pop() boxed every completion.
+type bank struct {
+	free int64
+	heap []completion
 }
-func (h completionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x any)   { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (b *bank) push(c completion) {
+	h := append(b.heap, c)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !completionLess(h[i], h[p]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	b.heap = h
+}
+
+func (b *bank) pop() completion {
+	h := b.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = completion{} // drop req/value references
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && completionLess(h[r], h[l]) {
+			l = r
+		}
+		if !completionLess(h[l], h[i]) {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	b.heap = h
+	return top
+}
+
+func completionLess(a, b completion) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
+	}
+	return a.seq < b.seq
 }
 
 // DRAM is the external memory model.
@@ -117,18 +156,40 @@ type DRAM struct {
 	cfg   DRAMConfig
 	words []uint32
 
-	queue    []*Request
-	busFree  int64
-	bankFree []int64
+	queue   []*Request
+	qhead   int
+	busFree int64
+	banks   []bank
 
-	completions completionHeap
-	seq         int64
-	inFlight    int
-	valuePool   [][]uint32
+	seq       int64
+	inFlight  int
+	valuePool [][]uint32
+	// bkCycle/bkSeq cache each bank's top completion key (MaxInt64 when
+	// the bank heap is empty), so the cross-bank min merge scans two flat
+	// arrays instead of chasing every heap's top element.
+	bkCycle []int64
+	bkSeq   []int64
+	// beatShift/bankShift/bankMask are the power-of-two fast path for the
+	// per-request beat count and bank index (-1 disables it).
+	beatShift int
+	bankMask  int
+	// nextComp caches the earliest completion cycle across all bank heaps
+	// (MaxInt64 when none), so the per-cycle Tick fast path is one compare
+	// instead of a scan of bank tops.
+	nextComp int64
 
 	listeners []AccessListener
 	stats     DRAMStats
+	// hiWater is the highest written word index + 1; Release zeroes only
+	// this prefix before returning the word slab to the pool.
+	hiWater int64
 }
+
+// wordSlabPool recycles DRAM backing storage across simulations. A sweep
+// point allocating (and page-zeroing) a fresh multi-MiB word array per run
+// showed up as the single largest cost of short simulations; slabs returned
+// here are zeroed up to their high-water mark, so reuse is clean.
+var wordSlabPool sync.Pool
 
 // NewDRAM creates the external memory.
 func NewDRAM(cfg DRAMConfig) *DRAM {
@@ -141,18 +202,62 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 	if cfg.Words <= 0 {
 		cfg.Words = 1 << 20
 	}
-	return &DRAM{
-		cfg:      cfg,
-		words:    make([]uint32, cfg.Words),
-		bankFree: make([]int64, cfg.Banks),
+	var words []uint32
+	if s, ok := wordSlabPool.Get().(*[]uint32); ok && cap(*s) >= cfg.Words {
+		words = (*s)[:cfg.Words]
+	} else {
+		words = make([]uint32, cfg.Words)
 	}
+	d := &DRAM{
+		cfg:       cfg,
+		words:     words,
+		banks:     make([]bank, cfg.Banks),
+		bkCycle:   make([]int64, cfg.Banks),
+		bkSeq:     make([]int64, cfg.Banks),
+		nextComp:  math.MaxInt64,
+		beatShift: -1,
+		bankMask:  -1,
+	}
+	for i := range d.bkCycle {
+		d.bkCycle[i] = math.MaxInt64
+		d.bkSeq[i] = math.MaxInt64
+	}
+	if cfg.BeatBytes&(cfg.BeatBytes-1) == 0 {
+		d.beatShift = bits.TrailingZeros(uint(cfg.BeatBytes))
+	}
+	if cfg.Banks&(cfg.Banks-1) == 0 {
+		d.bankMask = cfg.Banks - 1
+	}
+	return d
+}
+
+// Release returns the word slab to the recycle pool. Call once when the
+// simulation owning this DRAM has fully completed; the DRAM must not be
+// used afterwards.
+func (d *DRAM) Release() {
+	words := d.words
+	d.words = nil
+	if words == nil {
+		return
+	}
+	hi := d.hiWater
+	if hi > int64(len(words)) {
+		hi = int64(len(words))
+	}
+	clear(words[:hi])
+	wordSlabPool.Put(&words)
 }
 
 // Config returns the active configuration.
 func (d *DRAM) Config() DRAMConfig { return d.cfg }
 
-// Stats returns a copy of the traffic counters.
+// Stats returns a copy of the traffic counters. Hot loops should use
+// StatsRef instead.
 func (d *DRAM) Stats() DRAMStats { return d.stats }
+
+// StatsRef returns the live traffic counters without copying. The pointee
+// mutates as the simulation advances; callers needing a snapshot copy it.
+func (d *DRAM) StatsRef() *DRAMStats { return &d.stats }
 
 // AddListener registers a snoop on accepted requests.
 func (d *DRAM) AddListener(l AccessListener) { d.listeners = append(d.listeners, l) }
@@ -172,17 +277,74 @@ func (d *DRAM) Submit(r *Request) error {
 		return fmt.Errorf("mem: write of %d words with %d data words", r.Words, len(r.Data))
 	}
 	d.queue = append(d.queue, r)
-	if len(d.queue) > d.stats.QueuePeak {
-		d.stats.QueuePeak = len(d.queue)
+	if n := len(d.queue) - d.qhead; n > d.stats.QueuePeak {
+		d.stats.QueuePeak = n
 	}
 	return nil
+}
+
+// minBank returns the bank whose top completion is globally earliest by
+// (cycle, seq), or -1 when every bank heap is empty. The merge across bank
+// tops preserves the exact delivery order of the old single global heap;
+// it runs over the cached key arrays (seq values are unique, so the
+// (cycle, seq) order is total and empty banks, keyed MaxInt64/MaxInt64,
+// never win against a real completion).
+func (d *DRAM) minBank() int {
+	bi := -1
+	bc, bs := int64(math.MaxInt64), int64(math.MaxInt64)
+	for i, c := range d.bkCycle {
+		if c < bc || (c == bc && d.bkSeq[i] < bs) {
+			bc, bs, bi = c, d.bkSeq[i], i
+		}
+	}
+	if bc == math.MaxInt64 {
+		return -1
+	}
+	return bi
+}
+
+// refreshKey re-caches one bank's top completion key after a push or pop.
+func (d *DRAM) refreshKey(bi int) {
+	if h := d.banks[bi].heap; len(h) > 0 {
+		d.bkCycle[bi], d.bkSeq[bi] = h[0].cycle, h[0].seq
+	} else {
+		d.bkCycle[bi], d.bkSeq[bi] = math.MaxInt64, math.MaxInt64
+	}
+}
+
+// Pending reports whether Tick(cycle) would do any work: a completion is
+// due or a request is queued. It is small enough to inline, so per-cycle
+// callers can skip the Tick call entirely on idle cycles.
+func (d *DRAM) Pending(cycle int64) bool {
+	return d.nextComp <= cycle || d.qhead < len(d.queue)
 }
 
 // Tick advances the memory one cycle: accepts at most one queued request
 // (if the pending window allows) and delivers due completions.
 func (d *DRAM) Tick(cycle int64) {
-	for len(d.completions) > 0 && d.completions[0].cycle <= cycle {
-		c := heap.Pop(&d.completions).(completion)
+	if d.nextComp <= cycle {
+		d.deliver(cycle)
+	}
+	if d.qhead < len(d.queue) {
+		d.acceptNext(cycle)
+	}
+}
+
+// deliver fires every completion due at or before cycle, in (cycle, seq)
+// order across banks, and recomputes the nextComp cache.
+func (d *DRAM) deliver(cycle int64) {
+	for {
+		bi := d.minBank()
+		if bi < 0 {
+			d.nextComp = math.MaxInt64
+			break
+		}
+		if top := d.bkCycle[bi]; top > cycle {
+			d.nextComp = top
+			break
+		}
+		c := d.banks[bi].pop()
+		d.refreshKey(bi)
 		d.inFlight--
 		if c.req.OnComplete != nil {
 			c.req.OnComplete(c.cycle, c.value)
@@ -191,17 +353,34 @@ func (d *DRAM) Tick(cycle int64) {
 			d.valuePool = append(d.valuePool, c.value)
 		}
 	}
-	if len(d.queue) > 0 && (d.cfg.MaxPending <= 0 || d.inFlight < d.cfg.MaxPending) {
-		r := d.queue[0]
-		d.queue = d.queue[1:]
-		d.accept(cycle, r)
+}
+
+// acceptNext pops the queue head into accept if the pending window allows.
+func (d *DRAM) acceptNext(cycle int64) {
+	if d.cfg.MaxPending > 0 && d.inFlight >= d.cfg.MaxPending {
+		return
 	}
+	r := d.queue[d.qhead]
+	d.queue[d.qhead] = nil
+	d.qhead++
+	if d.qhead == len(d.queue) {
+		// Drained: rewind so the backing array is reused, not regrown.
+		d.queue = d.queue[:0]
+		d.qhead = 0
+	}
+	d.accept(cycle, r)
 }
 
 func (d *DRAM) accept(cycle int64, r *Request) {
 	bytes := r.Words * WordBytes
-	beats := (bytes + d.cfg.BeatBytes - 1) / d.cfg.BeatBytes
-	bank := int((r.WordAddr * WordBytes / int64(d.cfg.BeatBytes))) % d.cfg.Banks
+	var beats, bank int
+	if d.beatShift >= 0 && d.bankMask >= 0 {
+		beats = (bytes + d.cfg.BeatBytes - 1) >> d.beatShift
+		bank = int(r.WordAddr*WordBytes>>d.beatShift) & d.bankMask
+	} else {
+		beats = (bytes + d.cfg.BeatBytes - 1) / d.cfg.BeatBytes
+		bank = int((r.WordAddr * WordBytes / int64(d.cfg.BeatBytes))) % d.cfg.Banks
+	}
 
 	d.stats.Transactions++
 	d.stats.BusBeats += int64(beats)
@@ -217,6 +396,9 @@ func (d *DRAM) accept(cycle int64, r *Request) {
 	var value []uint32
 	if r.Write {
 		copy(d.words[r.WordAddr:], r.Data)
+		if end := r.WordAddr + int64(r.Words); end > d.hiWater {
+			d.hiWater = end
+		}
 		d.stats.WriteWordsMoved += int64(r.Words)
 	} else {
 		value = d.getValueBuf(r.Words)
@@ -228,12 +410,13 @@ func (d *DRAM) accept(cycle int64, r *Request) {
 	if d.busFree > start {
 		start = d.busFree
 	}
-	if d.bankFree[bank] > start {
-		start = d.bankFree[bank]
+	b := &d.banks[bank]
+	if b.free > start {
+		start = b.free
 	}
 	dataReady := start + int64(beats)
 	d.busFree = dataReady
-	d.bankFree[bank] = dataReady + int64(d.cfg.BankRecovery)
+	b.free = dataReady + int64(d.cfg.BankRecovery)
 
 	done := dataReady
 	if r.Write {
@@ -242,7 +425,11 @@ func (d *DRAM) accept(cycle int64, r *Request) {
 	}
 	d.seq++
 	d.inFlight++
-	heap.Push(&d.completions, completion{cycle: done, req: r, value: value, seq: d.seq})
+	b.push(completion{cycle: done, req: r, value: value, seq: d.seq})
+	d.refreshKey(bank)
+	if done < d.nextComp {
+		d.nextComp = done
+	}
 }
 
 // getValueBuf takes a read buffer from the recycle pool, or allocates one.
@@ -258,21 +445,18 @@ func (d *DRAM) getValueBuf(words int) []uint32 {
 }
 
 // Busy reports whether requests are queued or in flight.
-func (d *DRAM) Busy() bool { return len(d.queue) > 0 || len(d.completions) > 0 }
+func (d *DRAM) Busy() bool { return d.qhead < len(d.queue) || d.inFlight > 0 }
 
 // NextEventCycle returns the earliest cycle at which something happens
 // (a queued accept next cycle, or the first completion), or -1 if idle.
 // The simulator uses it to skip dead cycles.
 func (d *DRAM) NextEventCycle(now int64) int64 {
 	next := int64(-1)
-	if len(d.queue) > 0 {
+	if d.qhead < len(d.queue) {
 		next = now + 1
 	}
-	if len(d.completions) > 0 {
-		c := d.completions[0].cycle
-		if next < 0 || c < next {
-			next = c
-		}
+	if d.inFlight > 0 && (next < 0 || d.nextComp < next) {
+		next = d.nextComp
 	}
 	return next
 }
@@ -286,6 +470,9 @@ func (d *DRAM) WriteWords(wordAddr int64, data []uint32) error {
 		return fmt.Errorf("mem: host write [%d,%d) out of range", wordAddr, wordAddr+int64(len(data)))
 	}
 	copy(d.words[wordAddr:], data)
+	if end := wordAddr + int64(len(data)); end > d.hiWater {
+		d.hiWater = end
+	}
 	return nil
 }
 

@@ -341,6 +341,19 @@ func (st *StreamTrace) Trace() *Trace {
 		})
 	}
 
+	nEvents := 0
+	for ti := range st.threads {
+		for si := range st.threads[ti].samples {
+			s := &st.threads[ti].samples[si]
+			for typeIdx := 0; typeIdx < 5; typeIdx++ {
+				if sampleValue(s, typeIdx) != 0 {
+					nEvents++
+				}
+			}
+		}
+	}
+	tr.Events = make([]EventRec, 0, nEvents)
+
 	n := len(st.threads)
 	idx := make([]int, n)
 	clamp := func(t int64) int64 {

@@ -140,6 +140,31 @@ type Unit struct {
 // New creates a profiling unit for nThreads hardware threads. flush may be
 // nil (no memory-traffic modeling).
 func New(cfg Config, nThreads int, flush FlushFunc) *Unit {
+	u := &Unit{}
+	u.Reset(cfg, nThreads, flush)
+	return u
+}
+
+// recycle returns s truncated to n zeroed elements, reusing its backing
+// array when the capacity allows.
+func recycle[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// Reset reinitializes the unit in place for a new run, reusing the
+// per-thread backing arrays (and the per-thread run/sample streams'
+// capacity) instead of reallocating them. It leaves the unit exactly as
+// New would: the simulator pools units across design points in sweeps so
+// per-run setup is reset-not-reallocate.
+func (u *Unit) Reset(cfg Config, nThreads int, flush FlushFunc) {
 	if cfg.SamplePeriod <= 0 {
 		cfg.SamplePeriod = 1024
 	}
@@ -149,18 +174,38 @@ func New(cfg Config, nThreads int, flush FlushFunc) *Unit {
 	if cfg.EventBufferLines <= 0 {
 		cfg.EventBufferLines = 64
 	}
-	u := &Unit{
-		cfg:       cfg,
-		nThreads:  nThreads,
-		flush:     flush,
-		cur:       make([]ThreadState, nThreads),
-		runs:      make([][]StateRun, nThreads),
-		openStart: make([]int64, nThreads),
-		counters:  make([]threadCounters, nThreads),
-		totals:    make([]threadCounters, nThreads),
-		samples:   make([][]EventSample, nThreads),
+	u.cfg = cfg
+	u.nThreads = nThreads
+	u.flush = flush
+	u.cur = recycle(u.cur, nThreads)
+	u.openStart = recycle(u.openStart, nThreads)
+	u.counters = recycle(u.counters, nThreads)
+	u.totals = recycle(u.totals, nThreads)
+	if cap(u.runs) < nThreads {
+		u.runs = make([][]StateRun, nThreads)
+	} else {
+		u.runs = u.runs[:nThreads]
+		for t := range u.runs {
+			u.runs[t] = u.runs[t][:0]
+		}
 	}
-	return u
+	if cap(u.samples) < nThreads {
+		u.samples = make([][]EventSample, nThreads)
+	} else {
+		u.samples = u.samples[:nThreads]
+		for t := range u.samples {
+			u.samples[t] = u.samples[t][:0]
+		}
+	}
+	u.statesInBuf = 0
+	u.nSamples = 0
+	u.eventsInBuf = 0
+	u.windowStart = 0
+	u.siteNames = u.siteNames[:0]
+	u.siteStalls = u.siteStalls[:0]
+	clear(u.siteIDs)
+	u.FlushedBytes = 0
+	u.Flushes = 0
 }
 
 // Config returns the active configuration.

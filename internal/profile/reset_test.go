@@ -1,0 +1,66 @@
+package profile
+
+import "testing"
+
+// Reset must leave a used unit indistinguishable from a freshly allocated
+// one, so the simulator can pool units across design points.
+func TestResetMatchesFresh(t *testing.T) {
+	cfg := DefaultConfig()
+	u := New(cfg, 4, nil)
+	// Dirty every piece of state a run touches.
+	u.SetState(10, 0, StateRunning)
+	u.SetState(20, 1, StateCritical)
+	u.AddCompute(0, 100, 200)
+	u.AddMem(2, 64, false)
+	id := u.SiteID("for@1:1")
+	u.AddStallsSite(3, id, 7)
+	u.Tick(1024)
+	u.Finalize(2048)
+
+	u.Reset(cfg, 2, nil)
+	fresh := New(cfg, 2, nil)
+
+	if u.NumThreads() != fresh.NumThreads() {
+		t.Fatalf("NumThreads = %d, want %d", u.NumThreads(), fresh.NumThreads())
+	}
+	for th := 0; th < 2; th++ {
+		if got, want := u.CurrentState(th), fresh.CurrentState(th); got != want {
+			t.Errorf("thread %d state = %v, want %v", th, got, want)
+		}
+		if len(u.StateRuns(th)) != 0 {
+			t.Errorf("thread %d has %d stale state runs", th, len(u.StateRuns(th)))
+		}
+		if len(u.ThreadSamples(th)) != 0 {
+			t.Errorf("thread %d has %d stale samples", th, len(u.ThreadSamples(th)))
+		}
+		s, i, f, rb, wb := u.TotalsFor(th)
+		if s|i|f|rb|wb != 0 {
+			t.Errorf("thread %d totals not zeroed: %d %d %d %d %d", th, s, i, f, rb, wb)
+		}
+	}
+	if n := len(u.StallsBySite()); n != 0 {
+		t.Errorf("stale site stalls: %d entries", n)
+	}
+	if u.NumSamples() != 0 || u.FlushedBytes != 0 || u.Flushes != 0 {
+		t.Errorf("stale counters: samples=%d flushed=%d flushes=%d",
+			u.NumSamples(), u.FlushedBytes, u.Flushes)
+	}
+	// Reused site interning must restart from id 0.
+	if got := u.SiteID("for@9:9"); got != 0 {
+		t.Errorf("first SiteID after Reset = %d, want 0", got)
+	}
+}
+
+// Resetting to the same shape must not allocate: that is the point of
+// pooling units instead of calling New per design point.
+func TestResetDoesNotAllocate(t *testing.T) {
+	u := New(DefaultConfig(), 8, nil)
+	u.SetState(5, 3, StateSpinning)
+	u.SiteID("for@2:2")
+	allocs := testing.AllocsPerRun(100, func() {
+		u.Reset(DefaultConfig(), 8, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("Reset allocated %.1f objects per run, want 0", allocs)
+	}
+}

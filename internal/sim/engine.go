@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"paravis/internal/hw"
 	"paravis/internal/hwsem"
@@ -15,6 +16,9 @@ import (
 // profRegionWords is the circular DRAM region the profiling unit flushes
 // into (the host would drain it between reads; we only model the traffic).
 const profRegionWords = 1 << 16
+
+// valArenaBlock is the granule of the frame register-file arena.
+const valArenaBlock = 1024
 
 type engine struct {
 	ck  *hw.CKernel
@@ -35,11 +39,31 @@ type engine struct {
 	threads []*thread
 	// live is the worklist of started, not-yet-done threads; nextStart
 	// indexes the first unstarted thread (startAt is monotonic in id).
-	live      []*thread
+	// liveIDs mirrors live with thread ids and twake mirrors
+	// thread.sleepUntil by id (MaxInt64 once a thread is done), so the
+	// per-cycle scan reads two compact arrays instead of chasing one
+	// pointer per sleeping thread.
+	// lives is the scan list of started, unfinished threads. Each entry
+	// pairs the thread with its wake cycle (0 while any frame is awake,
+	// min frame wake-up otherwise, MaxInt64 once external-event bound or
+	// done) inline, so the per-cycle scan walks one contiguous array.
+	// thread.li is the entry index, maintained across prunes.
+	lives []liveEnt
+	// minWake lower-bounds every live entry's wake: the per-cycle scan
+	// only runs when minWake <= cycle. Wake paths reset it to 0; the scan
+	// raises it back to the observed minimum.
+	minWake   int64
 	nextStart int
+	// nextStartAt caches threads[nextStart].startAt (MaxInt64 when all
+	// threads have started): the per-cycle host-start check is one compare.
+	nextStartAt int64
 	// occ tracks static-stage occupancy: occ[graph][stage] = thread id
 	// or -1. Reordering stages are never tracked (one context per thread).
 	occ [][]int32
+	// occW lists (thread, frame) pairs sleeping on a held static-stage
+	// slot: occW[graph][stage]. freeOcc wakes and clears the slot's list,
+	// so occupancy-blocked frames need not poll every cycle.
+	occW [][][]occWaiter
 
 	// wakes is a min-heap of future cycles at which some sleeping frame
 	// has a timed wake-up (pending retry, timed-VLO completion). Entries
@@ -49,11 +73,10 @@ type engine struct {
 	// not skip the next cycle.
 	wakes []int64
 	woken bool
-	// nPortSleep counts sleeping frames holding a memory-port pending;
-	// while nonzero the engine advances one cycle at a time (port retries
-	// re-arm every cycle under per-cycle stepping).
+	// nPortSleep counts frames asleep on a busy memory port. While any
+	// exist, fast-forward jumps are capped at the next sample-window
+	// boundary (see nextEventCycle).
 	nPortSleep int
-
 	// profNext caches prof.NextBoundary() so prof.Tick is only called on
 	// sample-window crossings instead of every cycle.
 	profNext int64
@@ -67,6 +90,10 @@ type engine struct {
 	bufPool     [][]uint32
 	encScratch  []uint32
 	profScratch []uint32
+	// valArena slab-allocates frame register files: frames live for the
+	// whole run, so their value storage is carved from shared blocks
+	// instead of one heap object per frame.
+	valArena []hw.Value
 
 	cycle                    int64
 	profBase                 int64
@@ -113,15 +140,31 @@ type pending struct {
 }
 
 type frame struct {
-	cg      *hw.CGraph
+	cg *hw.CGraph
+	// sp is the graph's specialized stage program (nil on the interpreted
+	// path); occ / ow alias the engine's occupancy and occupancy-waiter
+	// rows for this graph.
+	sp      *hw.SpecGraph
+	occ     []int32
+	ow      [][]occWaiter
 	gi      int32
 	vals    []hw.Value
 	carries []hw.Value
 	// stage is the token position: -1 = about to start an iteration.
 	stage       int32
 	outstanding []*outVLO
-	pendings    []pending
-	parent      *frame
+	// minWait lower-bounds the waitStage of every undone outstanding VLO
+	// (stale-low is allowed: externally-completed entries keep it pinned
+	// until the next retire compaction recomputes it). canEnter skips the
+	// outstanding scan whenever the target stage is below it.
+	minWait int32
+	// pendStalls accumulates stall cycles charged to this frame's site;
+	// flushed to the profiling unit at window boundaries and when the
+	// frame retires. Equivalent to per-charge AddStallsSite calls because
+	// stall counters are only read when a window closes (or at the end).
+	pendStalls int64
+	pendings   []pending
+	parent     *frame
 	// loopVLO is the parent's outstanding entry for this loop instance.
 	loopVLO *outVLO
 	loopPos int32
@@ -140,10 +183,19 @@ type frame struct {
 	sleepFrom  int64
 	sleepStall bool
 	stalledNow bool
-	// portSleep marks a sleeping frame that holds a memory-port pending;
-	// while any exists the engine steps cycle by cycle (no jumps), matching
-	// the every-cycle port retry of per-cycle stepping.
+	// portSleep marks a frame counted in engine.nPortSleep; cleared (and
+	// the counter decremented) when the frame next steps.
 	portSleep bool
+	// holdsOcc marks a token holding a static-stage occupancy slot, so the
+	// per-stage freeOcc call is one inlined branch in the common case.
+	holdsOcc bool
+}
+
+// liveEnt is one scan-list entry: the wake cycle inline with the thread
+// pointer (see engine.lives).
+type liveEnt struct {
+	wake int64
+	t    *thread
 }
 
 type thread struct {
@@ -152,6 +204,21 @@ type thread struct {
 	started  bool
 	done     bool
 	endCycle int64
+	// env feeds the specialized stage closures (run-constant inputs).
+	env hw.ExecEnv
+	// sleepUntil is the earliest cycle any frame of this thread can act
+	// again: 0 while any frame is awake, the min frame wake-up when all
+	// are asleep. The engine skips whole threads on it, so a 16-thread
+	// sweep does not re-scan 15 sleeping pipelines every cycle.
+	sleepUntil int64
+	// li is this thread's index in engine.lives (-1 when not listed).
+	li int
+	// pendInt/pendFp accumulate compute-op counts locally; the engine
+	// flushes them to the profiling unit at window boundaries (and at
+	// thread end), which is equivalent to per-stage AddCompute calls
+	// because window counters are only read when a window closes.
+	pendInt int64
+	pendFp  int64
 	// active holds all live frames of this thread: the top region plus
 	// any in-flight loop instances. Independent sibling loops execute
 	// concurrently (the dataflow permitting), which is what lets the
@@ -160,6 +227,21 @@ type thread struct {
 	cache    []*frame
 	extRead  bool
 	extWrite bool
+
+	// Reusable external-memory request slots. A thread has at most one
+	// read and one write in flight (extRead/extWrite gate reissue), so
+	// the request records and their completion callbacks are allocated
+	// once per thread and repointed per issue instead of heap-allocated
+	// per memory operation.
+	readReq  mem.Request
+	writeReq mem.Request
+	rdVLO    *outVLO
+	wrVLO    *outVLO
+	rdFrame  *frame
+	wrFrame  *frame
+	rdCN     *hw.CNode
+	rdPos    int32
+	wrData   []uint32
 }
 
 func newEngine(ck *hw.CKernel, args Args, cfg Config) (*engine, error) {
@@ -186,7 +268,19 @@ func newEngine(ck *hw.CKernel, args Args, cfg Config) (*engine, error) {
 	}
 
 	n := ck.K.NumThreads
-	e.prof = profile.New(cfg.Profile, n, e.flushProfile)
+	// Profiling units are the largest per-run allocation after the frame
+	// arena. When profiling is off nothing outlives the run (finish never
+	// publishes the unit in the Result), so sweeps recycle units from a
+	// pool — reset, not reallocated.
+	if !cfg.Profile.Enabled {
+		if v := unitPool.Get(); v != nil {
+			e.prof = v.(*profile.Unit)
+			e.prof.Reset(cfg.Profile, n, e.flushProfile)
+		}
+	}
+	if e.prof == nil {
+		e.prof = profile.New(cfg.Profile, n, e.flushProfile)
+	}
 	e.dram.AddListener(func(c int64, th int, b int, w bool) { e.prof.AddMem(th, b, w) })
 
 	// Hardware semaphores and barrier.
@@ -207,12 +301,14 @@ func newEngine(ck *hw.CKernel, args Args, cfg Config) (*engine, error) {
 	// graph, so the hot path bumps a counter slot instead of hashing the
 	// loop name into a map).
 	e.occ = make([][]int32, len(ck.Graphs))
+	e.occW = make([][][]occWaiter, len(ck.Graphs))
 	e.siteIDs = make([]int, len(ck.Graphs))
 	for gi, cg := range ck.Graphs {
 		e.occ[gi] = make([]int32, cg.Depth)
 		for s := range e.occ[gi] {
 			e.occ[gi][s] = -1
 		}
+		e.occW[gi] = make([][]occWaiter, cg.Depth)
 		e.siteIDs[gi] = e.prof.SiteID(cg.Name)
 	}
 
@@ -228,8 +324,14 @@ func newEngine(ck *hw.CKernel, args Args, cfg Config) (*engine, error) {
 	for t := 0; t < n; t++ {
 		e.threads = append(e.threads, &thread{
 			id:      t,
+			li:      -1,
 			startAt: int64(t) * cfg.ThreadStart,
 			cache:   make([]*frame, len(ck.Graphs)),
+			env: hw.ExecEnv{
+				Params:     e.params,
+				ThreadID:   int64(t),
+				NumThreads: int64(n),
+			},
 		})
 	}
 	return e, nil
@@ -401,6 +503,10 @@ func (e *engine) run(ctx context.Context) error {
 	iter := uint64(0)
 	done := ctx.Done()
 	e.profNext = e.prof.NextBoundary()
+	e.nextStartAt = math.MaxInt64
+	if e.nextStart < len(e.threads) {
+		e.nextStartAt = e.threads[e.nextStart].startAt
+	}
 	for {
 		if nDone == len(e.threads) && !e.dram.Busy() {
 			break
@@ -415,22 +521,113 @@ func (e *engine) run(ctx context.Context) error {
 		iter++
 		progress := false
 		e.woken = false
-		for e.nextStart < len(e.threads) && e.threads[e.nextStart].startAt <= e.cycle {
+		for e.nextStartAt <= e.cycle {
 			e.startThread(e.threads[e.nextStart])
 			e.nextStart++
 			progress = true
+			e.nextStartAt = math.MaxInt64
+			if e.nextStart < len(e.threads) {
+				e.nextStartAt = e.threads[e.nextStart].startAt
+			}
 		}
 		finished := false
-		for _, t := range e.live {
-			if t.done {
-				continue
+		if e.minWake <= e.cycle {
+			// MaxInt64 during the scan, so a mid-scan wake (which sets
+			// minWake to 0) survives the post-scan minimum update.
+			e.minWake = math.MaxInt64
+			next := int64(math.MaxInt64)
+			for li := range e.lives {
+				if w := e.lives[li].wake; w > e.cycle {
+					if w < next {
+						next = w
+					}
+					continue
+				}
+				t := e.lives[li].t
+				if t.done {
+					continue
+				}
+				// Step the thread (hand-inlined: this runs once per due
+				// thread per stepped cycle): advance every active frame by
+				// at most one stage; frames spawned this cycle are not
+				// stepped until the next. While walking, record the
+				// earliest frame wake-up so the scan can skip the whole
+				// thread without re-scanning its pipelines. The sleepUntil
+				// sentinel detects a mid-scan wake of this very thread (a
+				// stepped frame freeing a slot or finishing a child can
+				// wake an already-passed sibling): any wake path writes 0
+				// over it, forcing the thread to stay due.
+				anyFinished := false
+				erred := false
+				n := len(t.active)
+				min := int64(math.MaxInt64)
+				t.sleepUntil = -1
+				for i := 0; i < n; i++ {
+					f := t.active[i]
+					if f.finished {
+						continue
+					}
+					if s := f.sleepUntil; s > e.cycle {
+						if s < min {
+							min = s
+						}
+						continue
+					}
+					if e.stepFrame(t, f) {
+						progress = true
+					}
+					if e.runErr != nil {
+						erred = true
+						break
+					}
+					if f.finished {
+						anyFinished = true
+						continue
+					}
+					if s := f.sleepUntil; s > e.cycle {
+						if s < min {
+							min = s
+						}
+					} else {
+						min = 0
+					}
+				}
+				if erred {
+					min = 0
+				} else {
+					if len(t.active) > n {
+						// Frames spawned this cycle step next cycle.
+						min = 0
+					}
+					if anyFinished {
+						keep := t.active[:0]
+						for _, f := range t.active {
+							if !f.finished {
+								keep = append(keep, f)
+							}
+						}
+						t.active = keep
+					}
+					if len(t.active) == 0 {
+						min = 0
+					}
+					if t.sleepUntil == 0 {
+						min = 0 // woken mid-scan
+					}
+					t.sleepUntil = min
+				}
+				if t.done {
+					nDone++
+					finished = true
+					continue
+				}
+				e.lives[li].wake = min
+				if min < next {
+					next = min
+				}
 			}
-			if e.stepThread(t) {
-				progress = true
-			}
-			if t.done {
-				nDone++
-				finished = true
+			if next < e.minWake {
+				e.minWake = next
 			}
 		}
 		if e.cycle >= e.profNext {
@@ -439,29 +636,43 @@ func (e *engine) run(ctx context.Context) error {
 			// per-cycle stepping. The boundary cycle itself is included:
 			// per-cycle stepping charges the stall for cycle c before the
 			// window closing at c is flushed.
-			for _, t := range e.live {
+			for li := range e.lives {
+				t := e.lives[li].t
 				for _, f := range t.active {
 					if f.sleepStall && f.sleepFrom >= 0 && f.sleepFrom < e.cycle {
-						e.prof.AddStallsSite(t.id, e.siteIDs[f.gi], e.cycle-f.sleepFrom)
+						f.pendStalls += e.cycle - f.sleepFrom
 						f.sleepFrom = e.cycle
 					}
+					if f.pendStalls != 0 {
+						e.prof.AddStallsSite(t.id, e.siteIDs[f.gi], f.pendStalls)
+						f.pendStalls = 0
+					}
+				}
+				if t.pendInt != 0 || t.pendFp != 0 {
+					e.prof.AddCompute(t.id, t.pendInt, t.pendFp)
+					t.pendInt, t.pendFp = 0, 0
 				}
 			}
 			e.prof.Tick(e.cycle)
 			e.profNext = e.prof.NextBoundary()
 		}
-		e.dram.Tick(e.cycle)
+		if e.dram.Pending(e.cycle) {
+			e.dram.Tick(e.cycle)
+		}
 		if e.runErr != nil {
 			return e.runErr
 		}
 		if finished {
-			keep := e.live[:0]
-			for _, t := range e.live {
-				if !t.done {
-					keep = append(keep, t)
+			keep := e.lives[:0]
+			for _, ent := range e.lives {
+				if ent.t.done {
+					ent.t.li = -1
+					continue
 				}
+				ent.t.li = len(keep)
+				keep = append(keep, ent)
 			}
-			e.live = keep
+			e.lives = keep
 		}
 
 		if !progress {
@@ -476,7 +687,8 @@ func (e *engine) run(ctx context.Context) error {
 				// past the span so their owed-stall settlement covers only
 				// stepped cycles.
 				skip := next - e.cycle - 1
-				for _, t := range e.live {
+				for li := range e.lives {
+					t := e.lives[li].t
 					var last *frame
 					for _, f := range t.active {
 						if f.stalledNow {
@@ -487,7 +699,7 @@ func (e *engine) run(ctx context.Context) error {
 						}
 					}
 					if last != nil {
-						e.prof.AddStallsSite(t.id, e.siteIDs[last.gi], skip)
+						last.pendStalls += skip
 					}
 				}
 				e.cycle = next - 1
@@ -510,19 +722,26 @@ func (e *engine) run(ctx context.Context) error {
 
 // nextEventCycle computes the earliest future cycle at which any state can
 // change. On a no-progress cycle every live frame is either asleep (its
-// wake is in the heap, or it waits on an external event) or awake but
-// blocked on stage occupancy (which cannot free without other progress),
-// so the answer is the earliest of: an external wake that fired this cycle
-// (next cycle), the wake heap top, DRAM activity, or the next thread
-// start. Returns -1 if nothing is pending (deadlock).
+// wake is in the heap, or it waits on an external event such as a DRAM
+// completion, a freed port, or a freed stage slot), so the answer is the
+// earliest of: an external wake that fired this cycle (next cycle), the
+// wake heap top, DRAM activity, or the next thread start. Returns -1 if
+// nothing is pending (deadlock).
+//
+// While any frame sleeps on a busy memory port (nPortSleep > 0) the jump
+// is additionally capped at the next profiling sample-window boundary.
+// Port sleepers are woken by DRAM completions, which the DRAM's
+// NextEventCycle already pins exactly, so the only per-cycle observable a
+// jump could disturb in that state is boundary settlement and its flush
+// traffic; the cap keeps those at the same cycles as per-cycle stepping.
+// Jumps with no port sleepers are deliberately NOT capped: historical
+// engine behaviour lets them overshoot a boundary (settlement then runs
+// at the landing cycle), and the recorded traces bake that timing in.
 func (e *engine) nextEventCycle() int64 {
-	if e.woken || e.nPortSleep > 0 {
+	if e.woken {
 		// A DRAM completion or similar external event woke a frame this
-		// cycle (e.g. a completed-but-unretired VLO), or some frame is
-		// blocked on a memory port. Port retries re-arm every cycle, so
-		// per-cycle stepping never skips ahead while one exists; stepping
-		// cycle by cycle here keeps sample-window flushes (and their DRAM
-		// traffic) on the same cycles.
+		// cycle (e.g. a completed-but-unretired VLO); it must step next
+		// cycle.
 		return e.cycle + 1
 	}
 	next := int64(-1)
@@ -542,6 +761,9 @@ func (e *engine) nextEventCycle() int64 {
 	}
 	if e.nextStart < len(e.threads) {
 		consider(e.threads[e.nextStart].startAt)
+	}
+	if next >= 0 && e.nPortSleep > 0 && e.profNext > e.cycle && e.profNext < next {
+		next = e.profNext
 	}
 	return next
 }
@@ -594,7 +816,6 @@ func (e *engine) sleepFrame(f *frame, stall bool) {
 	port := false
 	for i := range f.pendings {
 		p := &f.pendings[i]
-		// Port-blocked issues are woken by the port-freeing completion.
 		if p.kind == pendPort {
 			port = true
 		} else if p.retryAt < wake {
@@ -617,8 +838,6 @@ func (e *engine) sleepFrame(f *frame, stall bool) {
 	f.sleepFrom = e.cycle
 	f.sleepStall = stall
 	if port {
-		// A port retry re-arms every cycle, so cycle skips are disabled
-		// while any port-blocked frame sleeps (see nextEventCycle).
 		f.portSleep = true
 		e.nPortSleep++
 	}
@@ -627,21 +846,63 @@ func (e *engine) sleepFrame(f *frame, stall bool) {
 	}
 }
 
-// wakeThread wakes every sleeping frame of a thread (a DRAM completion
-// freed a port or finished an async VLO, or a child loop finished).
+// occWaiter is one sleeping (thread, frame) pair registered on a held
+// static-stage slot.
+type occWaiter struct {
+	t *thread
+	f *frame
+}
+
+// wakeThread wakes every sleeping frame of a thread (barrier release).
 func (e *engine) wakeThread(t *thread) {
 	for _, f := range t.active {
 		if f.sleepUntil > e.cycle {
 			f.sleepUntil = 0
 		}
 	}
+	t.sleepUntil = 0
+	e.lives[t.li].wake = 0
+	e.minWake = 0
+	e.woken = true
+}
+
+// wakeFrame wakes one sleeping frame (and its thread's scan entry). It is
+// the targeted alternative to wakeThread for completions whose effect is
+// confined to a known frame: sibling frames keep sleeping, skipping the
+// wake->recheck->re-block churn a broadcast wake causes. A suppressed
+// spurious wake only removes steps that could not have changed state (any
+// step that makes progress is armed by its own timed wake), and sleeping
+// frames settle owed stalls on wake and at window boundaries, so targeted
+// and broadcast wakes produce identical traces — targeted is just cheaper.
+func (e *engine) wakeFrame(t *thread, f *frame) {
+	if f.sleepUntil > e.cycle {
+		f.sleepUntil = 0
+	}
+	t.sleepUntil = 0
+	e.lives[t.li].wake = 0
+	e.minWake = 0
+	e.woken = true
+}
+
+// wakePort wakes the frame whose external-memory transaction completed
+// plus every frame of the thread pending on a memory port: the completion
+// freed that port, so their retries can now go out.
+func (e *engine) wakePort(t *thread, target *frame) {
+	for _, f := range t.active {
+		if (f == target || f.portSleep) && f.sleepUntil > e.cycle {
+			f.sleepUntil = 0
+		}
+	}
+	t.sleepUntil = 0
+	e.lives[t.li].wake = 0
+	e.minWake = 0
 	e.woken = true
 }
 
 // wakeAllThreads wakes every sleeping frame (barrier release).
 func (e *engine) wakeAllThreads() {
-	for _, t := range e.live {
-		e.wakeThread(t)
+	for li := range e.lives {
+		e.wakeThread(e.lives[li].t)
 	}
 }
 
@@ -687,13 +948,15 @@ func (e *engine) scratch(n int) []uint32 {
 
 func (e *engine) startThread(t *thread) {
 	t.started = true
+	t.li = len(e.lives)
+	e.lives = append(e.lives, liveEnt{wake: 0, t: t})
 	e.prof.SetState(e.cycle, t.id, profile.StateRunning)
 	f := e.frameFor(t, e.ck.TopIdx)
 	f.parent = nil
 	f.loopVLO = nil
 	f.stage = -1
 	t.active = append(t.active, f)
-	e.live = append(e.live, t)
+	e.minWake = 0
 }
 
 // frameFor returns the thread's cached frame for a graph, creating it on
@@ -712,19 +975,51 @@ func (e *engine) frameFor(t *thread, gi int) *frame {
 		f.sleepStall = false
 		f.stalledNow = false
 		f.portSleep = false
+		f.holdsOcc = false
+		f.minWait = math.MaxInt32
+		t.sleepUntil = 0
+		e.lives[t.li].wake = 0
+		e.minWake = 0
 		return f
 	}
 	cg := e.ck.Graphs[gi]
 	f := &frame{
 		cg:        cg,
+		occ:       e.occ[gi],
+		ow:        e.occW[gi],
 		gi:        int32(gi),
 		stage:     -1,
 		sleepFrom: -1,
-		vals:      make([]hw.Value, len(cg.Nodes)),
-		carries:   make([]hw.Value, cg.NumCarry),
+		minWait:   math.MaxInt32,
+		vals:      e.allocVals(len(cg.Nodes)),
+		carries:   e.allocVals(cg.NumCarry),
+	}
+	if !e.cfg.Interp {
+		f.sp = e.ck.Spec[gi]
 	}
 	t.cache[gi] = f
+	t.sleepUntil = 0
+	e.lives[t.li].wake = 0
+	e.minWake = 0
 	return f
+}
+
+// allocVals carves a value block out of the engine's frame arena (frames
+// are never freed individually; the arena lives as long as the engine).
+func (e *engine) allocVals(n int) []hw.Value {
+	if n == 0 {
+		return nil
+	}
+	if len(e.valArena)+n > cap(e.valArena) {
+		size := valArenaBlock
+		if n > size {
+			size = n
+		}
+		e.valArena = make([]hw.Value, 0, size)
+	}
+	e.valArena = e.valArena[:len(e.valArena)+n]
+	out := e.valArena[len(e.valArena)-n : len(e.valArena) : len(e.valArena)]
+	return out
 }
 
 func (e *engine) finish() (*Result, error) {
@@ -787,5 +1082,19 @@ func (e *engine) finish() (*Result, error) {
 		buf := e.args.Buffers[m.Name]
 		copy(buf.Words[e.mapLow[m.Name]:], data)
 	}
+	// Recycle the word slab only on the clean-completion path: here the
+	// DRAM is provably drained and no OnComplete callback can still fire.
+	e.dram.Release()
+	// Same for the profiling unit: r.Prof is only published when profiling
+	// is enabled, so a disabled unit has no remaining references.
+	if !e.cfg.Profile.Enabled {
+		unitPool.Put(e.prof)
+		e.prof = nil
+	}
 	return r, nil
 }
+
+// unitPool recycles disabled profiling units across runs (design-point
+// sweeps create one engine per point; Unit.Reset reuses the per-thread
+// slices instead of reallocating them).
+var unitPool sync.Pool

@@ -34,13 +34,33 @@ func TestNextEventCycleExternalWake(t *testing.T) {
 	}
 }
 
-func TestNextEventCyclePortSleeperStepsEveryCycle(t *testing.T) {
-	// Port retries re-arm every cycle; a jump would desynchronize the
-	// profiler's flush traffic from per-cycle stepping.
+func TestNextEventCycleProfileBoundaryCap(t *testing.T) {
+	// With a frame asleep on a busy memory port, jumps must not skip a
+	// sample-window boundary: the port wake lands inside the skipped span,
+	// so boundary settlement has to happen at the same cycles as under
+	// per-cycle stepping.
 	e := bareEngine(7)
+	e.pushWake(100)
+	e.profNext = 40
 	e.nPortSleep = 1
-	if got := e.nextEventCycle(); got != 8 {
-		t.Errorf("port sleeper: nextEventCycle = %d, want cycle+1 = 8", got)
+	if got := e.nextEventCycle(); got != 40 {
+		t.Errorf("port sleeper, wake 100, boundary 40: nextEventCycle = %d, want 40", got)
+	}
+	// With no port sleepers every wake is timed, so the jump may overshoot
+	// the boundary — the run loop settles the crossed window on landing.
+	e2 := bareEngine(7)
+	e2.pushWake(100)
+	e2.profNext = 40
+	if got := e2.nextEventCycle(); got != 100 {
+		t.Errorf("no port sleeper, wake 100, boundary 40: nextEventCycle = %d, want 100", got)
+	}
+	// The boundary alone is not an event: with nothing pending the engine
+	// must still report deadlock.
+	e3 := bareEngine(7)
+	e3.profNext = 40
+	e3.nPortSleep = 1
+	if got := e3.nextEventCycle(); got != -1 {
+		t.Errorf("boundary only: nextEventCycle = %d, want -1 (deadlock)", got)
 	}
 }
 
@@ -107,29 +127,26 @@ func TestSleepFrameLockRetry(t *testing.T) {
 	if f.sleepUntil != 46 {
 		t.Errorf("sleepUntil = %d, want retryAt 46", f.sleepUntil)
 	}
-	if f.portSleep || e.nPortSleep != 0 {
-		t.Error("lock pending must not count as a port sleeper")
-	}
 }
 
-func TestSleepFramePortPendingDisablesJumps(t *testing.T) {
-	// A frame blocked on a busy memory port has no timed wake: it is woken
-	// by the completion that frees the port. It must register as a port
-	// sleeper (per-cycle stepping) and push nothing onto the wake heap.
+func TestSleepFramePortPendingSleepsUntilExternalWake(t *testing.T) {
+	// A frame blocked on a busy memory port has no timed wake: the DRAM
+	// completion that frees the port wakes the thread, and the in-flight
+	// transaction keeps the DRAM in the engine's event horizon, so no
+	// wake-heap entry is needed.
 	e := bareEngine(30)
 	f := &frame{pendings: []pending{{kind: pendPort, retryAt: 31}}, sleepFrom: -1}
 	e.sleepFrame(f, true)
 	if f.sleepUntil != math.MaxInt64 {
 		t.Errorf("sleepUntil = %d, want MaxInt64 (external wake only)", f.sleepUntil)
 	}
-	if !f.portSleep || e.nPortSleep != 1 {
-		t.Errorf("portSleep=%v nPortSleep=%d, want true/1", f.portSleep, e.nPortSleep)
-	}
 	if len(e.wakes) != 0 {
 		t.Errorf("wake heap %v, want empty", e.wakes)
 	}
-	if got := e.nextEventCycle(); got != 31 {
-		t.Errorf("nextEventCycle = %d, want cycle+1 = 31", got)
+	// Port sleepers must register in nPortSleep so nextEventCycle knows to
+	// cap jumps at the next sample-window boundary.
+	if !f.portSleep || e.nPortSleep != 1 {
+		t.Errorf("portSleep = %v, nPortSleep = %d, want true/1", f.portSleep, e.nPortSleep)
 	}
 }
 

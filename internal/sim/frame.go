@@ -6,7 +6,6 @@ import (
 
 	"paravis/internal/hw"
 	"paravis/internal/ir"
-	"paravis/internal/mem"
 	"paravis/internal/profile"
 )
 
@@ -23,53 +22,8 @@ func copyVal(dst *hw.Value, src *hw.Value) {
 	}
 }
 
-// checkStage returns the stage from whose end the loop-exit decision is
-// taken (the paper's controller knows the continue predicate here).
-func checkStage(cg *hw.CGraph) int32 {
-	cs := int32(cg.CondStage)
-	if cs < 1 {
-		cs = 1
-	}
-	return cs
-}
-
 // DebugTrace enables verbose per-cycle logging (development aid).
 var DebugTrace = false
-
-// stepThread advances every active frame of one thread by at most one
-// stage. It returns true if any architectural state changed (used for
-// fast-forwarding). Frames spawned this cycle are not stepped until the
-// next cycle.
-func (e *engine) stepThread(t *thread) bool {
-	progress := false
-	anyFinished := false
-	n := len(t.active)
-	for i := 0; i < n; i++ {
-		f := t.active[i]
-		if f.finished || f.sleepUntil > e.cycle {
-			continue
-		}
-		if e.stepFrame(t, f) {
-			progress = true
-		}
-		if e.runErr != nil {
-			return progress
-		}
-		if f.finished {
-			anyFinished = true
-		}
-	}
-	if anyFinished {
-		keep := t.active[:0]
-		for _, f := range t.active {
-			if !f.finished {
-				keep = append(keep, f)
-			}
-		}
-		t.active = keep
-	}
-	return progress
-}
 
 // stepFrame advances one frame by at most one stage.
 func (e *engine) stepFrame(t *thread, f *frame) bool {
@@ -81,7 +35,7 @@ func (e *engine) stepFrame(t *thread, f *frame) bool {
 	if f.sleepFrom >= 0 {
 		if f.sleepStall {
 			if skipped := e.cycle - f.sleepFrom - 1; skipped > 0 {
-				e.prof.AddStallsSite(t.id, e.siteIDs[f.gi], skipped)
+				f.pendStalls += skipped
 			}
 		}
 		f.sleepFrom = -1
@@ -94,9 +48,11 @@ func (e *engine) stepFrame(t *thread, f *frame) bool {
 	f.stalledNow = false
 	progress := false
 
-	// Retire completed internally-timed VLOs and compact the list.
+	// Retire completed internally-timed VLOs and compact the list (also
+	// refreshing the minWait gate cache).
 	if len(f.outstanding) > 0 {
 		keep := f.outstanding[:0]
+		mw := int32(math.MaxInt32)
 		for _, o := range f.outstanding {
 			if !o.done {
 				switch o.kind {
@@ -114,12 +70,16 @@ func (e *engine) stepFrame(t *thread, f *frame) bool {
 				}
 			}
 			if !o.done {
+				if o.waitStage < mw {
+					mw = o.waitStage
+				}
 				keep = append(keep, o)
 			} else {
 				e.freeVLO(o)
 			}
 		}
 		f.outstanding = keep
+		f.minWait = mw
 	}
 
 	// Retry pending VLO issues (busy ports, taken locks). The token sits
@@ -160,73 +120,139 @@ func (e *engine) stepFrame(t *thread, f *frame) bool {
 	}
 
 	// Advance the token.
+	var s int32
 	if f.stage < 0 {
 		// Start an iteration: enter stage 0.
-		if ok, stall, occ := e.canEnter(t, f, 0); !ok {
+		ok, stall, occ := true, false, false
+		if len(f.outstanding) > 0 && f.minWait <= 0 {
+			ok, stall, occ = e.canEnterSlow(t, f, 0)
+		} else if f.cg.Static[0] {
+			if o := f.occ[0]; o >= 0 && o != int32(t.id) {
+				ok, stall, occ = false, true, true
+			}
+		}
+		if !ok {
 			e.blockFrame(t, f, stall, !occ)
+			if occ {
+				e.waitOcc(t, f, 0)
+			}
 			return progress
 		}
 		e.beginIteration(f)
-		if err := e.enterStage(t, f, 0); err != nil {
-			e.fail(err)
-			return progress
+		s = 0
+	} else {
+		// Loop-exit decision at the end of the check stage (CheckAt is -2
+		// on non-loop graphs, matching no stage).
+		if f.stage == f.cg.CheckAt {
+			if f.vals[f.cg.CondIdx].I == 0 {
+				if blocked, stall := drainBlock(f); blocked {
+					// Drain speculative loads before leaving the pipeline.
+					e.blockFrame(t, f, stall, true)
+					return progress
+				}
+				e.finishGraph(t, f)
+				return true
+			}
 		}
-		return true
-	}
 
-	// Loop-exit decision at the end of the check stage.
-	if f.cg.CondIdx >= 0 && f.stage == checkStage(f.cg)-1 {
-		if f.vals[f.cg.CondIdx].I == 0 {
+		s = f.stage + 1
+		if int(s) == f.cg.Depth {
+			// Iteration complete: wrap around (or finish the top region).
 			if blocked, stall := drainBlock(f); blocked {
-				// Drain speculative loads before leaving the pipeline.
 				e.blockFrame(t, f, stall, true)
 				return progress
 			}
-			e.finishGraph(t, f)
+			e.freeOcc(t, f)
+			if f.cg.CondIdx < 0 {
+				f.stage = -1
+				e.finishGraph(t, f)
+				return true
+			}
+			// Latch carried registers for the next iteration.
+			for i, up := range f.cg.CarryUpdates {
+				copyVal(&f.carries[i], &f.vals[up])
+			}
+			f.stage = -1
 			return true
 		}
-	}
 
-	next := f.stage + 1
-	if int(next) == f.cg.Depth {
-		// Iteration complete: wrap around (or finish the top region).
-		if blocked, stall := drainBlock(f); blocked {
-			e.blockFrame(t, f, stall, true)
+		ok, stall, occ := true, false, false
+		if len(f.outstanding) > 0 && s >= f.minWait {
+			ok, stall, occ = e.canEnterSlow(t, f, s)
+		} else if f.cg.Static[s] {
+			if o := f.occ[s]; o >= 0 && o != int32(t.id) {
+				ok, stall, occ = false, true, true
+			}
+		}
+		if !ok {
+			e.blockFrame(t, f, stall, !occ)
+			if occ {
+				e.waitOcc(t, f, s)
+			}
 			return progress
 		}
-		e.freeOcc(t, f)
-		if f.cg.CondIdx < 0 {
-			f.stage = -1
-			e.finishGraph(t, f)
-			return true
-		}
-		// Latch carried registers for the next iteration.
-		for i, up := range f.cg.CarryUpdates {
-			copyVal(&f.carries[i], &f.vals[up])
-		}
-		f.stage = -1
-		return true
 	}
 
-	if ok, stall, occ := e.canEnter(t, f, next); !ok {
-		e.blockFrame(t, f, stall, !occ)
-		return progress
+	// Move the token into stage s — enterStage, hand-inlined into its one
+	// hot call site: update occupancy, report compute activation, evaluate
+	// the stage's pure closures, issue its VLOs.
+	e.freeOcc(t, f)
+	cg := f.cg
+	if cg.Static[s] {
+		f.occ[s] = int32(t.id)
+		f.holdsOcc = true
 	}
-	if err := e.enterStage(t, f, next); err != nil {
-		e.fail(err)
-		return progress
+	f.stage = s
+	st := &cg.Stages[s]
+	t.pendInt += int64(st.IntOps)
+	t.pendFp += int64(st.FpLanes)
+	if f.sp != nil {
+		// Specialized path: the stage is a precompiled (fused) closure
+		// with operand slots resolved at compile time — no op dispatch.
+		if fn := f.sp.Fused[s]; fn != nil {
+			fn(f.vals, &t.env)
+		}
+	} else {
+		for _, pos := range st.Pure {
+			if err := cg.EvalPure(pos, f.vals, e.params, int64(t.id), int64(e.ck.K.NumThreads)); err != nil {
+				e.fail(fmt.Errorf("sim: thread %d graph %s n@%d: %w", t.id, cg.Name, pos, err))
+				return progress
+			}
+		}
+	}
+	for _, pos := range st.Issue {
+		ok, err := e.issueVLO(t, f, pos)
+		if err != nil {
+			e.fail(err)
+			return progress
+		}
+		if !ok {
+			kind := pendPort
+			if cg.Nodes[pos].Op == ir.OpLock {
+				kind = pendLock
+			}
+			f.pendings = append(f.pendings, pending{pos: pos, kind: kind, retryAt: e.cycle + 1})
+		}
 	}
 	return true
 }
 
+// addOut registers a newly issued VLO on its frame, folding its gate
+// stage into the minWait cache.
+func (f *frame) addOut(o *outVLO) {
+	if o.waitStage < f.minWait {
+		f.minWait = o.waitStage
+	}
+	f.outstanding = append(f.outstanding, o)
+}
+
 // blockFrame accounts a failed step: one stall if the block is stall-type,
 // then sleep if the block can only clear through a timed or external wake.
-// Occupancy blocks (canSleep=false) keep the frame awake: the occupant
-// frees the slot through another thread's progress, which per-cycle
-// stepping observes; bulk jump accounting covers the skipped stalls.
+// Occupancy blocks (canSleep=false) are slept separately by waitOcc, which
+// also registers the thread for a freeOcc wake.
 func (e *engine) blockFrame(t *thread, f *frame, stall, canSleep bool) {
 	if stall {
-		e.prof.AddStallsSite(t.id, e.siteIDs[f.gi], 1)
+		f.pendStalls++
 		f.stalledNow = true
 	}
 	if canSleep {
@@ -249,13 +275,9 @@ func (e *engine) fail(err error) {
 	}
 }
 
-// canEnter checks VLO-completion gates and static-stage occupancy. The
-// second result reports whether the block counts as a pipeline stall:
-// waiting on a child loop does not (the thread is making progress inside
-// the inner pipeline — the paper counts the inner loop's own stalls).
-// The third result distinguishes an occupancy block (the frame must stay
-// awake and poll) from a VLO-completion block (the frame may sleep).
-func (e *engine) canEnter(t *thread, f *frame, s int32) (ok, stall, occBlock bool) {
+// canEnterSlow scans the outstanding list when an undone VLO may gate
+// stage s (the inlinable fast path above rules the scan out via minWait).
+func (e *engine) canEnterSlow(t *thread, f *frame, s int32) (ok, stall, occBlock bool) {
 	blocked := false
 	for _, o := range f.outstanding {
 		if !o.done && o.waitStage <= s {
@@ -268,8 +290,8 @@ func (e *engine) canEnter(t *thread, f *frame, s int32) (ok, stall, occBlock boo
 	if blocked {
 		return false, false, false
 	}
-	if !f.cg.Stages[s].Reordering {
-		occ := e.occ[f.gi][s]
+	if f.cg.Static[s] {
+		occ := f.occ[s]
 		if occ >= 0 && occ != int32(t.id) {
 			return false, true, true
 		}
@@ -300,47 +322,48 @@ func (e *engine) beginIteration(f *frame) {
 	}
 }
 
-// freeOcc releases the token's static-stage slot.
+// freeOcc releases the token's static-stage slot and wakes the frames
+// sleeping on it. freeOcc only runs on progress paths, so waiters later in
+// the live order still step this cycle — exactly when per-cycle polling
+// would have observed the freed slot. The holdsOcc guard keeps the call an
+// inlined branch on the (common) non-static stages.
 func (e *engine) freeOcc(t *thread, f *frame) {
-	if f.stage >= 0 && !f.cg.Stages[f.stage].Reordering {
-		if e.occ[f.gi][f.stage] == int32(t.id) {
-			e.occ[f.gi][f.stage] = -1
-		}
+	if f.holdsOcc {
+		e.freeOccSlow(t, f)
 	}
 }
 
-// enterStage moves the token into stage s: updates occupancy, reports
-// compute activation events, evaluates the stage's pure ops and issues its
-// VLOs.
-func (e *engine) enterStage(t *thread, f *frame, s int32) error {
-	e.freeOcc(t, f)
-	if !f.cg.Stages[s].Reordering {
-		e.occ[f.gi][s] = int32(t.id)
+// freeOccSlow relies on the holdsOcc invariant: it is only set in
+// enterStage (static stage, occ slot taken by this thread) and every
+// f.stage change since went through freeOcc or the frameFor reset, so the
+// slot is still this token's and the static/ownership checks are implied.
+func (e *engine) freeOccSlow(t *thread, f *frame) {
+	f.holdsOcc = false
+	s := f.stage
+	f.occ[s] = -1
+	if w := f.ow[s]; len(w) > 0 {
+		for i := range w {
+			e.wakeFrame(w[i].t, w[i].f)
+			w[i] = occWaiter{}
+		}
+		f.ow[s] = w[:0]
 	}
-	f.stage = s
-	st := &f.cg.Stages[s]
-	if st.IntOps > 0 || st.FpLanes > 0 {
-		e.prof.AddCompute(t.id, int64(st.IntOps), int64(st.FpLanes))
+}
+
+// waitOcc registers the blocked thread as a waiter on a held slot so
+// freeOcc can wake it; until then the frame sleeps (sleepFrame arms any
+// earlier timed wake, e.g. a speculative load retiring mid-wait).
+func (e *engine) waitOcc(t *thread, f *frame, s int32) {
+	e.sleepFrame(f, true)
+	if f.sleepUntil <= e.cycle {
+		return // a retirement is due next cycle; poll instead
 	}
-	for _, pos := range st.Pure {
-		if err := f.cg.EvalPure(pos, f.vals, e.params, int64(t.id), int64(e.ck.K.NumThreads)); err != nil {
-			return fmt.Errorf("sim: thread %d graph %s n@%d: %w", t.id, f.cg.Name, pos, err)
+	for _, w := range f.ow[s] {
+		if w.t == t {
+			return
 		}
 	}
-	for _, pos := range st.Issue {
-		ok, err := e.issueVLO(t, f, pos)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			kind := pendPort
-			if f.cg.Nodes[pos].Op == ir.OpLock {
-				kind = pendLock
-			}
-			f.pendings = append(f.pendings, pending{pos: pos, kind: kind, retryAt: e.cycle + 1})
-		}
-	}
-	return nil
+	f.ow[s] = append(f.ow[s], occWaiter{t: t, f: f})
 }
 
 // issueVLO attempts to issue one variable-latency operation. It returns
@@ -372,7 +395,7 @@ func (e *engine) issueVLO(t *thread, f *frame, pos int32) (bool, error) {
 		o := e.newVLO()
 		o.pos, o.waitStage, o.kind = pos, cn.WaitStage, vkTimed
 		o.doneCycle = e.cycle + int64(e.ck.Sched.Cfg.Lat.MinLock)
-		f.outstanding = append(f.outstanding, o)
+		f.addOut(o)
 		return true, nil
 	case ir.OpUnlock:
 		if err := e.sems[cn.SemID].Release(t.id); err != nil {
@@ -382,7 +405,7 @@ func (e *engine) issueVLO(t *thread, f *frame, pos int32) (bool, error) {
 		o := e.newVLO()
 		o.pos, o.waitStage, o.kind = pos, cn.WaitStage, vkTimed
 		o.doneCycle = e.cycle + int64(e.ck.Sched.Cfg.Lat.MinLock)
-		f.outstanding = append(f.outstanding, o)
+		f.addOut(o)
 		return true, nil
 	case ir.OpBarrier:
 		gen := e.barrier.Arrive()
@@ -398,7 +421,7 @@ func (e *engine) issueVLO(t *thread, f *frame, pos int32) (bool, error) {
 			// hardware semaphore block until the generation advances).
 			e.prof.SetState(e.cycle, t.id, profile.StateSpinning)
 		}
-		f.outstanding = append(f.outstanding, o)
+		f.addOut(o)
 		return true, nil
 	case ir.OpLoopOp:
 		return e.issueLoop(t, f, cn, pos)
@@ -422,7 +445,7 @@ func (e *engine) completeSkipped(f *frame, cn *hw.CNode, pos int32) {
 func (e *engine) issueLoop(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, error) {
 	o := e.newVLO()
 	o.pos, o.waitStage, o.kind = pos, cn.WaitStage, vkChild
-	f.outstanding = append(f.outstanding, o)
+	f.addOut(o)
 
 	child := e.frameFor(t, int(cn.SubGraph))
 	child.parent = f
@@ -445,11 +468,24 @@ func (e *engine) issueLoop(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, 
 // the parent's LoopOut slots, the parent's VLO completes and the frame is
 // retired. Finishing the top region ends the thread.
 func (e *engine) finishGraph(t *thread, f *frame) {
+	if f.pendStalls != 0 {
+		// The frame leaves the scan set now; flush its owed stalls into
+		// the still-open window.
+		e.prof.AddStallsSite(t.id, e.siteIDs[f.gi], f.pendStalls)
+		f.pendStalls = 0
+	}
 	e.freeOcc(t, f)
 	f.stage = -1
 	f.finished = true
 	if f.parent == nil {
 		t.done = true
+		e.lives[t.li].wake = math.MaxInt64
+		if t.pendInt != 0 || t.pendFp != 0 {
+			// The thread leaves the scan list now; flush its compute
+			// counts into the still-open window.
+			e.prof.AddCompute(t.id, t.pendInt, t.pendFp)
+			t.pendInt, t.pendFp = 0, 0
+		}
 		t.endCycle = e.cycle
 		e.prof.SetState(e.cycle, t.id, profile.StateIdle)
 		return
@@ -462,7 +498,7 @@ func (e *engine) finishGraph(t *thread, f *frame) {
 	f.loopVLO.done = true
 	f.loopVLO.doneCycle = e.cycle
 	// The parent may be asleep waiting on this child.
-	e.wakeThread(t)
+	e.wakeFrame(t, parent)
 }
 
 // issueMem issues a load or store against BRAM or external DRAM.
@@ -481,7 +517,7 @@ func (e *engine) issueMem(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, e
 			}
 			o := e.newVLO()
 			o.pos, o.waitStage, o.kind, o.doneCycle = pos, cn.WaitStage, vkTimed, done
-			f.outstanding = append(f.outstanding, o)
+			f.addOut(o)
 			return true, nil
 		}
 		buf := e.scratch(words)
@@ -492,11 +528,14 @@ func (e *engine) issueMem(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, e
 		e.storeLoadedValue(f, cn, pos, buf)
 		o := e.newVLO()
 		o.pos, o.waitStage, o.kind, o.doneCycle = pos, cn.WaitStage, vkTimed, done
-		f.outstanding = append(f.outstanding, o)
+		f.addOut(o)
 		return true, nil
 	}
 
-	// External memory: one read port and one write port per thread.
+	// External memory: one read port and one write port per thread. The
+	// per-thread request slots are recycled (see the thread fields): the
+	// extRead/extWrite gates guarantee the previous request has completed
+	// (its callback ran) before the slot is repointed.
 	if cn.Op == ir.OpStore {
 		if t.extWrite {
 			return false, nil
@@ -506,23 +545,24 @@ func (e *engine) issueMem(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, e
 		e.encodeWords(f, cn.A1, data)
 		o := e.newVLO()
 		o.pos, o.waitStage, o.kind = pos, cn.WaitStage, vkAsync
-		req := &mem.Request{
-			Thread: t.id, Write: true, WordAddr: addr, Words: words,
-			Data: data,
-			OnComplete: func(c int64, _ []uint32) {
-				o.done = true
-				o.doneCycle = c
+		t.wrVLO, t.wrFrame, t.wrData = o, f, data
+		req := &t.writeReq
+		req.Thread, req.Write, req.WordAddr, req.Words, req.Data = t.id, true, addr, words, data
+		if req.OnComplete == nil {
+			req.OnComplete = func(c int64, _ []uint32) {
+				t.wrVLO.done = true
+				t.wrVLO.doneCycle = c
 				t.extWrite = false
 				// The DRAM copied the payload at accept time.
-				e.putBuf(data)
-				e.wakeThread(t)
-			},
+				e.putBuf(t.wrData)
+				e.wakePort(t, t.wrFrame)
+			}
 		}
 		if err := e.dram.Submit(req); err != nil {
 			return false, fmt.Errorf("sim: thread %d store: %w", t.id, err)
 		}
 		t.extWrite = true
-		f.outstanding = append(f.outstanding, o)
+		f.addOut(o)
 		return true, nil
 	}
 	if t.extRead {
@@ -531,21 +571,23 @@ func (e *engine) issueMem(t *thread, f *frame, cn *hw.CNode, pos int32) (bool, e
 	addr := e.globalBase[cn.GlobalIdx] + idx*int64(cn.ElemWords)
 	o := e.newVLO()
 	o.pos, o.waitStage, o.kind = pos, cn.WaitStage, vkAsync
-	req := &mem.Request{
-		Thread: t.id, WordAddr: addr, Words: words,
-		OnComplete: func(c int64, value []uint32) {
-			e.storeLoadedValue(f, cn, pos, value)
-			o.done = true
-			o.doneCycle = c
+	t.rdVLO, t.rdFrame, t.rdCN, t.rdPos = o, f, cn, pos
+	req := &t.readReq
+	req.Thread, req.WordAddr, req.Words = t.id, addr, words
+	if req.OnComplete == nil {
+		req.OnComplete = func(c int64, value []uint32) {
+			e.storeLoadedValue(t.rdFrame, t.rdCN, t.rdPos, value)
+			t.rdVLO.done = true
+			t.rdVLO.doneCycle = c
 			t.extRead = false
 			e.wakeThread(t)
-		},
+		}
 	}
 	if err := e.dram.Submit(req); err != nil {
 		return false, fmt.Errorf("sim: thread %d load: %w", t.id, err)
 	}
 	t.extRead = true
-	f.outstanding = append(f.outstanding, o)
+	f.addOut(o)
 	return true, nil
 }
 

@@ -98,7 +98,7 @@ void fz(float* A, float* B, int n) {
 		ck := compileSrc(t, src, nil)
 		out := NewZeroBuffer(n)
 		cfg := fastConfig()
-		_, err := Run(context.Background(), ck, Args{
+		r, err := Run(context.Background(), ck, Args{
 			Ints:    map[string]int64{"n": int64(n)},
 			Buffers: map[string]*Buffer{"A": NewFloatBuffer(in), "B": out},
 		}, cfg)
@@ -107,6 +107,30 @@ void fz(float* A, float* B, int n) {
 			return false
 		}
 		got := out.Floats()
+		// Differential: the interpreted oracle must agree bit-for-bit,
+		// including the cycle count.
+		iout := NewZeroBuffer(n)
+		icfg := cfg
+		icfg.Interp = true
+		ir, err := Run(context.Background(), ck, Args{
+			Ints:    map[string]int64{"n": int64(n)},
+			Buffers: map[string]*Buffer{"A": NewFloatBuffer(in), "B": iout},
+		}, icfg)
+		if err != nil {
+			t.Logf("seed %d: interp run failed: %v\nexpr: %s", seed, err, exprSrc)
+			return false
+		}
+		if ir.Cycles != r.Cycles {
+			t.Logf("seed %d expr %s: cycles interp=%d spec=%d", seed, exprSrc, ir.Cycles, r.Cycles)
+			return false
+		}
+		igot := iout.Floats()
+		for i := 0; i < n; i++ {
+			if igot[i] != got[i] && !(isNaN32(igot[i]) && isNaN32(got[i])) {
+				t.Logf("seed %d expr %s: B[%d] interp=%v spec=%v", seed, exprSrc, i, igot[i], got[i])
+				return false
+			}
+		}
 		for i := 0; i < n; i++ {
 			want := eval(in[i], int32(i))
 			if got[i] != want && !(isNaN32(got[i]) && isNaN32(want)) {
@@ -187,7 +211,7 @@ void fz(int* A, int* B, int n) {
 `, exprSrc)
 		ck := compileSrc(t, src, nil)
 		out := NewZeroBuffer(n)
-		_, err := Run(context.Background(), ck, Args{
+		r, err := Run(context.Background(), ck, Args{
 			Ints:    map[string]int64{"n": int64(n)},
 			Buffers: map[string]*Buffer{"A": NewIntBuffer(in), "B": out},
 		}, fastConfig())
@@ -196,6 +220,28 @@ void fz(int* A, int* B, int n) {
 			return false
 		}
 		got := out.Ints()
+		iout := NewZeroBuffer(n)
+		icfg := fastConfig()
+		icfg.Interp = true
+		ir, err := Run(context.Background(), ck, Args{
+			Ints:    map[string]int64{"n": int64(n)},
+			Buffers: map[string]*Buffer{"A": NewIntBuffer(in), "B": iout},
+		}, icfg)
+		if err != nil {
+			t.Logf("seed %d: interp run failed: %v\nexpr: %s", seed, err, exprSrc)
+			return false
+		}
+		if ir.Cycles != r.Cycles {
+			t.Logf("seed %d expr %s: cycles interp=%d spec=%d", seed, exprSrc, ir.Cycles, r.Cycles)
+			return false
+		}
+		igot := iout.Ints()
+		for i := 0; i < n; i++ {
+			if igot[i] != got[i] {
+				t.Logf("seed %d expr %s: B[%d] interp=%d spec=%d", seed, exprSrc, i, igot[i], got[i])
+				return false
+			}
+		}
 		for i := 0; i < n; i++ {
 			want := eval(in[i], int32(i))
 			if got[i] != want {
