@@ -9,9 +9,16 @@
 // summed wall time of the shared records — per-record noise on short
 // experiments would make a per-record gate flaky.
 //
+// -ratio asserts invariants within the current report alone: each
+// "slow:fast:min" clause (comma-separable) requires ns(slow) >=
+// min*ns(fast). CI uses it to require the serving path's warm hit to be
+// at least 10x faster than its cold miss (serving/cold:serving/warm:10).
+// With -baseline "" only the ratio checks run.
+//
 // Usage:
 //
 //	benchgate -baseline BENCH_6.json -current new.json [-tol 0.20]
+//	          [-ratio slow:fast:min[,slow:fast:min...]]
 package main
 
 import (
@@ -19,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
 type record struct {
@@ -47,19 +56,28 @@ func load(path string) (map[string]int64, error) {
 }
 
 func main() {
-	baseline := flag.String("baseline", "BENCH_6.json", "committed baseline report")
+	baseline := flag.String("baseline", "BENCH_6.json", "committed baseline report (empty: skip the regression compare)")
 	current := flag.String("current", "", "freshly measured report")
 	tol := flag.Float64("tol", 0.20, "allowed fractional regression of total wall time")
+	ratios := flag.String("ratio", "", "comma-separated slow:fast:min clauses asserted on the current report")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
 		os.Exit(2)
 	}
-	base, err := load(*baseline)
+	cur, err := load(*current)
 	if err != nil {
 		fatal(err)
 	}
-	cur, err := load(*current)
+	if *ratios != "" {
+		if err := checkRatios(cur, *ratios); err != nil {
+			fatal(err)
+		}
+	}
+	if *baseline == "" {
+		return
+	}
+	base, err := load(*baseline)
 	if err != nil {
 		fatal(err)
 	}
@@ -90,6 +108,35 @@ func main() {
 	if ratio > *tol {
 		fatal(fmt.Errorf("suite regressed %.1f%% > %.0f%% tolerance", 100*ratio, 100**tol))
 	}
+}
+
+// checkRatios enforces each "slow:fast:min" clause on one report:
+// record slow must cost at least min times record fast.
+func checkRatios(recs map[string]int64, clauses string) error {
+	for _, clause := range strings.Split(clauses, ",") {
+		parts := strings.Split(strings.TrimSpace(clause), ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("bad -ratio clause %q (want slow:fast:min)", clause)
+		}
+		min, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || min <= 0 {
+			return fmt.Errorf("bad -ratio minimum %q", parts[2])
+		}
+		slow, ok := recs[parts[0]]
+		if !ok {
+			return fmt.Errorf("-ratio: no record %q in current report", parts[0])
+		}
+		fast, ok := recs[parts[1]]
+		if !ok || fast <= 0 {
+			return fmt.Errorf("-ratio: no usable record %q in current report", parts[1])
+		}
+		got := float64(slow) / float64(fast)
+		fmt.Printf("ratio %s/%s: %.1fx (minimum %.1fx)\n", parts[0], parts[1], got, min)
+		if got < min {
+			return fmt.Errorf("ratio %s/%s is %.1fx, below the %.1fx minimum", parts[0], parts[1], got, min)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

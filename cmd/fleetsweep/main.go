@@ -1,0 +1,179 @@
+// Command fleetsweep drives the six-seed byte-identity sweep through a
+// running nymbled fleet: every seed workload (five GEMM versions plus
+// pi) is POSTed to the dispatcher twice, and each served trace.prv must
+// be byte-identical to the bundle the in-process library (the same
+// write path as nymblesim) produces for that request. The repeat pass
+// proves artifact reuse: with per-worker stores, at least one repeat
+// must be a store hit or a coalesced share, never a fresh simulation
+// with different bytes.
+//
+// CI boots one dispatcher and two workers, kills a worker mid-sweep,
+// and fleetsweep must still exit 0 — the dispatcher's retry path makes
+// a dead node invisible to the client.
+//
+// Usage:
+//
+//	fleetsweep -dispatcher http://localhost:8080 [-repeat] [-timeout D]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"paravis/internal/api"
+	"paravis/internal/core"
+	"paravis/internal/sim"
+	"paravis/internal/workloads"
+)
+
+func main() {
+	dispatcher := flag.String("dispatcher", "http://localhost:8080", "dispatcher (or single nymbled) base URL")
+	repeat := flag.Bool("repeat", true, "run every workload a second time and report reuse markers")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-request timeout")
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	failures := 0
+	for _, u := range workloads.Units() {
+		req := api.RunRequest{
+			SchemaVersion: api.Version,
+			Source:        u.Source,
+			Defines:       u.Defines,
+			Ints:          u.Params,
+			Wait:          true,
+		}
+		if u.Name == "pi" {
+			req.Floats = map[string]float64{
+				"step":      1.0 / float64(u.Params["steps"]),
+				"final_sum": 0,
+			}
+		}
+		want, err := referencePRV(req)
+		if err != nil {
+			fatal(fmt.Errorf("%s: reference: %w", u.Name, err))
+		}
+		passes := 1
+		if *repeat {
+			passes = 2
+		}
+		for pass := 1; pass <= passes; pass++ {
+			mark, got, err := runWithRetry(client, *dispatcher, req)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %-28s pass %d: %v\n", u.Name, pass, err)
+				failures++
+				continue
+			}
+			status := "ok"
+			if !bytes.Equal(got, want) {
+				status = fmt.Sprintf("TRACE DIFFERS (%d vs %d bytes)", len(got), len(want))
+				failures++
+			}
+			fmt.Printf("%-28s pass %d  %-9s  %s\n", u.Name, pass, markOr(mark, "direct"), status)
+		}
+	}
+	if failures > 0 {
+		fatal(fmt.Errorf("%d sweep failures", failures))
+	}
+	fmt.Println("sweep: all workloads byte-identical through the fleet")
+}
+
+func markOr(mark, fallback string) string {
+	if mark == "" {
+		return fallback
+	}
+	return mark
+}
+
+// runWithRetry resubmits a run whose node died between serving the job
+// document and the trace download. Runs are content-addressed, so the
+// resubmit is the fleet's recovery idiom: it lands on a healthy node
+// (usually as a store hit) and serves the identical bytes.
+func runWithRetry(client *http.Client, base string, req api.RunRequest) (string, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 500 * time.Millisecond)
+		}
+		mark, prv, err := runOnce(client, base, req)
+		if err == nil {
+			return mark, prv, nil
+		}
+		lastErr = err
+	}
+	return "", nil, lastErr
+}
+
+// runOnce posts one synchronous run and downloads its trace.prv.
+func runOnce(client *http.Client, base string, req api.RunRequest) (mark string, prv []byte, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", nil, err
+	}
+	resp, err := client.Post(base+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	mark = resp.Header.Get("X-Nymbled-Store")
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return mark, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return mark, nil, fmt.Errorf("run: status %d: %s", resp.StatusCode, data)
+	}
+	var doc api.Job
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return mark, nil, err
+	}
+	if doc.State != api.JobDone {
+		return mark, nil, fmt.Errorf("run: state %s (%s)", doc.State, doc.Error)
+	}
+	tr, err := client.Get(base + "/v1/jobs/" + doc.ID + "/trace/trace.prv")
+	if err != nil {
+		return mark, nil, err
+	}
+	defer tr.Body.Close()
+	prv, err = io.ReadAll(tr.Body)
+	if err != nil {
+		return mark, nil, err
+	}
+	if tr.StatusCode != http.StatusOK {
+		return mark, nil, fmt.Errorf("trace: status %d: %s", tr.StatusCode, prv)
+	}
+	return mark, prv, nil
+}
+
+// referencePRV renders the workload's .prv with the library write path,
+// exactly as nymblesim would put it on disk.
+func referencePRV(req api.RunRequest) ([]byte, error) {
+	p, err := core.Build(context.Background(), req.Source, core.BuildOptions{Defines: req.Defines})
+	if err != nil {
+		return nil, err
+	}
+	args, err := p.SizedArgs(req.Ints, req.Floats)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.Run(context.Background(), args, sim.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := out.Streams.WritePRV(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetsweep:", err)
+	os.Exit(1)
+}

@@ -7,8 +7,8 @@
 //	GET  /v1/jobs/{id}            poll a job document
 //	DELETE /v1/jobs/{id}          cancel a queued or running job
 //	GET  /v1/jobs/{id}/trace/{f}  download trace.prv, trace.prv.gz, trace.pcf, trace.row
-//	GET  /healthz                 liveness
-//	GET  /metrics                 Prometheus text: requests, latency, cache, queue
+//	GET  /healthz                 liveness + cache/store/coalescer counters
+//	GET  /metrics                 Prometheus text: requests, latency, cache, store, queue
 //
 // Responses marshal the same internal/api structs as the CLIs' -json
 // modes, so daemon and CLI output are byte-identical for the same
@@ -17,9 +17,26 @@
 // X-Nymbled-Cache response header), simulations run on a bounded
 // worker pool, and SIGINT/SIGTERM drains in-flight jobs before exit.
 //
+// With -store DIR, finished runs persist to a digest-keyed on-disk
+// artifact store: a repeat POST /v1/run — across restarts too — is a
+// disk read, not a simulation (X-Nymbled-Store: hit). Identical
+// in-flight runs coalesce onto one simulation (-coalesce-window /
+// -coalesce-max), and -maxqueue sheds queue overload with 429.
+//
+// Fleet mode: `nymbled -dispatch` serves no simulations itself —
+// instead it routes the whole /v1 API across workers that register
+// with it. A worker joins with `-join http://dispatcher -advertise
+// http://me -node name`. Run requests route by digest affinity with
+// retries on worker failure; -rps/-burst rate-limit per tenant
+// (X-Nymbled-Tenant header) at the dispatcher.
+//
 // Usage:
 //
 //	nymbled [-addr :8080] [-j N] [-maxcycles N] [-pprof addr]
+//	        [-store DIR] [-store-max-bytes N] [-coalesce-window D]
+//	        [-coalesce-max N] [-maxqueue N] [-node NAME]
+//	        [-join URL [-advertise URL]]
+//	nymbled -dispatch [-addr :8080] [-rps N] [-burst N]
 package main
 
 import (
@@ -34,8 +51,10 @@ import (
 	"syscall"
 	"time"
 
+	"paravis/internal/fleet"
 	"paravis/internal/server"
 	"paravis/internal/sim"
+	"paravis/internal/store"
 )
 
 func main() {
@@ -44,13 +63,45 @@ func main() {
 	maxCycles := flag.Int64("maxcycles", 0, "default simulation cycle budget (0 = library default)")
 	drain := flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; off by default)")
+	storeDir := flag.String("store", "", "persist finished run artifacts in this directory (off by default)")
+	storeMax := flag.Int64("store-max-bytes", 0, "artifact store byte budget, LRU-evicted past it (0 = 1 GiB)")
+	coalesceWindow := flag.Duration("coalesce-window", 100*time.Millisecond, "how long a finished run keeps coalescing identical requests")
+	coalesceMax := flag.Int("coalesce-max", 0, "max requests sharing one in-flight run, 429 past it (0 = unlimited)")
+	maxQueue := flag.Int("maxqueue", 0, "max runs queued for a worker slot, 429 past it (0 = unlimited)")
+	node := flag.String("node", "", "node name: makes job IDs fleet-unique and labels /healthz")
+	dispatch := flag.Bool("dispatch", false, "run as a fleet dispatcher instead of a worker")
+	join := flag.String("join", "", "dispatcher URL to register with (worker mode)")
+	advertise := flag.String("advertise", "", "URL the dispatcher should reach this worker at (default http://localhost<addr>)")
+	rps := flag.Float64("rps", 0, "dispatcher: per-tenant requests per second (0 = no rate limit)")
+	burst := flag.Int("burst", 0, "dispatcher: per-tenant burst size (0 = ceil(rps))")
 	flag.Parse()
+
+	if *dispatch {
+		runDispatcher(*addr, *rps, *burst, *drain)
+		return
+	}
 
 	cfg := sim.DefaultConfig()
 	if *maxCycles > 0 {
 		cfg.MaxCycles = *maxCycles
 	}
-	srv := server.New(server.Options{Workers: *workers, SimCfg: cfg})
+	opts := server.Options{
+		Workers:        *workers,
+		SimCfg:         cfg,
+		CoalesceWindow: *coalesceWindow,
+		CoalesceMax:    *coalesceMax,
+		MaxQueue:       *maxQueue,
+		NodeID:         *node,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, *storeMax)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = st
+		fmt.Fprintf(os.Stderr, "nymbled: artifact store at %s (%d entries)\n", *storeDir, st.Stats().Entries)
+	}
+	srv := server.New(opts)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	// Profiling endpoint on its own listener, so the debug surface never
@@ -73,6 +124,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Worker mode: announce to the dispatcher now and keep heartbeating,
+	// so a restarted dispatcher relearns the fleet by itself.
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://localhost" + *addr
+		}
+		go func() {
+			if err := fleet.Register(ctx, nil, *join, adv); err != nil {
+				fmt.Fprintln(os.Stderr, "nymbled: fleet register:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "nymbled: registered with %s as %s\n", *join, adv)
+			}
+			fleet.Heartbeat(ctx, *join, adv, 5*time.Second)
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "nymbled: listening on %s\n", *addr)
@@ -92,6 +160,36 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "nymbled: job drain:", err)
 	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+// runDispatcher serves the fleet front end until SIGINT/SIGTERM.
+func runDispatcher(addr string, rps float64, burst int, drain time.Duration) {
+	d := fleet.NewDispatcher(fleet.Options{TenantRPS: rps, TenantBurst: burst})
+	httpSrv := &http.Server{Addr: addr, Handler: d.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "nymbled: dispatcher listening on %s\n", addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "nymbled: dispatcher shutting down")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "nymbled: http shutdown:", err)
+	}
+	d.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

@@ -3,19 +3,24 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|overhead|fig6|fig7|speedup|fig8|fig9|pi|threads|bounds]
+//	paperbench [-exp all|overhead|fig6|fig7|speedup|fig8|fig9|pi|threads|bounds|serving]
 //	           [-dim N] [-pisteps a,b,c] [-quiet] [-j N] [-interp]
 //	           [-benchjson path]
 //
-// -exp bounds runs the static-bounds cross-validation (E10); it is not
-// part of -exp all so the default output stays byte-identical across
-// releases. -interp forces the interpreted per-op engine instead of the
-// specialized stage closures (the output must be byte-identical either
-// way — the interpreter is the differential-testing oracle). -benchjson
-// records each experiment's wall time and allocation profile as
-// machine-readable JSON (BENCH_6.json in CI); in that mode every
-// simulating experiment is timed under both engines, so the file carries
-// per-workload before (interp) and after (specialized) wall times.
+// -exp bounds runs the static-bounds cross-validation (E10); -exp
+// serving measures the nymbled serving path (E11: cold-miss vs
+// warm-hit vs coalesced-burst latency through the persistent artifact
+// store). Neither is part of -exp all so the default output stays
+// byte-identical across releases. -interp forces the interpreted
+// per-op engine instead of the specialized stage closures (the output
+// must be byte-identical either way — the interpreter is the
+// differential-testing oracle). -benchjson records each experiment's
+// wall time and allocation profile as machine-readable JSON (BENCH_6
+// and BENCH_7 in CI); in that mode every simulating experiment is
+// timed under both engines, so the file carries per-workload before
+// (interp) and after (specialized) wall times, and -exp serving emits
+// one record per serving phase (serving/cold, serving/warm,
+// serving/burst).
 package main
 
 import (
@@ -36,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, overhead, fig6, fig7, speedup, fig8, fig9, pi, threads, bounds")
+	exp := flag.String("exp", "all", "experiment to run: all, overhead, fig6, fig7, speedup, fig8, fig9, pi, threads, bounds, serving")
 	dim := flag.Int("dim", 64, "GEMM matrix dimension (multiple of 16)")
 	piSteps := flag.String("pisteps", "102400,409600,1024000", "comma-separated pi iteration counts")
 	quiet := flag.Bool("quiet", false, "suppress ASCII timeline/sparkline views")
@@ -169,6 +174,22 @@ func main() {
 			return r.Format(), nil
 		})
 	}
+	// The serving-path benchmark (E11) is opt-in like bounds, and unlike
+	// the others its record set is per-phase: the cold/warm ratio is what
+	// benchgate's -ratio flag asserts on.
+	if *exp == "serving" {
+		res, err := experiments.RunServing(ctx, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Println()
+		bench = append(bench,
+			benchRecord{Name: "serving/cold", Iterations: 1, NsPerOp: res.Cold.Nanoseconds()},
+			benchRecord{Name: "serving/warm", Iterations: res.WarmRuns, NsPerOp: res.Warm.Nanoseconds()},
+			benchRecord{Name: "serving/burst", Iterations: res.BurstSize, NsPerOp: res.Burst.Nanoseconds()},
+		)
+	}
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, bench); err != nil {
 			fatal(err)
@@ -221,7 +242,7 @@ func writeBenchJSON(path string, recs []benchRecord) error {
 	report := struct {
 		Version    int           `json:"version"`
 		Benchmarks []benchRecord `json:"benchmarks"`
-	}{Version: 2, Benchmarks: recs}
+	}{Version: 3, Benchmarks: recs}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -9,9 +9,14 @@
 package api
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 
 	"paravis/internal/area"
 	"paravis/internal/core"
@@ -19,6 +24,7 @@ import (
 	"paravis/internal/perfbound"
 	"paravis/internal/profile"
 	"paravis/internal/staticcheck"
+	"paravis/internal/store"
 )
 
 // Version is the schema version stamped into every top-level report.
@@ -224,6 +230,92 @@ type RunRequest struct {
 	// Wait makes POST /v1/run synchronous: the response is the finished
 	// job document instead of a queued one.
 	Wait bool `json:"wait,omitempty"`
+}
+
+// RunKey is the content address of a whole simulation: a hex SHA-256
+// over the compile key (core.Key covers source, defines, lanes and the
+// schedule/area config) plus every request field that changes the
+// simulation's outcome — scalar arguments, preloaded buffers, the cycle
+// budget and whether the profiling unit is attached. Two RunRequests
+// with equal keys produce byte-identical trace bundles, so the key is
+// what the artifact store and the fleet's digest-affinity routing hash
+// on. Transport fields (Wait, TimeoutMs) deliberately do not
+// participate.
+func RunKey(r *RunRequest) string {
+	h := sha256.New()
+	num := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	str := func(s string) {
+		num(uint64(len(s)))
+		io.WriteString(h, s)
+	}
+	str(core.Key(r.Source, core.BuildOptions{Defines: r.Defines, VectorLanes: r.VectorLanes}))
+
+	names := make([]string, 0, len(r.Ints))
+	for k := range r.Ints {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		str(k)
+		num(uint64(r.Ints[k]))
+	}
+	names = names[:0]
+	for k := range r.Floats {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		str(k)
+		num(math.Float64bits(r.Floats[k]))
+	}
+	names = names[:0]
+	for k := range r.Buffers {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		str(k)
+		data := r.Buffers[k]
+		num(uint64(len(data)))
+		for _, f := range data {
+			num(uint64(math.Float32bits(f)))
+		}
+	}
+	if r.NoProfile {
+		num(1)
+	} else {
+		num(0)
+	}
+	num(uint64(r.MaxCycles))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// StoredRun is the summary document persisted next to a run's trace
+// bundle in the artifact store; a warm hit rebuilds the job document
+// from it without touching the compiler or the simulator.
+type StoredRun struct {
+	SchemaVersion int         `json:"version"`
+	Kernel        string      `json:"kernel"`
+	Summary       *RunSummary `json:"summary,omitempty"`
+	// Trace lists the bundle files stored alongside (empty when the run
+	// had profiling disabled).
+	Trace []string `json:"trace,omitempty"`
+}
+
+// Health is the GET /healthz document: liveness plus the cache-shaped
+// counters of the daemon's long-lived state.
+type Health struct {
+	SchemaVersion int    `json:"version"`
+	Status        string `json:"status"`
+	// Node is the daemon's fleet node ID (empty standalone).
+	Node         string               `json:"node,omitempty"`
+	CompileCache core.CacheStats      `json:"compile_cache"`
+	Store        *store.Stats         `json:"store,omitempty"`
+	Coalescing   *store.CoalesceStats `json:"coalescing,omitempty"`
 }
 
 // Job states.

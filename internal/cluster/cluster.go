@@ -54,6 +54,11 @@ type Config struct {
 	// sweeps and results are merged in FPGA order, so the output does not
 	// depend on the worker count.
 	Workers int
+	// Cache, when set, compiles the stencil kernel through a shared
+	// content-addressed compile cache (e.g. the nymbled daemon's), so
+	// repeated cluster runs reuse one compile instead of rebuilding per
+	// call. Compiled programs are immutable, so sharing is safe.
+	Cache *core.Cache
 	// Sim configures each accelerator instance.
 	Sim sim.Config
 }
@@ -125,7 +130,13 @@ func RunStencil(ctx context.Context, initial []float32, steps int, cfg Config) (
 		return nil, fmt.Errorf("cluster: chunk of %d cells too small", chunk)
 	}
 
-	prog, err := core.Build(ctx, StencilSource, core.BuildOptions{})
+	var prog *core.Program
+	var err error
+	if cfg.Cache != nil {
+		prog, _, err = cfg.Cache.Build(ctx, StencilSource, core.BuildOptions{})
+	} else {
+		prog, err = core.Build(ctx, StencilSource, core.BuildOptions{})
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"paravis/internal/core"
 	"paravis/internal/paraver"
 )
 
@@ -172,4 +173,29 @@ func absInt(v int) int {
 		return -v
 	}
 	return v
+}
+
+// TestStencilSharedCompileCache runs the cluster twice through one
+// content-addressed compile cache and asserts the second run reuses the
+// first compile while producing the identical field.
+func TestStencilSharedCompileCache(t *testing.T) {
+	initial := ramp(32)
+	cfg := DefaultConfig()
+	cfg.Cache = core.NewCache()
+
+	first, err := RunStencil(context.Background(), initial, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunStencil(context.Background(), initial, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cfg.Cache.Stats()
+	if cs.Misses != 1 || cs.Hits < 1 {
+		t.Fatalf("cache stats %+v: want exactly one compile and at least one hit", cs)
+	}
+	if d := maxDiff(first.Final, second.Final); d != 0 {
+		t.Fatalf("cached compile changed the result by %v", d)
+	}
 }

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"paravis/internal/api"
+	"paravis/internal/server"
+	"paravis/internal/store"
+	"paravis/internal/workloads"
+)
+
+// ServingResult measures the nymbled serving path end to end: the same
+// run request as a cold miss (compile + simulate + persist), as a warm
+// hit (served from the persistent artifact store without touching the
+// simulator), and as a concurrent burst coalesced onto one simulation.
+type ServingResult struct {
+	Dim int
+	// Cold is the first request's latency (miss: compile + simulate).
+	Cold time.Duration
+	// Warm is the fastest of WarmRuns repeat requests (store hit).
+	Warm     time.Duration
+	WarmRuns int
+	// Burst is the wall time for BurstSize identical concurrent requests
+	// against a cold node; Sharers of them coalesced onto the leader's
+	// simulation.
+	Burst     time.Duration
+	BurstSize int
+	Sharers   int
+}
+
+// Speedup is the cold/warm latency ratio — how much the artifact store
+// saves on a repeat request.
+func (r *ServingResult) Speedup() float64 {
+	if r.Warm <= 0 {
+		return 0
+	}
+	return float64(r.Cold) / float64(r.Warm)
+}
+
+// Format renders the serving comparison.
+func (r *ServingResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E11: serving path (GEMM naive, DIM=%d, wait=true)\n", r.Dim)
+	fmt.Fprintf(&b, "  cold miss   %12s  (compile + simulate + persist)\n", r.Cold.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  warm hit    %12s  (artifact store, best of %d)\n", r.Warm.Round(time.Microsecond), r.WarmRuns)
+	fmt.Fprintf(&b, "  speedup     %12.1fx\n", r.Speedup())
+	fmt.Fprintf(&b, "  burst of %d  %12s  (%d coalesced onto one simulation)\n",
+		r.BurstSize, r.Burst.Round(time.Microsecond), r.Sharers)
+	return b.String()
+}
+
+// servingPost sends one synchronous run and returns its latency plus
+// the X-Nymbled-Store marker.
+func servingPost(client *http.Client, url string, body []byte) (time.Duration, string, error) {
+	start := time.Now()
+	resp, err := client.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	var doc api.Job
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, "", err
+	}
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		return 0, "", fmt.Errorf("serving: run status %d (%s)", resp.StatusCode, doc.Error)
+	}
+	if doc.State != api.JobDone {
+		return 0, "", fmt.Errorf("serving: run state %s (%s)", doc.State, doc.Error)
+	}
+	return elapsed, resp.Header.Get("X-Nymbled-Store"), nil
+}
+
+// servingNode boots one in-process nymbled with a persistent store on a
+// temp dir; cleanup tears both down.
+func servingNode(o Options) (*httptest.Server, func(), error) {
+	dir, err := os.MkdirTemp("", "nymbled-serving-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	srv := server.New(server.Options{
+		Workers:        o.Workers,
+		Store:          st,
+		CoalesceWindow: 50 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	cleanup := func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		os.RemoveAll(dir)
+	}
+	return ts, cleanup, nil
+}
+
+// RunServing measures the serving path (E11). The warm number is a
+// best-of so scheduler noise on a sub-millisecond disk read does not
+// swamp the ratio; the cold number is a single shot, exactly what a
+// first-time client sees.
+func RunServing(ctx context.Context, o Options) (*ServingResult, error) {
+	req := gemmRunRequest(o)
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{}
+	res := &ServingResult{Dim: o.GEMMDim, WarmRuns: 5, BurstSize: 8}
+
+	node, cleanup, err := servingNode(o)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	cold, mark, err := servingPost(client, node.URL, body)
+	if err != nil {
+		return nil, err
+	}
+	if mark != "miss" {
+		return nil, fmt.Errorf("serving: first request marked %q, want miss", mark)
+	}
+	res.Cold = cold
+
+	for i := 0; i < res.WarmRuns; i++ {
+		warm, mark, err := servingPost(client, node.URL, body)
+		if err != nil {
+			return nil, err
+		}
+		if mark != "hit" {
+			return nil, fmt.Errorf("serving: repeat request marked %q, want hit", mark)
+		}
+		if res.Warm == 0 || warm < res.Warm {
+			res.Warm = warm
+		}
+	}
+
+	// Fresh node for the burst, so the artifact store cannot answer and
+	// the requests must coalesce.
+	burstNode, burstCleanup, err := servingNode(o)
+	if err != nil {
+		return nil, err
+	}
+	defer burstCleanup()
+	marks := make([]string, res.BurstSize)
+	errs := make([]error, res.BurstSize)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < res.BurstSize; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, marks[i], errs[i] = servingPost(client, burstNode.URL, body)
+		}(i)
+	}
+	wg.Wait()
+	res.Burst = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range marks {
+		if m == "coalesced" {
+			res.Sharers++
+		}
+	}
+	return res, ctx.Err()
+}
+
+// gemmRunRequest is the serving workload: the same naive GEMM request
+// the daemon tests exercise, at the experiment's dimension.
+func gemmRunRequest(o Options) api.RunRequest {
+	a, b := workloads.GEMMInputs(o.GEMMDim)
+	return api.RunRequest{
+		SchemaVersion: api.Version,
+		Source:        workloads.GEMMSource(workloads.GEMMNaive),
+		Defines:       workloads.GEMMDefines(workloads.GEMMNaive),
+		Ints:          map[string]int64{"DIM": int64(o.GEMMDim)},
+		Buffers:       map[string][]float32{"A": a, "B": b},
+		Wait:          true,
+	}
+}

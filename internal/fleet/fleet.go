@@ -1,0 +1,302 @@
+// Package fleet scales nymbled horizontally: a dispatcher front end
+// routes the /v1 API across a fleet of registered nymbled workers.
+//
+// Workers self-register (POST /fleet/v1/register) and are health-checked
+// continuously. Run requests are routed by digest affinity — the same
+// api.RunKey the artifact store hashes on, rendezvous-hashed over the
+// healthy workers — so repeat and coalescable requests land on the node
+// that already holds the compiled program and the finished artifact;
+// a least-loaded override steps in when the affine node is saturated.
+// Failed forwards of idempotent requests (everything under /v1 is
+// content-addressed and deterministic) retry on the next candidate with
+// bounded exponential backoff, so a worker dying mid-job costs one
+// retry, not a client-visible error. Per-tenant token buckets shed
+// excess load with 429 + Retry-After before it reaches any worker, and
+// /metrics exposes per-tenant and per-node counters.
+package fleet
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Dispatcher.
+type Options struct {
+	// HealthEvery is the health-check period (default 2s).
+	HealthEvery time.Duration
+	// HealthTimeout bounds one health probe (default 1s).
+	HealthTimeout time.Duration
+	// MaxAttempts is how many workers one request may be tried on
+	// (default 3; 1 disables retries).
+	MaxAttempts int
+	// RetryBackoff is the base delay before a retry, doubling per
+	// attempt (default 50ms).
+	RetryBackoff time.Duration
+	// LoadSlack is how many in-flight requests beyond the least-loaded
+	// worker the digest-affine worker may hold before routing overrides
+	// affinity (default 4).
+	LoadSlack int64
+	// TenantRPS / TenantBurst configure the per-tenant token buckets
+	// (RPS 0 = rate limiting off; Burst 0 = ceil(RPS), minimum 1).
+	TenantRPS   float64
+	TenantBurst int
+	// Client forwards requests to workers (default: http.Transport with
+	// no overall timeout, so long synchronous runs can complete).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.HealthEvery <= 0 {
+		o.HealthEvery = 2 * time.Second
+	}
+	if o.HealthTimeout <= 0 {
+		o.HealthTimeout = time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.LoadSlack <= 0 {
+		o.LoadSlack = 4
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// worker is the dispatcher's view of one registered nymbled node.
+type worker struct {
+	url      string
+	healthy  atomic.Bool
+	inflight atomic.Int64
+	proxied  atomic.Int64
+	retries  atomic.Int64
+	errors   atomic.Int64
+	lastSeen atomic.Int64 // unix nanos of the last successful probe/forward
+}
+
+// Dispatcher is the fleet front end: worker registry, health checker,
+// router and rate limiter behind one http.Handler.
+type Dispatcher struct {
+	opts    Options
+	probe   *http.Client
+	limiter *tenantLimiter
+
+	mu      sync.Mutex
+	workers map[string]*worker // url -> worker
+
+	jobs sync.Map // job id -> worker url
+
+	tm sync.Mutex
+	// tenants tracks request/shed counts per tenant.
+	tenants map[string]*tenantCounters
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type tenantCounters struct {
+	requests atomic.Int64
+	shed     atomic.Int64
+}
+
+// NewDispatcher builds a dispatcher and starts its health-check loop.
+func NewDispatcher(opts Options) *Dispatcher {
+	opts = opts.withDefaults()
+	d := &Dispatcher{
+		opts:    opts,
+		probe:   &http.Client{Timeout: opts.HealthTimeout},
+		workers: map[string]*worker{},
+		tenants: map[string]*tenantCounters{},
+		stop:    make(chan struct{}),
+	}
+	if opts.TenantRPS > 0 {
+		d.limiter = newTenantLimiter(opts.TenantRPS, opts.TenantBurst)
+	}
+	d.wg.Add(1)
+	go d.healthLoop()
+	return d
+}
+
+// Close stops the health-check loop.
+func (d *Dispatcher) Close() {
+	select {
+	case <-d.stop:
+	default:
+		close(d.stop)
+	}
+	d.wg.Wait()
+}
+
+// Add registers a worker by URL (idempotent) and probes it immediately
+// so it becomes routable without waiting a health period.
+func (d *Dispatcher) Add(url string) *worker {
+	url = strings.TrimRight(url, "/")
+	d.mu.Lock()
+	wk, ok := d.workers[url]
+	if !ok {
+		wk = &worker{url: url}
+		d.workers[url] = wk
+	}
+	d.mu.Unlock()
+	d.checkWorker(wk)
+	return wk
+}
+
+// Workers snapshots the registry for /fleet/v1/workers and /metrics.
+func (d *Dispatcher) snapshot() []*worker {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ws := make([]*worker, 0, len(d.workers))
+	for _, wk := range d.workers {
+		ws = append(ws, wk)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].url < ws[j].url })
+	return ws
+}
+
+// healthy returns the currently routable workers.
+func (d *Dispatcher) healthyWorkers() []*worker {
+	var ws []*worker
+	for _, wk := range d.snapshot() {
+		if wk.healthy.Load() {
+			ws = append(ws, wk)
+		}
+	}
+	return ws
+}
+
+func (d *Dispatcher) healthLoop() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.opts.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			for _, wk := range d.snapshot() {
+				d.checkWorker(wk)
+			}
+		}
+	}
+}
+
+// checkWorker probes one worker's /healthz. A single failed probe marks
+// the worker unroutable: the retry path re-lands its load elsewhere, and
+// the next successful probe brings it back.
+func (d *Dispatcher) checkWorker(wk *worker) {
+	resp, err := d.probe.Get(wk.url + "/healthz")
+	if err == nil {
+		resp.Body.Close()
+	}
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	wk.healthy.Store(ok)
+	if ok {
+		wk.lastSeen.Store(time.Now().UnixNano())
+	}
+}
+
+func (d *Dispatcher) tenant(name string) *tenantCounters {
+	d.tm.Lock()
+	defer d.tm.Unlock()
+	tc, ok := d.tenants[name]
+	if !ok {
+		tc = &tenantCounters{}
+		d.tenants[name] = tc
+	}
+	return tc
+}
+
+// candidates orders the healthy workers for one request: rendezvous
+// hashing on the run digest (affinity — repeats land where the artifact
+// already lives), demoting workers whose in-flight load exceeds the
+// least-loaded by more than LoadSlack. An empty digest (stateless
+// routes) orders purely by load.
+func (d *Dispatcher) candidates(digest string) []*worker {
+	ws := d.healthyWorkers()
+	if len(ws) <= 1 {
+		return ws
+	}
+	minLoad := ws[0].inflight.Load()
+	loads := make(map[*worker]int64, len(ws))
+	for _, wk := range ws {
+		l := wk.inflight.Load()
+		loads[wk] = l
+		if l < minLoad {
+			minLoad = l
+		}
+	}
+	overloaded := func(wk *worker) bool { return loads[wk]-minLoad > d.opts.LoadSlack }
+	if digest == "" {
+		sort.SliceStable(ws, func(i, j int) bool { return loads[ws[i]] < loads[ws[j]] })
+		return ws
+	}
+	score := func(wk *worker) uint64 {
+		h := sha256.Sum256([]byte(digest + "|" + wk.url))
+		return binary.LittleEndian.Uint64(h[:8])
+	}
+	sort.SliceStable(ws, func(i, j int) bool {
+		oi, oj := overloaded(ws[i]), overloaded(ws[j])
+		if oi != oj {
+			return !oi // non-overloaded first, regardless of affinity
+		}
+		return score(ws[i]) > score(ws[j])
+	})
+	return ws
+}
+
+// Register announces a worker to a dispatcher (the worker side of
+// /fleet/v1/register).
+func Register(ctx context.Context, client *http.Client, dispatcherURL, advertiseURL string) error {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	body := strings.NewReader(fmt.Sprintf(`{"url":%q}`, advertiseURL))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(dispatcherURL, "/")+"/fleet/v1/register", body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: register: %s", resp.Status)
+	}
+	return nil
+}
+
+// Heartbeat re-registers the worker every `every` until ctx ends, so a
+// restarted dispatcher relearns its fleet without operator action.
+// Errors are retried on the next beat.
+func Heartbeat(ctx context.Context, dispatcherURL, advertiseURL string, every time.Duration) {
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_ = Register(ctx, client, dispatcherURL, advertiseURL)
+		}
+	}
+}

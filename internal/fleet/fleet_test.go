@@ -1,0 +1,413 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"paravis/internal/api"
+	"paravis/internal/server"
+	"paravis/internal/workloads"
+)
+
+// flaky wraps a worker handler so a test can make its next POST /v1/run
+// die mid-response — the fleet-level stand-in for a node crashing
+// mid-job.
+type flaky struct {
+	inner http.Handler
+	fail  atomic.Bool
+}
+
+func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/run" && f.fail.CompareAndSwap(true, false) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"version":`))
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// newWorker boots one real nymbled worker behind httptest.
+func newWorker(t *testing.T, node string) (*flaky, *httptest.Server) {
+	t.Helper()
+	s := server.New(server.Options{Workers: 2, NodeID: node})
+	fh := &flaky{inner: s.Handler()}
+	ts := httptest.NewServer(fh)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown %s: %v", node, err)
+		}
+	})
+	return fh, ts
+}
+
+// newFleet boots n workers plus a dispatcher with them registered.
+func newFleet(t *testing.T, n int, opts Options) (*Dispatcher, *httptest.Server, []*flaky, []*httptest.Server) {
+	t.Helper()
+	d := NewDispatcher(opts)
+	t.Cleanup(d.Close)
+	var fhs []*flaky
+	var wts []*httptest.Server
+	for i := 0; i < n; i++ {
+		fh, ts := newWorker(t, "n"+strconv.Itoa(i))
+		fhs = append(fhs, fh)
+		wts = append(wts, ts)
+		d.Add(ts.URL)
+	}
+	front := httptest.NewServer(d.Handler())
+	t.Cleanup(front.Close)
+	return d, front, fhs, wts
+}
+
+func gemmRunRequest(dim int) api.RunRequest {
+	a, b := workloads.GEMMInputs(dim)
+	return api.RunRequest{
+		SchemaVersion: api.Version,
+		Source:        workloads.GEMMSource(workloads.GEMMNaive),
+		Defines:       workloads.GEMMDefines(workloads.GEMMNaive),
+		Ints:          map[string]int64{"DIM": int64(dim)},
+		Buffers:       map[string][]float32{"A": a, "B": b},
+		Wait:          true,
+	}
+}
+
+func postJSON(t *testing.T, url string, body any, tenant string) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Nymbled-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func runViaDispatcher(t *testing.T, front string, req api.RunRequest, tenant string) api.Job {
+	t.Helper()
+	resp := postJSON(t, front+"/v1/run", req, tenant)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run via dispatcher: status %d: %s", resp.StatusCode, body)
+	}
+	var doc api.Job
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("run via dispatcher: %v: %s", err, body)
+	}
+	if doc.State != api.JobDone {
+		t.Fatalf("run via dispatcher: state %s, error %q", doc.State, doc.Error)
+	}
+	return doc
+}
+
+func fetchTrace(t *testing.T, base, jobID, file string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + jobID + "/trace/" + file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace %s: status %d: %s", file, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestDispatchByteIdentity routes one run through the dispatcher and
+// asserts the trace it serves is byte-identical to what a standalone
+// worker produces for the same request — dispatch adds routing, never
+// bytes.
+func TestDispatchByteIdentity(t *testing.T) {
+	_, front, _, _ := newFleet(t, 2, Options{})
+	_, solo := newWorker(t, "")
+
+	req := gemmRunRequest(12)
+	viaFleet := runViaDispatcher(t, front.URL, req, "")
+
+	resp := postJSON(t, solo.URL+"/v1/run", req, "")
+	var direct api.Job
+	if err := json.Unmarshal(readAll(t, resp), &direct); err != nil {
+		t.Fatal(err)
+	}
+	if direct.State != api.JobDone {
+		t.Fatalf("direct run: state %s, error %q", direct.State, direct.Error)
+	}
+
+	if len(viaFleet.Trace) == 0 {
+		t.Fatal("fleet run produced no trace files")
+	}
+	for _, file := range viaFleet.Trace {
+		fleetBytes := fetchTrace(t, front.URL, viaFleet.ID, file)
+		soloBytes := fetchTrace(t, solo.URL, direct.ID, file)
+		if !bytes.Equal(fleetBytes, soloBytes) {
+			t.Errorf("trace %s differs through dispatcher (%d vs %d bytes)", file, len(fleetBytes), len(soloBytes))
+		}
+	}
+}
+
+// TestDispatchRetriesDeadWorker makes the digest-affine worker die
+// mid-response on the run request and asserts the dispatcher retries it
+// to completion on the other node, still serving a valid job document.
+func TestDispatchRetriesDeadWorker(t *testing.T) {
+	d, front, fhs, wts := newFleet(t, 2, Options{RetryBackoff: time.Millisecond})
+
+	req := gemmRunRequest(8)
+	digest := api.RunKey(&req)
+	cands := d.candidates(digest)
+	if len(cands) != 2 {
+		t.Fatalf("want 2 healthy candidates, got %d", len(cands))
+	}
+	// Kill whichever worker affinity would pick first.
+	var victim *flaky
+	for i, ts := range wts {
+		if ts.URL == cands[0].url {
+			victim = fhs[i]
+		}
+	}
+	if victim == nil {
+		t.Fatal("affine candidate not among test workers")
+	}
+	victim.fail.Store(true)
+
+	doc := runViaDispatcher(t, front.URL, req, "")
+	if doc.Summary == nil || doc.Summary.Cycles <= 0 {
+		t.Fatalf("retried run has no summary: %+v", doc)
+	}
+	if got := cands[1].retries.Load(); got == 0 {
+		t.Error("surviving worker recorded no retry")
+	}
+	if got := cands[0].errors.Load(); got == 0 {
+		t.Error("dead worker recorded no transport error")
+	}
+	if cands[0].healthy.Load() {
+		t.Error("dead worker still marked healthy before next probe")
+	}
+}
+
+// TestDispatchJobRouting submits an async run through the dispatcher
+// and asserts polls and trace downloads route to the owning worker.
+func TestDispatchJobRouting(t *testing.T) {
+	_, front, _, _ := newFleet(t, 2, Options{})
+
+	req := gemmRunRequest(8)
+	req.Wait = false
+	resp := postJSON(t, front.URL+"/v1/run", req, "")
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async run: status %d: %s", resp.StatusCode, body)
+	}
+	var queued api.Job
+	if err := json.Unmarshal(body, &queued); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		resp, err := http.Get(front.URL + "/v1/jobs/" + queued.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc api.Job
+		if err := json.Unmarshal(readAll(t, resp), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.State == api.JobDone {
+			if len(doc.Trace) == 0 {
+				t.Fatal("done job lists no trace files")
+			}
+			if got := fetchTrace(t, front.URL, doc.ID, doc.Trace[0]); len(got) == 0 {
+				t.Error("trace file served empty through dispatcher")
+			}
+			return
+		}
+		if doc.State == api.JobFailed || doc.State == api.JobCanceled || time.Now().After(deadline) {
+			t.Fatalf("job %s: state %s, error %q", doc.ID, doc.State, doc.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDispatchRateLimit drains one tenant's token bucket and asserts
+// the dispatcher sheds with 429 plus a parseable Retry-After, while a
+// different tenant is unaffected.
+func TestDispatchRateLimit(t *testing.T) {
+	_, front, _, _ := newFleet(t, 1, Options{TenantRPS: 0.1, TenantBurst: 1})
+
+	if resp := postJSON(t, front.URL+"/v1/vet", api.VetRequest{
+		SchemaVersion: api.Version, Source: workloads.PiSource, Defines: workloads.PiDefines(),
+	}, "acme"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d: %s", resp.StatusCode, readAll(t, resp))
+	} else {
+		resp.Body.Close()
+	}
+
+	resp := postJSON(t, front.URL+"/v1/vet", api.VetRequest{
+		SchemaVersion: api.Version, Source: workloads.PiSource, Defines: workloads.PiDefines(),
+	}, "acme")
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d (want 429): %s", resp.StatusCode, body)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q not a positive integer", ra)
+	}
+	var e api.Error
+	if err := json.Unmarshal(body, &e); err != nil || e.Kind != "rate_limited" {
+		t.Fatalf("429 body not a rate_limited error: %s", body)
+	}
+
+	if resp := postJSON(t, front.URL+"/v1/vet", api.VetRequest{
+		SchemaVersion: api.Version, Source: workloads.PiSource, Defines: workloads.PiDefines(),
+	}, "other"); resp.StatusCode != http.StatusOK {
+		t.Errorf("other tenant limited too: status %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestDispatchMetrics checks the per-tenant and per-node series render.
+func TestDispatchMetrics(t *testing.T) {
+	_, front, _, _ := newFleet(t, 2, Options{TenantRPS: 1000})
+	runViaDispatcher(t, front.URL, gemmRunRequest(8), "acme")
+
+	resp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	for _, want := range []string{
+		`nymbled_dispatch_requests_total{tenant="acme"} 1`,
+		"nymbled_dispatch_workers 2",
+		"nymbled_dispatch_healthy_workers 2",
+		"nymbled_dispatch_proxied_total{node=",
+		"nymbled_dispatch_rate_limited_total{tenant=",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestDispatchHealthz: 503 with no workers, 200 once one registers.
+func TestDispatchHealthz(t *testing.T) {
+	d := NewDispatcher(Options{})
+	t.Cleanup(d.Close)
+	front := httptest.NewServer(d.Handler())
+	t.Cleanup(front.Close)
+
+	resp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty fleet healthz: status %d (want 503)", resp.StatusCode)
+	}
+
+	_, ts := newWorker(t, "n0")
+	if err := Register(context.Background(), nil, front.URL, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet healthz with worker: status %d (want 200)", resp.StatusCode)
+	}
+}
+
+// TestCandidatesAffinityStable: the same digest always prefers the same
+// worker, different digests spread, and overload demotes the affine
+// node.
+func TestCandidatesAffinityStable(t *testing.T) {
+	d := NewDispatcher(Options{LoadSlack: 2})
+	t.Cleanup(d.Close)
+	for _, u := range []string{"http://a", "http://b", "http://c"} {
+		d.mu.Lock()
+		wk := &worker{url: u}
+		wk.healthy.Store(true)
+		d.workers[u] = wk
+		d.mu.Unlock()
+	}
+
+	first := d.candidates("digest-1")[0]
+	for i := 0; i < 10; i++ {
+		if got := d.candidates("digest-1")[0]; got != first {
+			t.Fatalf("affinity unstable: %s then %s", first.url, got.url)
+		}
+	}
+
+	spread := map[string]bool{}
+	for _, dg := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		spread[d.candidates(dg)[0].url] = true
+	}
+	if len(spread) < 2 {
+		t.Error("rendezvous hashing routed every digest to one worker")
+	}
+
+	first.inflight.Store(10)
+	if got := d.candidates("digest-1")[0]; got == first {
+		t.Error("overloaded affine worker not demoted")
+	}
+	first.inflight.Store(0)
+	if got := d.candidates("digest-1")[0]; got != first {
+		t.Error("affinity did not return once load drained")
+	}
+}
+
+func TestTenantLimiter(t *testing.T) {
+	l := newTenantLimiter(2, 2)
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("t", now); !ok {
+			t.Fatalf("request %d rejected within burst", i)
+		}
+	}
+	ok, wait := l.allow("t", now)
+	if ok {
+		t.Fatal("third request allowed past burst")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("wait %v outside (0, 1s]", wait)
+	}
+	if ok, _ := l.allow("u", now); !ok {
+		t.Fatal("fresh tenant rejected")
+	}
+	if ok, _ := l.allow("t", now.Add(time.Second)); !ok {
+		t.Fatal("token not refilled after 1s at 2 rps")
+	}
+}

@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tenantLimiter is a per-tenant token bucket: rps tokens per second up
+// to burst, one token per request. It reports how long a rejected
+// tenant should wait, which the dispatcher surfaces as Retry-After.
+type tenantLimiter struct {
+	rps   float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantLimiter(rps float64, burst int) *tenantLimiter {
+	b := float64(burst)
+	if b <= 0 {
+		b = math.Ceil(rps)
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &tenantLimiter{rps: rps, burst: b, buckets: map[string]*bucket{}}
+}
+
+// allow consumes one token for the tenant; on rejection it returns how
+// long until a token is available.
+func (l *tenantLimiter) allow(tenant string, now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bk, ok := l.buckets[tenant]
+	if !ok {
+		bk = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = bk
+	}
+	bk.tokens = math.Min(l.burst, bk.tokens+now.Sub(bk.last).Seconds()*l.rps)
+	bk.last = now
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - bk.tokens) / l.rps * float64(time.Second))
+	return false, wait
+}

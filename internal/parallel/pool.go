@@ -8,6 +8,10 @@ import (
 // ErrPoolClosed is returned by Submit after Close has been called.
 var ErrPoolClosed = errors.New("parallel: pool closed")
 
+// ErrQueueFull is returned by TrySubmit when the queue bound is reached;
+// it is the pool's backpressure signal (the daemon maps it to 429).
+var ErrQueueFull = errors.New("parallel: job queue full")
+
 // Pool is a long-lived bounded worker pool for a server: jobs are
 // submitted one at a time, queue until a worker frees up, and run on at
 // most `workers` goroutines. Unlike ForEach — which fans a fixed batch
@@ -70,6 +74,24 @@ func (p *Pool) Submit(fn func()) error {
 	defer p.mu.Unlock()
 	if p.closed {
 		return ErrPoolClosed
+	}
+	p.queue = append(p.queue, fn)
+	p.cond.Signal()
+	return nil
+}
+
+// TrySubmit enqueues a job unless the queue already holds maxQueue
+// waiting jobs (maxQueue <= 0 means unbounded, like Submit). The bound
+// is checked under the queue lock, so concurrent TrySubmits cannot
+// overshoot it.
+func (p *Pool) TrySubmit(fn func(), maxQueue int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	if maxQueue > 0 && len(p.queue) >= maxQueue {
+		return ErrQueueFull
 	}
 	p.queue = append(p.queue, fn)
 	p.cond.Signal()

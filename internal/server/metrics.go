@@ -25,13 +25,16 @@ type routeStats struct {
 // metrics is the daemon's counter set, exposed at /metrics in the
 // Prometheus text format.
 type metrics struct {
-	mu     sync.Mutex
-	routes map[string]*routeStats
+	mu      sync.Mutex
+	routes  map[string]*routeStats
+	tenants map[string]*counter // tenant -> 429s shed
 
-	jobsCreated  counter
-	simsStarted  counter
-	simsFinished counter
-	traceErrors  counter
+	jobsCreated   counter
+	simsStarted   counter
+	simsFinished  counter
+	traceErrors   counter
+	runsFromStore counter
+	storeErrors   counter
 }
 
 func (m *metrics) route(name string) *routeStats {
@@ -46,6 +49,21 @@ func (m *metrics) route(name string) *routeStats {
 		m.routes[name] = rs
 	}
 	return rs
+}
+
+// rateLimited returns the 429 counter for one tenant.
+func (m *metrics) rateLimited(tenant string) *counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.tenants == nil {
+		m.tenants = map[string]*counter{}
+	}
+	c, ok := m.tenants[tenant]
+	if !ok {
+		c = &counter{}
+		m.tenants[tenant] = c
+	}
+	return c
 }
 
 // instrument wraps a handler with per-route request counting and
@@ -125,4 +143,64 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP nymbled_trace_stream_errors_total Trace downloads aborted mid-stream.")
 	fmt.Fprintln(w, "# TYPE nymbled_trace_stream_errors_total counter")
 	fmt.Fprintf(w, "nymbled_trace_stream_errors_total %d\n", s.metrics.traceErrors.Load())
+
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		fmt.Fprintln(w, "# HELP nymbled_store_bytes Bytes held by the persistent artifact store.")
+		fmt.Fprintln(w, "# TYPE nymbled_store_bytes gauge")
+		fmt.Fprintf(w, "nymbled_store_bytes %d\n", st.Bytes)
+		fmt.Fprintln(w, "# HELP nymbled_store_max_bytes Artifact store byte budget.")
+		fmt.Fprintln(w, "# TYPE nymbled_store_max_bytes gauge")
+		fmt.Fprintf(w, "nymbled_store_max_bytes %d\n", st.MaxBytes)
+		fmt.Fprintln(w, "# HELP nymbled_store_entries Artifacts held by the persistent store.")
+		fmt.Fprintln(w, "# TYPE nymbled_store_entries gauge")
+		fmt.Fprintf(w, "nymbled_store_entries %d\n", st.Entries)
+		fmt.Fprintln(w, "# HELP nymbled_store_hits_total Artifact store lookups that hit.")
+		fmt.Fprintln(w, "# TYPE nymbled_store_hits_total counter")
+		fmt.Fprintf(w, "nymbled_store_hits_total %d\n", st.Hits)
+		fmt.Fprintln(w, "# HELP nymbled_store_misses_total Artifact store lookups that missed.")
+		fmt.Fprintln(w, "# TYPE nymbled_store_misses_total counter")
+		fmt.Fprintf(w, "nymbled_store_misses_total %d\n", st.Misses)
+		fmt.Fprintln(w, "# HELP nymbled_store_evictions_total Artifacts evicted to stay within the byte budget.")
+		fmt.Fprintln(w, "# TYPE nymbled_store_evictions_total counter")
+		fmt.Fprintf(w, "nymbled_store_evictions_total %d\n", st.Evictions)
+		fmt.Fprintln(w, "# HELP nymbled_store_errors_total Artifact persistence failures (runs still served from memory).")
+		fmt.Fprintln(w, "# TYPE nymbled_store_errors_total counter")
+		fmt.Fprintf(w, "nymbled_store_errors_total %d\n", s.metrics.storeErrors.Load())
+	}
+	fmt.Fprintln(w, "# HELP nymbled_runs_from_store_total POST /v1/run warm hits served from the artifact store without simulating.")
+	fmt.Fprintln(w, "# TYPE nymbled_runs_from_store_total counter")
+	fmt.Fprintf(w, "nymbled_runs_from_store_total %d\n", s.metrics.runsFromStore.Load())
+
+	cls := s.coal.Stats()
+	fmt.Fprintln(w, "# HELP nymbled_coalesced_runs_total Run requests that shared another request's simulation.")
+	fmt.Fprintln(w, "# TYPE nymbled_coalesced_runs_total counter")
+	fmt.Fprintf(w, "nymbled_coalesced_runs_total %d\n", cls.Coalesced)
+	fmt.Fprintln(w, "# HELP nymbled_coalesce_inflight Distinct run digests currently in flight.")
+	fmt.Fprintln(w, "# TYPE nymbled_coalesce_inflight gauge")
+	fmt.Fprintf(w, "nymbled_coalesce_inflight %d\n", cls.InFlight)
+	fmt.Fprintln(w, "# HELP nymbled_coalesce_rejected_total Run requests shed because a flight hit its size window.")
+	fmt.Fprintln(w, "# TYPE nymbled_coalesce_rejected_total counter")
+	fmt.Fprintf(w, "nymbled_coalesce_rejected_total %d\n", cls.Rejected)
+
+	s.metrics.mu.Lock()
+	tenants := make([]string, 0, len(s.metrics.tenants))
+	for t := range s.metrics.tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	type trow struct {
+		tenant string
+		shed   int64
+	}
+	trows := make([]trow, 0, len(tenants))
+	for _, t := range tenants {
+		trows = append(trows, trow{t, s.metrics.tenants[t].Load()})
+	}
+	s.metrics.mu.Unlock()
+	fmt.Fprintln(w, "# HELP nymbled_rate_limited_total Requests shed with 429, by tenant.")
+	fmt.Fprintln(w, "# TYPE nymbled_rate_limited_total counter")
+	for _, t := range trows {
+		fmt.Fprintf(w, "nymbled_rate_limited_total{tenant=%q} %d\n", t.tenant, t.shed)
+	}
 }

@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"paravis/internal/api"
 	"paravis/internal/core"
@@ -29,6 +30,7 @@ import (
 	"paravis/internal/perfbound"
 	"paravis/internal/sim"
 	"paravis/internal/staticcheck"
+	"paravis/internal/store"
 )
 
 // Options configures a Server.
@@ -39,13 +41,31 @@ type Options struct {
 	// SimCfg is the base simulator configuration; per-request MaxCycles
 	// overrides apply on top of it.
 	SimCfg sim.Config
+	// Store persists finished run artifacts by digest so repeat requests
+	// — across restarts too — are served from disk without recompiling
+	// or resimulating (nil = in-memory caching only).
+	Store *store.Store
+	// CoalesceWindow is how long a finished run's flight lingers so
+	// immediately repeated identical requests still coalesce onto it.
+	CoalesceWindow time.Duration
+	// CoalesceMax caps how many requests may share one flight (0 =
+	// unlimited); past it POST /v1/run sheds load with 429.
+	CoalesceMax int
+	// MaxQueue bounds how many runs may wait for a worker (0 =
+	// unlimited); past it POST /v1/run sheds load with 429 + Retry-After.
+	MaxQueue int
+	// NodeID makes job IDs fleet-unique ("job-<node>-<n>") and labels
+	// the node in /healthz. Empty for a standalone daemon.
+	NodeID string
 }
 
 // Server is the nymbled request handler plus its long-lived state: the
-// compile cache, the simulation worker pool and the job registry.
+// compile cache, the artifact store, the run coalescer, the simulation
+// worker pool and the job registry.
 type Server struct {
 	cache *core.Cache
 	pool  *parallel.Pool
+	coal  *store.Coalescer
 	cfg   Options
 
 	jobs    sync.Map // job id -> *job
@@ -64,6 +84,7 @@ func New(opts Options) *Server {
 	return &Server{
 		cache: core.NewCache(),
 		pool:  parallel.NewPool(opts.Workers),
+		coal:  &store.Coalescer{Window: opts.CoalesceWindow, MaxWaiters: opts.CoalesceMax},
 		cfg:   opts,
 	}
 }
@@ -195,14 +216,28 @@ func (s *Server) handlePerf(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz reports liveness plus the cache-shaped counters of the
+// daemon's long-lived state (compile cache, artifact store, coalescer),
+// so a fleet dispatcher's health probe doubles as a stats scrape.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.closing() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "shutting down")
-		return
+	doc := api.Health{
+		SchemaVersion: api.Version,
+		Status:        "ok",
+		Node:          s.cfg.NodeID,
+		CompileCache:  s.cache.Stats(),
 	}
-	fmt.Fprintln(w, "ok")
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		doc.Store = &st
+	}
+	cs := s.coal.Stats()
+	doc.Coalescing = &cs
+	status := http.StatusOK
+	if s.closing() {
+		doc.Status = "shutting_down"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, doc)
 }
 
 // isCtxErr reports whether err is rooted in a context cancellation or

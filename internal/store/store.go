@@ -1,0 +1,312 @@
+// Package store implements the daemon's persistent content-addressed
+// artifact store: the on-disk promotion of core.Cache. Artifacts are
+// small named-file bundles (a finished run's trace.prv/.prv.gz/.pcf/.row
+// plus its summary document, or a compile report) keyed by the same
+// hex SHA-256 digests core.Key produces, so a repeat request costs one
+// disk read instead of a recompilation or a simulation — and, unlike the
+// in-memory compile cache, the store survives daemon restarts.
+//
+// The store is LRU-bounded by total bytes: puts that push it past the
+// budget evict least-recently-used entries (counted, exposed via Stats).
+// Recency is persisted as the entry directory's mtime, so the LRU order
+// itself survives restarts. Puts are atomic (write to a temp directory,
+// then rename), so a crash mid-put never leaves a half-readable entry.
+//
+// The package also provides Coalescer, the time/size-windowed extension
+// of core.Cache's single-flight: N concurrent identical requests share
+// one execution and one result.
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultMaxBytes is the store budget when Open is given maxBytes <= 0.
+const DefaultMaxBytes = 1 << 30 // 1 GiB
+
+// Store is a persistent, digest-keyed, LRU-bounded artifact store.
+type Store struct {
+	root     string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*entry // digest -> entry
+	lru     *list.List        // front = most recently used; values are *entry
+	bytes   int64
+
+	hits, misses, puts, evictions int64
+}
+
+type entry struct {
+	digest string
+	bytes  int64
+	elem   *list.Element
+}
+
+// Entry is a read handle on one stored artifact. Reads are lazy: a
+// concurrent eviction can remove the files underneath, in which case
+// ReadFile reports the miss and the caller falls back to recomputing.
+type Entry struct {
+	Digest string
+	dir    string
+}
+
+// Stats is a point-in-time snapshot of the store counters.
+type Stats struct {
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Open opens (or creates) a store rooted at dir, bounded to maxBytes
+// (<= 0 means DefaultMaxBytes). Existing entries are scanned back into
+// the LRU index ordered by their directory mtimes, oldest first, and the
+// byte budget is enforced immediately.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		root:     dir,
+		maxBytes: maxBytes,
+		entries:  map[string]*entry{},
+		lru:      list.New(),
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	victims := s.evictLocked(nil)
+	s.mu.Unlock()
+	s.removeDirs(victims)
+	return s, nil
+}
+
+// scan rebuilds the index from disk. Layout: <root>/<digest[:2]>/<digest>/.
+// Leftover temp directories from interrupted puts are removed.
+func (s *Store) scan() error {
+	type found struct {
+		digest string
+		bytes  int64
+		mtime  time.Time
+	}
+	var all []found
+	shards, err := os.ReadDir(s.root)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		if len(sh.Name()) != 2 {
+			// Interrupted put (tmp-*) or foreign debris: clean temp dirs,
+			// leave anything else alone.
+			if len(sh.Name()) > 4 && sh.Name()[:4] == "tmp-" {
+				os.RemoveAll(filepath.Join(s.root, sh.Name()))
+			}
+			continue
+		}
+		dirs, err := os.ReadDir(filepath.Join(s.root, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, d := range dirs {
+			if !d.IsDir() {
+				continue
+			}
+			dir := filepath.Join(s.root, sh.Name(), d.Name())
+			info, err := d.Info()
+			if err != nil {
+				continue
+			}
+			all = append(all, found{digest: d.Name(), bytes: dirBytes(dir), mtime: info.ModTime()})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime.Before(all[j].mtime) })
+	for _, f := range all {
+		e := &entry{digest: f.digest, bytes: f.bytes}
+		e.elem = s.lru.PushFront(e) // later mtime ends up nearer the front
+		s.entries[f.digest] = e
+		s.bytes += f.bytes
+	}
+	return nil
+}
+
+func dirBytes(dir string) int64 {
+	var n int64
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, f := range files {
+		if info, err := f.Info(); err == nil {
+			n += info.Size()
+		}
+	}
+	return n
+}
+
+func (s *Store) dirFor(digest string) string {
+	return filepath.Join(s.root, digest[:2], digest)
+}
+
+// Get looks the digest up, bumping its recency (in memory and on disk,
+// via the directory mtime) on a hit.
+func (s *Store) Get(digest string) (Entry, bool) {
+	if len(digest) < 3 {
+		return Entry{}, false
+	}
+	s.mu.Lock()
+	e, ok := s.entries[digest]
+	if !ok {
+		s.misses++
+		s.mu.Unlock()
+		return Entry{}, false
+	}
+	s.hits++
+	s.lru.MoveToFront(e.elem)
+	s.mu.Unlock()
+	dir := s.dirFor(digest)
+	now := time.Now()
+	_ = os.Chtimes(dir, now, now)
+	return Entry{Digest: digest, dir: dir}, true
+}
+
+// Put stores the named files under the digest atomically. Re-putting an
+// existing digest only refreshes its recency. Eviction keeps the store
+// within budget; the entry being put is never its own victim.
+func (s *Store) Put(digest string, files map[string][]byte) error {
+	if len(digest) < 3 {
+		return fmt.Errorf("store: digest %q too short", digest)
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[digest]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	tmp, err := os.MkdirTemp(s.root, "tmp-")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var total int64
+	for name, data := range files {
+		if filepath.Base(name) != name {
+			os.RemoveAll(tmp)
+			return fmt.Errorf("store: bad artifact file name %q", name)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, name), data, 0o644); err != nil {
+			os.RemoveAll(tmp)
+			return fmt.Errorf("store: %w", err)
+		}
+		total += int64(len(data))
+	}
+	dir := s.dirFor(digest)
+	if err := os.MkdirAll(filepath.Dir(dir), 0o755); err != nil {
+		os.RemoveAll(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		os.RemoveAll(tmp)
+		// A concurrent Put of the same digest can win the rename race;
+		// treat an existing destination as success.
+		if _, statErr := os.Stat(dir); statErr == nil {
+			s.noteExisting(digest, total)
+			return nil
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	s.noteExisting(digest, total)
+	return nil
+}
+
+// noteExisting records a freshly landed on-disk entry in the index and
+// enforces the byte budget.
+func (s *Store) noteExisting(digest string, bytes int64) {
+	s.mu.Lock()
+	if e, ok := s.entries[digest]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		return
+	}
+	e := &entry{digest: digest, bytes: bytes}
+	e.elem = s.lru.PushFront(e)
+	s.entries[digest] = e
+	s.bytes += bytes
+	s.puts++
+	victims := s.evictLocked(e)
+	s.mu.Unlock()
+	s.removeDirs(victims)
+}
+
+// evictLocked drops least-recently-used entries from the index until the
+// store fits the budget and returns their directories for removal (done
+// by the caller, after unlocking). keep, if non-nil, is exempt: the
+// entry just added is never its own victim, even when it alone is over
+// budget.
+func (s *Store) evictLocked(keep *entry) []string {
+	var victims []string
+	for s.bytes > s.maxBytes && s.lru.Len() > 0 {
+		back := s.lru.Back()
+		victim := back.Value.(*entry)
+		if victim == keep {
+			if back.Prev() == nil {
+				break
+			}
+			victim = back.Prev().Value.(*entry)
+		}
+		s.lru.Remove(victim.elem)
+		delete(s.entries, victim.digest)
+		s.bytes -= victim.bytes
+		s.evictions++
+		victims = append(victims, s.dirFor(victim.digest))
+	}
+	return victims
+}
+
+func (s *Store) removeDirs(dirs []string) {
+	for _, dir := range dirs {
+		os.RemoveAll(dir)
+		os.Remove(filepath.Dir(dir)) // drop the shard dir if now empty
+	}
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Bytes:     s.bytes,
+		MaxBytes:  s.maxBytes,
+		Entries:   len(s.entries),
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Puts:      s.puts,
+		Evictions: s.evictions,
+	}
+}
+
+// ReadFile reads one named file of the artifact. A concurrent eviction
+// surfaces as the underlying not-exist error.
+func (e Entry) ReadFile(name string) ([]byte, error) {
+	if filepath.Base(name) != name {
+		return nil, fmt.Errorf("store: bad artifact file name %q", name)
+	}
+	return os.ReadFile(filepath.Join(e.dir, name))
+}

@@ -1,0 +1,314 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func digestFor(i int) string {
+	return fmt.Sprintf("%02x%060x", i%256, i)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string][]byte{
+		"trace.prv":    []byte("prv-bytes"),
+		"summary.json": []byte(`{"ok":true}`),
+	}
+	d := digestFor(1)
+	if err := s.Put(d, files); err != nil {
+		t.Fatal(err)
+	}
+	ent, ok := s.Get(d)
+	if !ok {
+		t.Fatal("just-put digest missed")
+	}
+	for name, want := range files {
+		got, err := ent.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: got %q, want %q", name, got, want)
+		}
+	}
+	if _, ok := s.Get(digestFor(2)); ok {
+		t.Error("unknown digest hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Puts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Bytes != int64(len(files["trace.prv"])+len(files["summary.json"])) {
+		t.Errorf("bytes = %d", st.Bytes)
+	}
+	if _, err := ent.ReadFile("../escape"); err == nil {
+		t.Error("path traversal in ReadFile not rejected")
+	}
+	if err := s.Put(digestFor(3), map[string][]byte{"a/b": nil}); err == nil {
+		t.Error("path traversal in Put not rejected")
+	}
+}
+
+func TestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := digestFor(7)
+	if err := s.Put(d, map[string][]byte{"x": []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second Open on the same directory must see the entry.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, ok := s2.Get(d)
+	if !ok {
+		t.Fatal("entry lost across reopen")
+	}
+	got, err := ent.ReadFile("x")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if st := s2.Stats(); st.Entries != 1 || st.Bytes != 5 {
+		t.Errorf("reopened stats = %+v", st)
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte("x"), 10)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(digestFor(i), map[string][]byte{"b": blob}); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so the on-disk LRU order is unambiguous.
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Touch 0 so 1 becomes the LRU victim.
+	if _, ok := s.Get(digestFor(0)); !ok {
+		t.Fatal("entry 0 missing")
+	}
+	if err := s.Put(digestFor(3), map[string][]byte{"b": blob}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(digestFor(1)); ok {
+		t.Error("LRU victim 1 still present")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := s.Get(digestFor(i)); !ok {
+			t.Errorf("entry %d evicted, want kept", i)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.Bytes != 30 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The evicted entry must be gone from disk too, not just the index.
+	if _, err := os.Stat(s.dirFor(digestFor(1))); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("victim dir still on disk: %v", err)
+	}
+}
+
+func TestReopenEnforcesBudgetOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, DefaultMaxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte("y"), 10)
+	for i := 0; i < 4; i++ {
+		if err := s.Put(digestFor(i), map[string][]byte{"b": blob}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Reopen with a budget for only two entries: the two oldest by mtime
+	// must be evicted at Open.
+	s2, err := Open(dir, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1} {
+		if _, ok := s2.Get(digestFor(i)); ok {
+			t.Errorf("old entry %d survived reopen under budget", i)
+		}
+	}
+	for _, i := range []int{2, 3} {
+		if _, ok := s2.Get(digestFor(i)); !ok {
+			t.Errorf("recent entry %d evicted at reopen", i)
+		}
+	}
+	if st := s2.Stats(); st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+}
+
+func TestOversizeEntryIsKept(t *testing.T) {
+	s, err := Open(t.TempDir(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("z"), 100)
+	if err := s.Put(digestFor(1), map[string][]byte{"b": big}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(digestFor(1)); !ok {
+		t.Error("entry larger than the whole budget must still be stored")
+	}
+}
+
+func TestPutExistingRefreshesRecency(t *testing.T) {
+	s, err := Open(t.TempDir(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte("x"), 10)
+	for i := 0; i < 2; i++ {
+		if err := s.Put(digestFor(i), map[string][]byte{"b": blob}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(digestFor(0), map[string][]byte{"b": blob}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(digestFor(2), map[string][]byte{"b": blob}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(digestFor(1)); ok {
+		t.Error("re-put entry 0 should have made 1 the victim")
+	}
+	if _, ok := s.Get(digestFor(0)); !ok {
+		t.Error("re-put entry 0 evicted")
+	}
+}
+
+func TestCoalescerSingleExecution(t *testing.T) {
+	var c Coalescer
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	const n = 16
+	results := make([]any, n)
+	sharedCount := atomic.Int64{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := c.Do(context.Background(), "k", func() (any, error) {
+				execs.Add(1)
+				<-release
+				return "result", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let everyone join before the leader finishes.
+	for c.Stats().Coalesced < n-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Errorf("fn executed %d times, want 1", got)
+	}
+	if sharedCount.Load() != n-1 {
+		t.Errorf("shared = %d, want %d", sharedCount.Load(), n-1)
+	}
+	for i, v := range results {
+		if v != "result" {
+			t.Errorf("caller %d got %v", i, v)
+		}
+	}
+}
+
+func TestCoalescerWindowLingers(t *testing.T) {
+	c := Coalescer{Window: time.Hour}
+	v, shared, err := c.Do(context.Background(), "k", func() (any, error) { return 1, nil })
+	if v != 1 || shared || err != nil {
+		t.Fatalf("leader: %v %v %v", v, shared, err)
+	}
+	// Within the window the finished flight is still joinable: no re-run.
+	v, shared, err = c.Do(context.Background(), "k", func() (any, error) {
+		t.Fatal("re-executed inside window")
+		return nil, nil
+	})
+	if v != 1 || !shared || err != nil {
+		t.Fatalf("window join: %v %v %v", v, shared, err)
+	}
+}
+
+func TestCoalescerErrorsDoNotLinger(t *testing.T) {
+	c := Coalescer{Window: time.Hour}
+	boom := errors.New("boom")
+	if _, _, err := c.Do(context.Background(), "k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	ran := false
+	if _, _, err := c.Do(context.Background(), "k", func() (any, error) { ran = true; return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("failed flight lingered; retry did not execute")
+	}
+}
+
+func TestCoalescerSaturation(t *testing.T) {
+	c := Coalescer{MaxWaiters: 2}
+	f, leader, err := c.Join("k")
+	if !leader || err != nil {
+		t.Fatalf("leader join: %v %v", leader, err)
+	}
+	if _, l, err := c.Join("k"); l || err != nil {
+		t.Fatalf("second join: %v %v", l, err)
+	}
+	if _, _, err := c.Join("k"); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third join err = %v, want ErrSaturated", err)
+	}
+	if st := c.Stats(); st.Rejected != 1 || st.Coalesced != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	f.Finish(nil, nil)
+}
+
+func TestCoalescerContextCancel(t *testing.T) {
+	var c Coalescer
+	f, leader, err := c.Join("k")
+	if !leader || err != nil {
+		t.Fatal("expected leadership")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g, l, err := c.Join("k")
+	if l || err != nil {
+		t.Fatal("expected follower")
+	}
+	if _, err := g.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Wait = %v", err)
+	}
+	f.Finish(nil, nil)
+}
