@@ -26,17 +26,20 @@
 // Fleet mode: `nymbled -dispatch` serves no simulations itself —
 // instead it routes the whole /v1 API across workers that register
 // with it. A worker joins with `-join http://dispatcher -advertise
-// http://me -node name`. Run requests route by digest affinity with
-// retries on worker failure; -rps/-burst rate-limit per tenant
-// (X-Nymbled-Tenant header) at the dispatcher.
+// http://me -node name`. Registration is guarded by a shared secret
+// (-fleet-token / $NYMBLED_FLEET_TOKEN on both sides); running a
+// dispatcher without one is only safe on a trusted network. Run
+// requests route by digest affinity with retries on worker failure;
+// -rps/-burst rate-limit per tenant (X-Nymbled-Tenant header) at the
+// dispatcher.
 //
 // Usage:
 //
 //	nymbled [-addr :8080] [-j N] [-maxcycles N] [-pprof addr]
 //	        [-store DIR] [-store-max-bytes N] [-coalesce-window D]
 //	        [-coalesce-max N] [-maxqueue N] [-node NAME]
-//	        [-join URL [-advertise URL]]
-//	nymbled -dispatch [-addr :8080] [-rps N] [-burst N]
+//	        [-join URL [-advertise URL] [-fleet-token T]]
+//	nymbled -dispatch [-addr :8080] [-rps N] [-burst N] [-fleet-token T]
 package main
 
 import (
@@ -74,10 +77,12 @@ func main() {
 	advertise := flag.String("advertise", "", "URL the dispatcher should reach this worker at (default http://localhost<addr>)")
 	rps := flag.Float64("rps", 0, "dispatcher: per-tenant requests per second (0 = no rate limit)")
 	burst := flag.Int("burst", 0, "dispatcher: per-tenant burst size (0 = ceil(rps))")
+	fleetToken := flag.String("fleet-token", os.Getenv("NYMBLED_FLEET_TOKEN"),
+		"shared secret for worker registration (dispatcher requires it, worker presents it; default $NYMBLED_FLEET_TOKEN)")
 	flag.Parse()
 
 	if *dispatch {
-		runDispatcher(*addr, *rps, *burst, *drain)
+		runDispatcher(*addr, *rps, *burst, *fleetToken, *drain)
 		return
 	}
 
@@ -132,12 +137,12 @@ func main() {
 			adv = "http://localhost" + *addr
 		}
 		go func() {
-			if err := fleet.Register(ctx, nil, *join, adv); err != nil {
+			if err := fleet.Register(ctx, nil, *join, adv, *fleetToken); err != nil {
 				fmt.Fprintln(os.Stderr, "nymbled: fleet register:", err)
 			} else {
 				fmt.Fprintf(os.Stderr, "nymbled: registered with %s as %s\n", *join, adv)
 			}
-			fleet.Heartbeat(ctx, *join, adv, 5*time.Second)
+			fleet.Heartbeat(ctx, *join, adv, *fleetToken, 5*time.Second)
 		}()
 	}
 
@@ -166,8 +171,11 @@ func main() {
 }
 
 // runDispatcher serves the fleet front end until SIGINT/SIGTERM.
-func runDispatcher(addr string, rps float64, burst int, drain time.Duration) {
-	d := fleet.NewDispatcher(fleet.Options{TenantRPS: rps, TenantBurst: burst})
+func runDispatcher(addr string, rps float64, burst int, token string, drain time.Duration) {
+	if token == "" {
+		fmt.Fprintln(os.Stderr, "nymbled: warning: no -fleet-token; worker registration is open to anyone who can reach this dispatcher")
+	}
+	d := fleet.NewDispatcher(fleet.Options{TenantRPS: rps, TenantBurst: burst, RegisterToken: token})
 	httpSrv := &http.Server{Addr: addr, Handler: d.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

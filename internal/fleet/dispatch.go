@@ -2,13 +2,17 @@ package fleet
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"paravis/internal/api"
@@ -47,12 +51,57 @@ func writeErr(w http.ResponseWriter, status int, kind string, err error) {
 	writeJSON(w, status, api.Error{SchemaVersion: api.Version, Err: err.Error(), Kind: kind})
 }
 
+// registerAuthorized checks the shared registration secret (when one is
+// configured) in constant time, from either the Authorization bearer or
+// the X-Nymbled-Fleet-Token header.
+func (d *Dispatcher) registerAuthorized(r *http.Request) bool {
+	want := d.opts.RegisterToken
+	if want == "" {
+		return true
+	}
+	got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if t := r.Header.Get("X-Nymbled-Fleet-Token"); t != "" {
+		got = t
+	}
+	return subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1
+}
+
+// validWorkerURL admits only plain http(s) URLs with a host — the
+// advertised address is dialed by the dispatcher and receives forwarded
+// tenant requests, so it must not smuggle credentials, queries or
+// non-HTTP schemes.
+func validWorkerURL(raw string) error {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("bad worker url: %v", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("worker url scheme must be http or https, got %q", u.Scheme)
+	}
+	if u.Host == "" {
+		return errors.New("worker url has no host")
+	}
+	if u.User != nil || u.RawQuery != "" || u.Fragment != "" {
+		return errors.New("worker url must not carry credentials, query or fragment")
+	}
+	return nil
+}
+
 func (d *Dispatcher) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if !d.registerAuthorized(r) {
+		writeErr(w, http.StatusUnauthorized, "unauthorized",
+			errors.New("registration requires the fleet token"))
+		return
+	}
 	var req struct {
 		URL string `json:"url"`
 	}
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil || req.URL == "" {
 		writeErr(w, http.StatusBadRequest, "bad_request", errors.New("body must be {\"url\":\"http://worker\"}"))
+		return
+	}
+	if err := validWorkerURL(req.URL); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	wk := d.Add(req.URL)
@@ -145,8 +194,10 @@ func (d *Dispatcher) admit(w http.ResponseWriter, r *http.Request) bool {
 // proxy forwards one stateless-routable POST across the fleet. Run
 // requests route by digest affinity; compile/vet/perf route least-loaded.
 // All of them are idempotent (content-addressed, deterministic), so a
-// worker failing mid-request — including dying mid-simulation — is
-// retried on the next candidate with bounded backoff.
+// worker failing mid-request is retried on the next candidate with
+// bounded backoff — except asynchronous run submissions that failed
+// after the connection was established, where the first worker may
+// already own a live job (see forward).
 func (d *Dispatcher) proxy(isRun bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !d.admit(w, r) {
@@ -158,19 +209,40 @@ func (d *Dispatcher) proxy(isRun bool) http.HandlerFunc {
 			return
 		}
 		digest := ""
+		retryMid := !isRun
 		if isRun {
 			var req api.RunRequest
 			// Routing only: the worker itself re-validates strictly.
 			if err := json.Unmarshal(body, &req); err == nil {
 				digest = api.RunKey(&req)
+				// A synchronous run holds the client on the line; a
+				// mid-request failure there is retried because the client
+				// is still waiting on a result. An async submission is
+				// fire-and-forget: the worker may have accepted the job
+				// before the transport broke, so a blind retry would
+				// orphan a duplicate simulation on it.
+				retryMid = req.Wait
 			}
 		}
-		d.forward(w, r, body, digest, isRun)
+		d.forward(w, r, body, digest, isRun, retryMid)
 	}
 }
 
+// isDialError reports whether the forward failed before the connection
+// was even established — the only transport failure that guarantees the
+// worker never saw the request.
+func isDialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
 // forward tries the request on each candidate worker in affinity order.
-func (d *Dispatcher) forward(w http.ResponseWriter, r *http.Request, body []byte, digest string, isRun bool) {
+// retryMid allows retrying after a transport failure that happened once
+// the connection was up (when false, only dial failures — where the
+// worker provably never received the request — move to the next node;
+// the client can safely resubmit, and content addressing makes the
+// resubmission a warm hit or a coalesced join).
+func (d *Dispatcher) forward(w http.ResponseWriter, r *http.Request, body []byte, digest string, isRun, retryMid bool) {
 	cands := d.candidates(digest)
 	if len(cands) == 0 {
 		writeErr(w, http.StatusServiceUnavailable, "no_workers", errors.New("no healthy workers registered"))
@@ -181,6 +253,7 @@ func (d *Dispatcher) forward(w http.ResponseWriter, r *http.Request, body []byte
 		attempts = len(cands)
 	}
 	var lastErr error
+	tried := 0
 	for i := 0; i < attempts; i++ {
 		wk := cands[i]
 		if i > 0 {
@@ -193,13 +266,17 @@ func (d *Dispatcher) forward(w http.ResponseWriter, r *http.Request, body []byte
 				return
 			}
 		}
+		tried++
 		resp, respBody, err := d.send(wk, r, body)
 		if err != nil {
 			// Transport failure: the worker is gone or the job died with
-			// it. Mark it unroutable and move on.
+			// it. Mark it unroutable.
 			wk.errors.Add(1)
 			wk.healthy.Store(false)
 			lastErr = err
+			if !retryMid && !isDialError(err) {
+				break
+			}
 			continue
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable && i < attempts-1 {
@@ -214,7 +291,7 @@ func (d *Dispatcher) forward(w http.ResponseWriter, r *http.Request, body []byte
 		return
 	}
 	writeErr(w, http.StatusBadGateway, "fleet_error",
-		fmt.Errorf("all %d dispatch attempts failed: %v", attempts, lastErr))
+		fmt.Errorf("dispatch failed after %d attempt(s): %v", tried, lastErr))
 }
 
 // send forwards the buffered request to one worker and buffers the

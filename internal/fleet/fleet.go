@@ -48,6 +48,13 @@ type Options struct {
 	// (RPS 0 = rate limiting off; Burst 0 = ceil(RPS), minimum 1).
 	TenantRPS   float64
 	TenantBurst int
+	// RegisterToken, when set, is the shared secret POST
+	// /fleet/v1/register must present (Authorization: Bearer <token> or
+	// X-Nymbled-Fleet-Token). Without it anyone who can reach the
+	// dispatcher could register an attacker-controlled "worker" and
+	// receive forwarded tenant requests. Empty disables the check —
+	// only safe on a trusted network.
+	RegisterToken string
 	// Client forwards requests to workers (default: http.Transport with
 	// no overall timeout, so long synchronous runs can complete).
 	Client *http.Client
@@ -258,8 +265,9 @@ func (d *Dispatcher) candidates(digest string) []*worker {
 }
 
 // Register announces a worker to a dispatcher (the worker side of
-// /fleet/v1/register).
-func Register(ctx context.Context, client *http.Client, dispatcherURL, advertiseURL string) error {
+// /fleet/v1/register). token is the dispatcher's registration secret
+// (empty when the dispatcher runs open).
+func Register(ctx context.Context, client *http.Client, dispatcherURL, advertiseURL, token string) error {
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Second}
 	}
@@ -270,6 +278,9 @@ func Register(ctx context.Context, client *http.Client, dispatcherURL, advertise
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("X-Nymbled-Fleet-Token", token)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return err
@@ -284,7 +295,7 @@ func Register(ctx context.Context, client *http.Client, dispatcherURL, advertise
 // Heartbeat re-registers the worker every `every` until ctx ends, so a
 // restarted dispatcher relearns its fleet without operator action.
 // Errors are retried on the next beat.
-func Heartbeat(ctx context.Context, dispatcherURL, advertiseURL string, every time.Duration) {
+func Heartbeat(ctx context.Context, dispatcherURL, advertiseURL, token string, every time.Duration) {
 	if every <= 0 {
 		every = 5 * time.Second
 	}
@@ -296,7 +307,7 @@ func Heartbeat(ctx context.Context, dispatcherURL, advertiseURL string, every ti
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			_ = Register(ctx, client, dispatcherURL, advertiseURL)
+			_ = Register(ctx, client, dispatcherURL, advertiseURL, token)
 		}
 	}
 }

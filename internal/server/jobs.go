@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"paravis/internal/api"
@@ -71,6 +72,13 @@ type job struct {
 	cancel context.CancelCauseFunc
 	done   chan struct{}
 
+	// flight is the coalesced run flight this job is attached to (nil
+	// otherwise); leads marks the job whose cancel owns the flight's
+	// simulation. detached makes abandon idempotent.
+	flight   *store.Flight
+	leads    bool
+	detached atomic.Bool
+
 	mu       sync.Mutex
 	state    string
 	kernel   string
@@ -80,6 +88,7 @@ type job struct {
 	trace    []string
 	art      *artifact
 	canceled bool
+	doneAt   time.Time // when the job reached a terminal state
 }
 
 func (j *job) snapshot() api.Job {
@@ -115,10 +124,28 @@ func (j *job) markCanceled(reason string) {
 	}
 	j.canceled = true
 	j.state = api.JobCanceled
+	j.doneAt = time.Now()
 	if j.errMsg == "" {
 		j.errMsg = reason
 		j.errKind = "canceled"
 	}
+}
+
+// abandon is the client-side cancel path (DELETE /v1/jobs/{id}, a
+// synchronous client disconnecting): the job detaches from its shared
+// flight first, and a leader only cancels the underlying simulation
+// when it was the last request attached — one client canceling must
+// never kill a result other coalesced clients are still waiting on.
+func (j *job) abandon(cause error) {
+	if j.flight != nil {
+		if !j.detached.CompareAndSwap(false, true) {
+			return // already detached; the cancel decision was made
+		}
+		if left := j.flight.Detach(); j.leads && left > 0 {
+			return // followers remain: the simulation keeps running for them
+		}
+	}
+	j.cancel(cause)
 }
 
 // fill copies a shared run result into the job (no-op if the job was
@@ -136,14 +163,18 @@ func (j *job) fill(res *runResult) {
 	j.summary = res.summary
 	j.trace = res.trace
 	j.art = res.art
+	j.doneAt = time.Now()
 	if res.state == api.JobCanceled {
 		j.canceled = true
 	}
 }
 
 // newJob registers a fresh job. cancel may be nil (jobs that never own a
-// simulation context, e.g. store hits and coalesced followers).
-func (s *Server) newJob(kernel string, cancel context.CancelCauseFunc) *job {
+// simulation context, e.g. store hits). f is the coalesced flight the
+// job is attached to (nil for store hits); leads marks the flight's
+// leader. Both are set before the job is published in the registry, so
+// concurrent DELETE handlers read them safely.
+func (s *Server) newJob(kernel string, cancel context.CancelCauseFunc, f *store.Flight, leads bool) *job {
 	if cancel == nil {
 		cancel = func(error) {}
 	}
@@ -158,6 +189,8 @@ func (s *Server) newJob(kernel string, cancel context.CancelCauseFunc) *job {
 		done:   make(chan struct{}),
 		state:  api.JobQueued,
 		kernel: kernel,
+		flight: f,
+		leads:  leads,
 	}
 	s.jobs.Store(j.id, j)
 	s.metrics.jobsCreated.Add(1)
@@ -256,12 +289,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		cancelTimer()
 	}
 
-	j := s.newJob(p.Kernel.Name, cancel)
+	j := s.newJob(p.Kernel.Name, cancel, f, true)
 	task := func() {
 		defer close(j.done)
 		defer cancel(errors.New("job finished"))
 		res := s.runJob(ctx, j, p, args, cfg, digest)
-		f.Finish(res, nil)
+		if res.state == api.JobDone {
+			f.Finish(res, nil)
+		} else {
+			// Canceled, deadline and failed outcomes must not linger in
+			// the coalescer: finishing with an error forgets the flight
+			// immediately (already-attached followers still share res),
+			// so the next identical request re-executes instead of
+			// replaying a dead result.
+			f.Finish(res, errRunNotShareable)
+		}
 	}
 	err = s.pool.TrySubmit(task, s.cfg.MaxQueue)
 	if err != nil {
@@ -280,23 +322,31 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Synchronous mode: the client waits for the result, so the client
-	// going away cancels the simulation and frees the worker slot.
+	// going away cancels the simulation and frees the worker slot —
+	// unless coalesced followers are still attached to the flight, in
+	// which case the simulation keeps running for them.
 	select {
 	case <-j.done:
 	case <-r.Context().Done():
-		j.cancel(context.Cause(r.Context()))
+		// Don't wait for j.done here: if followers kept the simulation
+		// alive, it may run long after this client is gone.
+		j.abandon(context.Cause(r.Context()))
 		j.markCanceled("client disconnected")
-		<-j.done
 	}
 	doc := j.snapshot()
 	writeJSON(w, waitStatus(doc), doc)
 }
 
+// errRunNotShareable marks a flight whose run did not complete: the
+// result is still delivered to already-attached followers, but the
+// flight must not linger for new joiners.
+var errRunNotShareable = errors.New("run did not complete; not shareable")
+
 // serveFollower attaches a job to another request's flight: when the
 // leader finishes, the follower's job is filled with the shared result.
 func (s *Server) serveFollower(w http.ResponseWriter, r *http.Request, req *api.RunRequest, f *store.Flight) {
 	jctx, cancelCause := context.WithCancelCause(context.Background())
-	j := s.newJob("", cancelCause)
+	j := s.newJob("", cancelCause, f, false)
 	go func() {
 		defer close(j.done)
 		select {
@@ -314,7 +364,7 @@ func (s *Server) serveFollower(w http.ResponseWriter, r *http.Request, req *api.
 	select {
 	case <-j.done:
 	case <-r.Context().Done():
-		j.cancel(context.Cause(r.Context()))
+		j.abandon(context.Cause(r.Context()))
 		j.markCanceled("client disconnected")
 		<-j.done
 	}
@@ -324,13 +374,15 @@ func (s *Server) serveFollower(w http.ResponseWriter, r *http.Request, req *api.
 
 // flightResult normalizes a flight outcome into a fillable result: a
 // leader that never reached the simulator (compile error, full queue)
-// fails every coalesced job the same way.
+// fails every coalesced job the same way. A flight finished with a
+// runResult attached shares it regardless of the error — the error only
+// controls whether the flight lingers for new joiners.
 func flightResult(f *store.Flight) *runResult {
 	v, err := f.Result()
+	if res, ok := v.(*runResult); ok {
+		return res
+	}
 	if err == nil {
-		if res, ok := v.(*runResult); ok {
-			return res
-		}
 		err = errors.New("internal: flight finished without a result")
 	}
 	kind := "compile_error"
@@ -443,6 +495,14 @@ func (s *Server) persist(digest string, res *runResult, files map[string][]byte)
 	stored[fileSummary] = buf.Bytes()
 	if err := s.cfg.Store.Put(digest, stored); err != nil {
 		s.metrics.storeErrors.Add(1)
+		return
+	}
+	// The bundle is durable now: swap the result's artifact to its
+	// disk-backed form so finished jobs stop pinning the full trace
+	// bytes in memory. (An eviction before the client downloads the
+	// trace surfaces as 410 Gone, same as any stored artifact.)
+	if ent, ok := s.cfg.Store.Handle(digest); ok {
+		res.art = &artifact{ent: ent, disk: true}
 	}
 }
 
@@ -458,12 +518,13 @@ func (s *Server) jobFromStore(ent store.Entry) (*job, error) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("corrupt stored summary: %w", err)
 	}
-	j := s.newJob(doc.Kernel, nil)
+	j := s.newJob(doc.Kernel, nil, nil, false)
 	j.mu.Lock()
 	j.state = api.JobDone
 	j.summary = doc.Summary
 	j.trace = doc.Trace
 	j.art = &artifact{ent: ent, disk: true}
+	j.doneAt = time.Now()
 	j.mu.Unlock()
 	close(j.done)
 	return j, nil
@@ -552,7 +613,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
-	j.cancel(errors.New("canceled by client"))
+	j.abandon(errors.New("canceled by client"))
 	j.markCanceled("canceled by client")
 	writeJSON(w, http.StatusOK, j.snapshot())
 }

@@ -30,6 +30,7 @@ type metrics struct {
 	tenants map[string]*counter // tenant -> 429s shed
 
 	jobsCreated   counter
+	jobsReaped    counter
 	simsStarted   counter
 	simsFinished  counter
 	traceErrors   counter
@@ -134,6 +135,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP nymbled_jobs_total Jobs accepted by POST /v1/run.")
 	fmt.Fprintln(w, "# TYPE nymbled_jobs_total counter")
 	fmt.Fprintf(w, "nymbled_jobs_total %d\n", s.metrics.jobsCreated.Load())
+	fmt.Fprintln(w, "# HELP nymbled_jobs_reaped_total Finished jobs dropped from the registry after JobTTL.")
+	fmt.Fprintln(w, "# TYPE nymbled_jobs_reaped_total counter")
+	fmt.Fprintf(w, "nymbled_jobs_reaped_total %d\n", s.metrics.jobsReaped.Load())
+	live := 0
+	s.jobs.Range(func(_, _ any) bool { live++; return true })
+	fmt.Fprintln(w, "# HELP nymbled_jobs_live Jobs currently held in the registry.")
+	fmt.Fprintln(w, "# TYPE nymbled_jobs_live gauge")
+	fmt.Fprintf(w, "nymbled_jobs_live %d\n", live)
 	fmt.Fprintln(w, "# HELP nymbled_sims_started_total Simulations handed to a worker.")
 	fmt.Fprintln(w, "# TYPE nymbled_sims_started_total counter")
 	fmt.Fprintf(w, "nymbled_sims_started_total %d\n", s.metrics.simsStarted.Load())

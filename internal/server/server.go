@@ -57,7 +57,16 @@ type Options struct {
 	// NodeID makes job IDs fleet-unique ("job-<node>-<n>") and labels
 	// the node in /healthz. Empty for a standalone daemon.
 	NodeID string
+	// JobTTL is how long a finished job document stays queryable before
+	// the reaper drops it from the registry (0 = 15 min default,
+	// negative = keep forever). Without a TTL a long-running daemon's
+	// job map — one entry per run, including warm hits and coalesced
+	// followers — grows without bound.
+	JobTTL time.Duration
 }
+
+// defaultJobTTL bounds the job registry when Options.JobTTL is zero.
+const defaultJobTTL = 15 * time.Minute
 
 // Server is the nymbled request handler plus its long-lived state: the
 // compile cache, the artifact store, the run coalescer, the simulation
@@ -72,21 +81,72 @@ type Server struct {
 	jobSeq  counter
 	metrics metrics
 
+	stop chan struct{} // closed on Shutdown; ends the reap loop
+	wg   sync.WaitGroup
+
 	shutMu   sync.Mutex
 	shutdown bool
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool and job reaper.
 func New(opts Options) *Server {
 	if opts.SimCfg.MaxCycles == 0 {
 		opts.SimCfg = sim.DefaultConfig()
 	}
-	return &Server{
+	s := &Server{
 		cache: core.NewCache(),
 		pool:  parallel.NewPool(opts.Workers),
 		coal:  &store.Coalescer{Window: opts.CoalesceWindow, MaxWaiters: opts.CoalesceMax},
 		cfg:   opts,
+		stop:  make(chan struct{}),
 	}
+	ttl := opts.JobTTL
+	if ttl == 0 {
+		ttl = defaultJobTTL
+	}
+	if ttl > 0 {
+		s.wg.Add(1)
+		go s.reapLoop(ttl)
+	}
+	return s
+}
+
+// reapLoop drops finished jobs older than ttl, bounding the job
+// registry (and the trace artifacts its entries reference) on a
+// long-running daemon. Queued and running jobs are never reaped.
+func (s *Server) reapLoop(ttl time.Duration) {
+	defer s.wg.Done()
+	period := ttl / 4
+	if period > time.Minute {
+		period = time.Minute
+	}
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.reapJobs(time.Now(), ttl)
+		}
+	}
+}
+
+func (s *Server) reapJobs(now time.Time, ttl time.Duration) {
+	s.jobs.Range(func(k, v any) bool {
+		j := v.(*job)
+		j.mu.Lock()
+		expired := !j.doneAt.IsZero() && now.Sub(j.doneAt) >= ttl
+		j.mu.Unlock()
+		if expired {
+			s.jobs.Delete(k)
+			s.metrics.jobsReaped.Add(1)
+		}
+		return true
+	})
 }
 
 // Handler returns the daemon's route table.
@@ -116,6 +176,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if already {
 		return nil
 	}
+	close(s.stop)
+	s.wg.Wait()
 	s.jobs.Range(func(_, v any) bool {
 		v.(*job).cancel(errors.New("server shutting down"))
 		return true

@@ -384,3 +384,177 @@ func TestHealthzReportsStoreStats(t *testing.T) {
 		t.Error("coalescing stats missing")
 	}
 }
+
+// TestCanceledRunNotReplayedFromCoalescer: a canceled run must be
+// forgotten by the coalescer immediately, so the next identical request
+// re-executes instead of being served a lingering state=canceled result
+// for the rest of the window.
+func TestCanceledRunNotReplayedFromCoalescer(t *testing.T) {
+	s := New(Options{Workers: 1, CoalesceWindow: time.Hour})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+
+	long := piRunRequest(500_000_000)
+	resp := postJSON(t, ts.URL+"/v1/run", long)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var leader api.Job
+	if err := json.Unmarshal(readAll(t, resp), &leader); err != nil {
+		t.Fatal(err)
+	}
+	pollJob(t, ts.URL, leader.ID, api.JobRunning, time.Minute)
+
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+leader.ID, nil)
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, delResp)
+
+	// The canceled flight must be forgotten as soon as the simulation
+	// exits: eventually a fresh identical POST becomes a new leader
+	// whose job is queued or running, not a canceled replay.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		resp := postJSON(t, ts.URL+"/v1/run", long)
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("repeat POST = %d: %s", resp.StatusCode, body)
+		}
+		var doc api.Job
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.State == api.JobQueued || doc.State == api.JobRunning {
+			// Fresh leader: clean it up and stop.
+			delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+doc.ID, nil)
+			if delResp, err := http.DefaultClient.Do(delReq); err == nil {
+				readAll(t, delResp)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("repeat request still replays the canceled flight: state %s", doc.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestLeaderCancelKeepsCoalescedFollowerRunning: canceling the leader's
+// job while a coalesced follower is still attached must not kill the
+// shared simulation — the follower detaches the leader, the sim runs on.
+func TestLeaderCancelKeepsCoalescedFollowerRunning(t *testing.T) {
+	s := New(Options{Workers: 1, CoalesceWindow: time.Second})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+
+	long := piRunRequest(500_000_000)
+	resp := postJSON(t, ts.URL+"/v1/run", long)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var leader api.Job
+	if err := json.Unmarshal(readAll(t, resp), &leader); err != nil {
+		t.Fatal(err)
+	}
+	pollJob(t, ts.URL, leader.ID, api.JobRunning, time.Minute)
+
+	// Attach a synchronous follower to the leader's flight.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		follower := long
+		follower.Wait = true
+		resp := postJSON(t, ts.URL+"/v1/run", follower)
+		readAll(t, resp)
+	}()
+	deadline := time.Now().Add(time.Minute)
+	for metricValue(t, ts.URL, "nymbled_coalesced_runs_total") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never coalesced")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Cancel the leader. The follower still wants the result, so the
+	// simulation must keep running.
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+leader.ID, nil)
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canceled api.Job
+	if err := json.Unmarshal(readAll(t, delResp), &canceled); err != nil {
+		t.Fatal(err)
+	}
+	if canceled.State != api.JobCanceled {
+		t.Fatalf("leader after DELETE: state %s", canceled.State)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if got := metricValue(t, ts.URL, "nymbled_inflight_sims"); got != 1 {
+		t.Errorf("leader cancel killed the shared simulation: inflight %d, want 1", got)
+	}
+	if got := metricValue(t, ts.URL, "nymbled_sims_finished_total"); got != 0 {
+		t.Errorf("shared simulation exited after leader cancel (finished %d)", got)
+	}
+
+	// Teardown: cancel everything so the long pi run exits quickly.
+	s.jobs.Range(func(_, v any) bool {
+		j := v.(*job)
+		j.cancel(context.Canceled)
+		j.markCanceled("test teardown")
+		return true
+	})
+	wg.Wait()
+}
+
+// TestJobReaperDropsFinishedJobs: finished job documents expire after
+// JobTTL, bounding the registry on a long-running daemon.
+func TestJobReaperDropsFinishedJobs(t *testing.T) {
+	s := New(Options{Workers: 2, JobTTL: 50 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+
+	_, doc := waitRun(t, ts.URL, gemmRunRequest(8))
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + doc.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, resp)
+		if resp.StatusCode == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("finished job never reaped")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := metricValue(t, ts.URL, "nymbled_jobs_reaped_total"); got < 1 {
+		t.Errorf("nymbled_jobs_reaped_total = %d, want >= 1", got)
+	}
+}

@@ -47,7 +47,8 @@ type Flight struct {
 	val  any
 	err  error
 
-	waiters int // guarded by c.mu
+	waiters  int  // guarded by c.mu
+	finished bool // guarded by c.mu
 }
 
 // CoalesceStats is a snapshot of the coalescer counters.
@@ -68,6 +69,14 @@ func (c *Coalescer) Join(key string) (f *Flight, leader bool, err error) {
 		c.flights = map[string]*Flight{}
 	}
 	if f, ok := c.flights[key]; ok {
+		// A finished flight lingering in its Window is a free read: the
+		// result is already published, so joining costs nothing and the
+		// size window no longer applies (only executing flights queue
+		// waiters).
+		if f.finished {
+			c.coalesced++
+			return f, false, nil
+		}
 		if c.MaxWaiters > 0 && f.waiters >= c.MaxWaiters {
 			c.rejected++
 			return nil, false, ErrSaturated
@@ -86,12 +95,29 @@ func (c *Coalescer) Join(key string) (f *Flight, leader bool, err error) {
 // next joiner retries).
 func (f *Flight) Finish(v any, err error) {
 	f.val, f.err = v, err
+	f.c.mu.Lock()
+	f.finished = true
+	f.c.mu.Unlock()
 	close(f.done)
 	if err != nil || f.c.Window <= 0 {
 		f.c.forget(f.key, f)
 	} else {
 		time.AfterFunc(f.c.Window, func() { f.c.forget(f.key, f) })
 	}
+}
+
+// Detach removes one attached request from the flight and returns how
+// many remain. A request that abandons its flight (client disconnect,
+// cancel) detaches so the remaining count reflects who still wants the
+// result — the leader uses it to decide whether canceling its work
+// would strand anyone.
+func (f *Flight) Detach() int {
+	f.c.mu.Lock()
+	defer f.c.mu.Unlock()
+	if f.waiters > 0 {
+		f.waiters--
+	}
+	return f.waiters
 }
 
 // Done is closed once the leader has called Finish.

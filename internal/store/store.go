@@ -186,6 +186,22 @@ func (s *Store) Get(digest string) (Entry, bool) {
 	return Entry{Digest: digest, dir: dir}, true
 }
 
+// Handle returns a read handle on digest without touching the hit/miss
+// counters or the LRU recency — for a writer re-opening an entry it
+// just Put (serving it from disk instead of pinning bytes in memory).
+func (s *Store) Handle(digest string) (Entry, bool) {
+	if len(digest) < 3 {
+		return Entry{}, false
+	}
+	s.mu.Lock()
+	_, ok := s.entries[digest]
+	s.mu.Unlock()
+	if !ok {
+		return Entry{}, false
+	}
+	return Entry{Digest: digest, dir: s.dirFor(digest)}, true
+}
+
 // Put stores the named files under the digest atomically. Re-putting an
 // existing digest only refreshes its recency. Eviction keeps the store
 // within budget; the entry being put is never its own victim.

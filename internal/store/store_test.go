@@ -312,3 +312,61 @@ func TestCoalescerContextCancel(t *testing.T) {
 	}
 	f.Finish(nil, nil)
 }
+
+// TestCoalescerFinishedFlightIgnoresMaxWaiters: once a flight has
+// finished, serving its lingering result is free, so the size window no
+// longer applies — a hot digest must not 429 on joins that cost nothing.
+func TestCoalescerFinishedFlightIgnoresMaxWaiters(t *testing.T) {
+	c := Coalescer{Window: time.Hour, MaxWaiters: 2}
+	f, leader, err := c.Join("k")
+	if !leader || err != nil {
+		t.Fatalf("leader join: %v %v", leader, err)
+	}
+	f.Finish(42, nil)
+	for i := 0; i < 10; i++ {
+		g, l, err := c.Join("k")
+		if l || err != nil {
+			t.Fatalf("post-finish join %d: leader=%v err=%v", i, l, err)
+		}
+		if v, err := g.Wait(context.Background()); v != 42 || err != nil {
+			t.Fatalf("post-finish join %d: result %v %v", i, v, err)
+		}
+	}
+	if st := c.Stats(); st.Rejected != 0 {
+		t.Errorf("finished flight rejected %d joins", st.Rejected)
+	}
+}
+
+// TestFlightDetach: detaching decrements the waiter count so the leader
+// can tell whether anyone still wants the result, and frees a size-
+// window slot for the next joiner.
+func TestFlightDetach(t *testing.T) {
+	c := Coalescer{MaxWaiters: 2}
+	f, leader, err := c.Join("k")
+	if !leader || err != nil {
+		t.Fatalf("leader join: %v %v", leader, err)
+	}
+	if _, l, err := c.Join("k"); l || err != nil {
+		t.Fatalf("follower join: %v %v", l, err)
+	}
+	if _, _, err := c.Join("k"); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("saturated join err = %v", err)
+	}
+	if left := f.Detach(); left != 1 {
+		t.Fatalf("Detach = %d, want 1", left)
+	}
+	// The freed slot is joinable again.
+	if _, l, err := c.Join("k"); l || err != nil {
+		t.Fatalf("join after detach: %v %v", l, err)
+	}
+	if left := f.Detach(); left != 1 {
+		t.Fatalf("second Detach = %d, want 1", left)
+	}
+	if left := f.Detach(); left != 0 {
+		t.Fatalf("third Detach = %d, want 0", left)
+	}
+	if left := f.Detach(); left != 0 {
+		t.Fatalf("Detach below zero = %d", left)
+	}
+	f.Finish(nil, nil)
+}
