@@ -97,9 +97,9 @@ func main() {
 func analyzeOne(name, src string, defines map[string]string, params map[string]int64) api.PerfUnit {
 	prog, err := core.Build(context.Background(), src, core.BuildOptions{Defines: defines})
 	if err != nil {
-		return api.NewPerfUnit(name, nil, nil, err)
+		return api.NewPerfUnit(name, nil, nil, nil, err)
 	}
 	rep := perfbound.Analyze(prog.Kernel, prog.Sched, params, perfbound.DefaultConfig())
 	ds := staticcheck.CheckPerf(name, prog.Kernel, prog.Sched, params)
-	return api.NewPerfUnit(name, rep, ds, nil)
+	return api.NewPerfUnit(name, rep, ds, api.NewDependSummary(prog.Fn, params), nil)
 }

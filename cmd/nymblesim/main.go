@@ -140,7 +140,7 @@ func main() {
 		}
 		fmt.Printf("trace written to %s (+ .pcf/.row)\n", prv)
 		fmt.Println("\nadvisor findings:")
-		fmt.Print(advisor.Format(advisor.Advise(out, advisor.Thresholds{})))
+		fmt.Print(advisor.Format(advisor.AdviseProgram(p, out, advisor.Thresholds{})))
 	}
 }
 

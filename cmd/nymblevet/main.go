@@ -8,13 +8,16 @@
 //
 // Usage:
 //
-//	nymblevet [-D NAME=VALUE]... [-json] file.mc...
-//	nymblevet -workloads [-json]
+//	nymblevet [-D NAME=VALUE]... [-rule ID] [-json] file.mc...
+//	nymblevet -workloads [-rule ID] [-json]
 //
 // -workloads vets the built-in seed kernels (GEMM versions 1-5 and pi)
-// with their canonical defines. The exit status is 1 if any unit reports
-// an error-severity diagnostic, 0 otherwise (warnings and infos do not
-// fail the run).
+// with their canonical defines. -rule restricts the report to one rule
+// id (e.g. loop-carried-dep); clean/exit status then reflect only that
+// rule. The exit status is 1 if any unit reports an error-severity
+// diagnostic, 0 otherwise (warnings and infos do not fail the run).
+// The -json report carries a "depend" section per unit: the loop-by-loop
+// dependence summary and transformation-legality verdicts.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"paravis/internal/api"
 	"paravis/internal/cli"
 	"paravis/internal/core"
+	"paravis/internal/minic"
 	"paravis/internal/staticcheck"
 	"paravis/internal/workloads"
 )
@@ -34,17 +38,18 @@ func main() {
 	flag.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	wl := flag.Bool("workloads", false, "vet the built-in seed workloads instead of files")
+	rule := flag.String("rule", "", "only report diagnostics of this rule id (e.g. loop-carried-dep)")
 	flag.Parse()
 	if *wl == (flag.NArg() > 0) {
-		fmt.Fprintln(os.Stderr, "usage: nymblevet [-D NAME=VALUE] [-json] file.mc...")
-		fmt.Fprintln(os.Stderr, "       nymblevet -workloads [-json]")
+		fmt.Fprintln(os.Stderr, "usage: nymblevet [-D NAME=VALUE] [-rule ID] [-json] file.mc...")
+		fmt.Fprintln(os.Stderr, "       nymblevet -workloads [-rule ID] [-json]")
 		os.Exit(2)
 	}
 
 	var units []api.VetUnit
 	if *wl {
 		for _, w := range workloads.Units() {
-			units = append(units, vetOne(w.Name, w.Source, w.Defines))
+			units = append(units, vetOne(w.Name, w.Source, w.Defines, *rule))
 		}
 	} else {
 		for _, path := range flag.Args() {
@@ -53,7 +58,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "nymblevet:", err)
 				os.Exit(2)
 			}
-			units = append(units, vetOne(path, string(src), defines))
+			units = append(units, vetOne(path, string(src), defines, *rule))
 		}
 	}
 
@@ -89,6 +94,17 @@ func main() {
 	}
 }
 
-func vetOne(name, src string, defines map[string]string) api.VetUnit {
-	return api.NewVetUnit(name, core.Vet(name, src, core.BuildOptions{Defines: defines}))
+func vetOne(name, src string, defines map[string]string, rule string) api.VetUnit {
+	ds := core.Vet(name, src, core.BuildOptions{Defines: defines})
+	if rule != "" {
+		kept := []staticcheck.Diagnostic{}
+		for _, d := range ds {
+			if d.Rule == rule {
+				kept = append(kept, d)
+			}
+		}
+		ds = kept
+	}
+	dep := api.ParseDependSummary(src, minic.Options{Defines: defines})
+	return api.NewVetUnit(name, ds, dep)
 }

@@ -3,15 +3,18 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|overhead|fig6|fig7|speedup|fig8|fig9|pi|threads|bounds|serving]
+//	paperbench [-exp all|overhead|fig6|fig7|speedup|fig8|fig9|pi|threads|bounds|serving|depend]
 //	           [-dim N] [-pisteps a,b,c] [-quiet] [-j N] [-interp]
 //	           [-benchjson path]
 //
 // -exp bounds runs the static-bounds cross-validation (E10); -exp
 // serving measures the nymbled serving path (E11: cold-miss vs
 // warm-hit vs coalesced-burst latency through the persistent artifact
-// store). Neither is part of -exp all so the default output stays
-// byte-identical across releases. -interp forces the interpreted
+// store); -exp depend runs the dependence-engine cross-validation
+// (E12: static RecMII and dependence verdicts against the simulator's
+// measured per-loop initiation intervals). None of the three is part
+// of -exp all so the default output stays byte-identical across
+// releases. -interp forces the interpreted
 // per-op engine instead of the specialized stage closures (the output
 // must be byte-identical either way — the interpreter is the
 // differential-testing oracle). -benchjson records each experiment's
@@ -41,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, overhead, fig6, fig7, speedup, fig8, fig9, pi, threads, bounds, serving")
+	exp := flag.String("exp", "all", "experiment to run: all, overhead, fig6, fig7, speedup, fig8, fig9, pi, threads, bounds, serving, depend")
 	dim := flag.Int("dim", 64, "GEMM matrix dimension (multiple of 16)")
 	piSteps := flag.String("pisteps", "102400,409600,1024000", "comma-separated pi iteration counts")
 	quiet := flag.Bool("quiet", false, "suppress ASCII timeline/sparkline views")
@@ -168,6 +171,17 @@ func main() {
 	if *exp == "bounds" {
 		run("bounds", true, func(o experiments.Options) (string, error) {
 			r, err := experiments.RunBounds(ctx, o)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		})
+	}
+	// The dependence cross-validation (E12) is opt-in for the same
+	// reason as bounds: the default trace stays byte-identical.
+	if *exp == "depend" {
+		run("depend", true, func(o experiments.Options) (string, error) {
+			r, err := experiments.RunDepend(ctx, o)
 			if err != nil {
 				return "", err
 			}

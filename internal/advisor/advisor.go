@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"paravis/internal/core"
+	"paravis/internal/depend"
 	"paravis/internal/paraver/analysis"
 	"paravis/internal/profile"
 	"paravis/internal/staticcheck"
@@ -294,6 +295,101 @@ func Advise(out *core.RunOutput, th Thresholds) []Finding {
 		return findings[i].Score > findings[j].Score
 	})
 	return findings
+}
+
+// AdviseProgram is Advise plus legality gating: remedies that propose a
+// program transformation (vectorize, block in BRAM, double-buffer) are
+// checked against the static dependence analysis of the kernel source.
+// A remedy every candidate loop provably forbids is downgraded to an
+// explanatory Info finding naming the blocking dependence — it never
+// silently disappears, because the *diagnosis* (the measured bottleneck)
+// remains true even when the stock remedy is illegal. A remedy whose
+// legality could not be decided keeps its severity but is annotated.
+func AdviseProgram(p *core.Program, out *core.RunOutput, th Thresholds) []Finding {
+	findings := Advise(out, th)
+	if p == nil || p.Fn == nil {
+		return findings
+	}
+	rep := depend.Analyze(p.Fn, nil)
+	for i := range findings {
+		gateFinding(&findings[i], rep)
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		if findings[i].Severity != findings[j].Severity {
+			return findings[i].Severity > findings[j].Severity
+		}
+		return findings[i].Score > findings[j].Score
+	})
+	return findings
+}
+
+// gateFinding applies the dependence engine's verdict for the
+// transformation a finding's action proposes. The remedy is applicable
+// if SOME candidate loop admits it, so verdicts combine with the most
+// permissive winning: Proven if any loop is proven, else Unknown if any
+// is undecided, else Illegal.
+func gateFinding(f *Finding, rep *depend.Report) {
+	type pick func(l *depend.LoopDeps) (depend.Tri, string, bool)
+	var choose pick
+	switch f.Kind {
+	case KindNarrowAccesses:
+		// Vectorizing the loads widens accesses in loops that move scalar
+		// DRAM traffic; it needs the same independence as unrolling.
+		choose = func(l *depend.LoopDeps) (depend.Tri, string, bool) {
+			return l.Legal.Unroll, l.Legal.UnrollWhy, hasDRAMAccess(l, true)
+		}
+	case KindMemoryBound:
+		// Blocking stages the working set: a strip-mine-and-reorder, legal
+		// under the tiling verdict.
+		choose = func(l *depend.LoopDeps) (depend.Tri, string, bool) {
+			return l.Legal.Tile, l.Legal.TileWhy, hasDRAMAccess(l, false)
+		}
+	case KindDistinctPhases:
+		choose = func(l *depend.LoopDeps) (depend.Tri, string, bool) {
+			return l.Legal.DoubleBuffer, l.Legal.DoubleBufferWhy, hasDRAMAccess(l, false)
+		}
+	default:
+		return
+	}
+	verdict := depend.Illegal
+	why := ""
+	candidates := 0
+	for _, l := range rep.Loops {
+		v, w, ok := choose(l)
+		if !ok {
+			continue
+		}
+		candidates++
+		switch {
+		case v == depend.Proven:
+			verdict = depend.Proven
+		case v == depend.Unknown && verdict != depend.Proven:
+			verdict = depend.Unknown
+			why = w
+		case v == depend.Illegal && verdict == depend.Illegal && why == "":
+			why = w
+		}
+	}
+	if candidates == 0 || verdict == depend.Proven {
+		return // nothing to gate, or remedy proven legal somewhere
+	}
+	if verdict == depend.Illegal {
+		f.Severity = Info
+		f.Action = fmt.Sprintf("suggested remedy is provably illegal here (%s); the bottleneck is real but needs an algorithm-level restructuring instead. Stock remedy withheld: %s", why, f.Action)
+		return
+	}
+	f.Action = fmt.Sprintf("%s (legality not proven: %s)", f.Action, why)
+}
+
+// hasDRAMAccess reports whether the loop touches a DRAM-backed array
+// (scalarOnly: with at least one scalar-width access).
+func hasDRAMAccess(l *depend.LoopDeps, scalarOnly bool) bool {
+	for _, a := range l.Accesses {
+		if a.DRAM && (!scalarOnly || a.Width <= 1) {
+			return true
+		}
+	}
+	return false
 }
 
 // severityByScale grades how far a signal exceeds its threshold.

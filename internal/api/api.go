@@ -20,6 +20,8 @@ import (
 
 	"paravis/internal/area"
 	"paravis/internal/core"
+	"paravis/internal/depend"
+	"paravis/internal/minic"
 	"paravis/internal/paraver/analysis"
 	"paravis/internal/perfbound"
 	"paravis/internal/profile"
@@ -28,7 +30,8 @@ import (
 )
 
 // Version is the schema version stamped into every top-level report.
-const Version = 1
+// v2 added the per-loop "depend" section to VetUnit and PerfUnit.
+const Version = 2
 
 // Encode writes v as two-space-indented JSON with a trailing newline —
 // the one serialization shared by the CLIs and the daemon.
@@ -151,15 +154,86 @@ type VetUnit struct {
 	Name        string                   `json:"name"`
 	Clean       bool                     `json:"clean"`
 	Diagnostics []staticcheck.Diagnostic `json:"diagnostics"`
+	// Depend summarizes the static dependence analysis per loop (schema
+	// v2; absent when the unit does not parse or has no target region).
+	Depend []DependLoop `json:"depend,omitempty"`
 }
 
 // NewVetUnit wraps one unit's diagnostics (nil becomes an empty list so
-// the JSON is stable).
-func NewVetUnit(name string, ds []staticcheck.Diagnostic) VetUnit {
+// the JSON is stable) together with its dependence summary.
+func NewVetUnit(name string, ds []staticcheck.Diagnostic, dep []DependLoop) VetUnit {
 	if ds == nil {
 		ds = []staticcheck.Diagnostic{}
 	}
-	return VetUnit{Name: name, Clean: staticcheck.Clean(ds), Diagnostics: ds}
+	return VetUnit{Name: name, Clean: staticcheck.Clean(ds), Diagnostics: ds, Depend: dep}
+}
+
+// DependLoop is the wire form of one loop's dependence summary: the
+// proven dependences in deterministic order and the three transformation
+// verdicts with the blocking dependence named when not proven. Loops
+// appear in source order.
+type DependLoop struct {
+	Loop   string `json:"loop"`
+	Depth  int    `json:"depth"`
+	Affine bool   `json:"affine"`
+	// Deps lists the dependences in analysis order, rendered like the
+	// vet diagnostics ("loop-carried flow dependence on A (distance 1)");
+	// unproven ones carry a " (may)" suffix.
+	Deps            []string `json:"deps,omitempty"`
+	Unroll          string   `json:"unroll"`
+	UnrollWhy       string   `json:"unroll_why,omitempty"`
+	Tile            string   `json:"tile"`
+	TileWhy         string   `json:"tile_why,omitempty"`
+	DoubleBuffer    string   `json:"double_buffer"`
+	DoubleBufferWhy string   `json:"double_buffer_why,omitempty"`
+}
+
+// ParseDependSummary parses a source and summarizes the dependence
+// analysis of its target function. It returns nil when the source does
+// not parse or lacks a target region — those states already surface as
+// vet diagnostics, so the section simply stays absent.
+func ParseDependSummary(src string, opts minic.Options) []DependLoop {
+	prog, err := minic.Parse(src, opts)
+	if err != nil {
+		return nil
+	}
+	fn, _, err := minic.FindTarget(prog)
+	if err != nil {
+		return nil
+	}
+	return NewDependSummary(fn, nil)
+}
+
+// NewDependSummary converts the dependence report of fn, with trip
+// counts folded under env, to its wire form.
+func NewDependSummary(fn *minic.FuncDecl, env map[string]int64) []DependLoop {
+	if fn == nil {
+		return nil
+	}
+	rep := depend.Analyze(fn, env)
+	var out []DependLoop
+	for _, l := range rep.Loops {
+		dl := DependLoop{
+			Loop:            l.Name,
+			Depth:           l.Depth,
+			Affine:          l.Affine,
+			Unroll:          l.Legal.Unroll.String(),
+			UnrollWhy:       l.Legal.UnrollWhy,
+			Tile:            l.Legal.Tile.String(),
+			TileWhy:         l.Legal.TileWhy,
+			DoubleBuffer:    l.Legal.DoubleBuffer.String(),
+			DoubleBufferWhy: l.Legal.DoubleBufferWhy,
+		}
+		for _, d := range l.Deps {
+			s := d.Describe()
+			if !d.Proven {
+				s += " (may)"
+			}
+			dl.Deps = append(dl.Deps, s)
+		}
+		out = append(out, dl)
+	}
+	return out
 }
 
 // VetReport is nymblevet's -json output and the daemon's /v1/vet
@@ -184,16 +258,19 @@ type PerfUnit struct {
 	Name        string                   `json:"name"`
 	Report      *perfbound.Report        `json:"report,omitempty"`
 	Diagnostics []staticcheck.Diagnostic `json:"diagnostics"`
-	Error       string                   `json:"error,omitempty"`
+	// Depend summarizes the static dependence analysis per loop (schema
+	// v2) — the source-level view behind the report's rec_mii floors.
+	Depend []DependLoop `json:"depend,omitempty"`
+	Error  string       `json:"error,omitempty"`
 }
 
-// NewPerfUnit wraps one unit's bound report and diagnostics; err is the
-// compile error when the unit did not build.
-func NewPerfUnit(name string, rep *perfbound.Report, ds []staticcheck.Diagnostic, err error) PerfUnit {
+// NewPerfUnit wraps one unit's bound report, diagnostics and dependence
+// summary; err is the compile error when the unit did not build.
+func NewPerfUnit(name string, rep *perfbound.Report, ds []staticcheck.Diagnostic, dep []DependLoop, err error) PerfUnit {
 	if ds == nil {
 		ds = []staticcheck.Diagnostic{}
 	}
-	u := PerfUnit{Name: name, Report: rep, Diagnostics: ds}
+	u := PerfUnit{Name: name, Report: rep, Diagnostics: ds, Depend: dep}
 	if err != nil {
 		u.Error = err.Error()
 	}

@@ -1,0 +1,52 @@
+package api
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"paravis/internal/minic"
+	"paravis/internal/workloads"
+)
+
+// TestDependSummaryStableAndVersioned: the schema-v2 depend section must
+// be present for the seed kernels, byte-stable across encodings, and
+// carry the three-way legality verdicts.
+func TestDependSummaryStableAndVersioned(t *testing.T) {
+	if Version != 2 {
+		t.Fatalf("schema version = %d, want 2 (depend section added in v2)", Version)
+	}
+	w := workloads.Units()[0]
+	encode := func() string {
+		dep := ParseDependSummary(w.Source, minic.Options{Defines: w.Defines})
+		if len(dep) == 0 {
+			t.Fatalf("no depend summary for %s", w.Name)
+		}
+		unit := NewVetUnit(w.Name, nil, dep)
+		var b bytes.Buffer
+		if err := Encode(&b, VetReport{SchemaVersion: Version, Units: []VetUnit{unit}}); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := encode()
+	if second := encode(); second != first {
+		t.Fatal("depend summary not byte-stable across encodings")
+	}
+	for _, field := range []string{`"depend"`, `"unroll"`, `"tile"`, `"double_buffer"`, `"loop"`} {
+		if !strings.Contains(first, field) {
+			t.Errorf("report lacks %s:\n%s", field, first)
+		}
+	}
+}
+
+// TestDependSummaryAbsentOnBadSource: units that do not parse or have no
+// target region omit the section instead of failing.
+func TestDependSummaryAbsentOnBadSource(t *testing.T) {
+	if dep := ParseDependSummary("void f( {", minic.Options{}); dep != nil {
+		t.Errorf("parse error should yield nil, got %+v", dep)
+	}
+	if dep := ParseDependSummary("void f(int n) { }", minic.Options{}); dep != nil {
+		t.Errorf("no target region should yield nil, got %+v", dep)
+	}
+}

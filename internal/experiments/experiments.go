@@ -79,9 +79,12 @@ func buildPi(ctx context.Context) (*core.Program, error) {
 
 // GEMMRun is one simulated GEMM version with its trace-derived metrics.
 type GEMMRun struct {
-	Version         workloads.GEMMVersion
-	Dim             int
-	Cycles          int64
+	Version workloads.GEMMVersion
+	Dim     int
+	Cycles  int64
+	// Program is the compiled kernel the run executed; consumers use it
+	// for source-level analyses (dependence-gated advice).
+	Program         *core.Program
 	Out             *core.RunOutput
 	BWBytesPerCycle float64
 	BWGBs           float64
@@ -118,7 +121,7 @@ func RunGEMM(ctx context.Context, v workloads.GEMMVersion, dim, threads int, cfg
 		}
 	}
 	r := &GEMMRun{
-		Version: v, Dim: dim, Cycles: out.Result.Cycles, Out: out, Correct: correct,
+		Version: v, Dim: dim, Cycles: out.Result.Cycles, Program: p, Out: out, Correct: correct,
 	}
 	if out.Trace != nil {
 		r.BWBytesPerCycle = analysis.AvgBandwidthBytesPerCycle(out.Trace)

@@ -14,9 +14,11 @@
 package perfbound
 
 import (
+	"fmt"
 	"sort"
 
 	"paravis/internal/area"
+	"paravis/internal/depend"
 	"paravis/internal/ir"
 	"paravis/internal/mem"
 	"paravis/internal/profile"
@@ -79,9 +81,18 @@ type LoopReport struct {
 	// token per thread, so Depth+1 cycles between iterations.
 	IIThread int64 `json:"ii_thread"`
 	// IIBest is the best II a fully pipelined datapath could reach,
-	// floored by single-port conflicts and external-bus beats.
+	// floored by single-port conflicts, external-bus beats and the
+	// dependence-recurrence minimum (RecMII).
 	IIBest    int64  `json:"ii_best"`
 	IILimiter string `json:"ii_limiter"`
+	// RecMII is the recurrence-constrained minimum II: for each proven
+	// loop-carried dependence cycle, ceil(latency / distance), maximized
+	// over cycles. 0 when the dependence engine proved no recurrence.
+	// Sound but not exhaustive: unproven ("may") dependences contribute
+	// nothing, so RecMII is a lower bound on any legal pipelined II.
+	RecMII int64 `json:"rec_mii,omitempty"`
+	// RecWhy names the binding recurrence when RecMII > 0.
+	RecWhy string `json:"rec_why,omitempty"`
 	// Trip-count interval per entry; TripsKnown=false when the bound or
 	// step could not be constant-folded.
 	TripsLo    int64 `json:"trips_lo"`
@@ -330,6 +341,16 @@ func Analyze(k *ir.Kernel, s *schedule.Schedule, env map[string]int64, cfg Confi
 		stats[g] = statsOf(s.ByGraph[g], cfg.DRAM.BeatBytes)
 	}
 
+	// Proven dependence recurrences (per graph), with the schedule's own
+	// latency table so RecMII and the pipeline agree on operation cost.
+	latAll := make(map[*ir.Node]int)
+	for _, gs := range s.ByGraph {
+		for n, l := range gs.Lat {
+			latAll[n] = l
+		}
+	}
+	deps := depend.AnalyzeKernel(k, env, func(n *ir.Node) int { return latAll[n] })
+
 	// Per-thread evaluation with exact thread ids: compute the lower
 	// bound and total traffic.
 	var lower int64
@@ -388,7 +409,7 @@ func Analyze(k *ir.Kernel, s *schedule.Schedule, env map[string]int64, cfg Confi
 	var walkLoops func(ge *graphEval)
 	walkLoops = func(ge *graphEval) {
 		if ge.g.Cond != nil {
-			loops = append(loops, loopReport(ge, stats[ge.g], &cfg, nt))
+			loops = append(loops, loopReport(ge, stats[ge.g], deps.ByGraph[ge.g], &cfg, nt))
 		}
 		for _, kid := range ge.kids {
 			walkLoops(kid)
@@ -450,10 +471,48 @@ func Analyze(k *ir.Kernel, s *schedule.Schedule, env map[string]int64, cfg Confi
 	return rep
 }
 
+// recMII derives the recurrence-constrained minimum II of one loop graph
+// from the dependence engine's proven recurrences: the longest scalar
+// carry cycle (distance 1, so the chain latency itself), and for each
+// proven store-to-load memory recurrence the access round trip divided
+// by the dependence distance. The round trip uses the same machine model
+// as the rest of the bounds: BRAM reads back after BRAMLatency+1 cycles;
+// a DRAM load observes the store only after the DRAM latency plus the
+// load's own bus beats.
+// Cycles that floor to 1 (e.g. the loop counter's own increment) are
+// dropped: every pipelined II is >= 1 already, so they constrain
+// nothing.
+func recMII(gd *depend.GraphDeps, cfg *Config) (int64, string) {
+	rec, why := int64(0), ""
+	if gd == nil {
+		return rec, why
+	}
+	for _, sr := range gd.Scalar {
+		if sr.Lat > 1 && int64(sr.Lat) > rec {
+			rec = int64(sr.Lat)
+			why = fmt.Sprintf("carried scalar recurrence (%d-cycle chain, distance 1)", sr.Lat)
+		}
+	}
+	for _, mr := range gd.Mem {
+		var lat int64
+		if mr.Local {
+			lat = int64(cfg.BRAMLatency) + 1
+		} else {
+			lat = int64(cfg.DRAM.LatencyCycles) + beatsOf(mr.Load, cfg.DRAM.BeatBytes)
+		}
+		m := (lat + mr.Distance - 1) / mr.Distance
+		if m > 1 && m > rec {
+			rec = m
+			why = fmt.Sprintf("memory recurrence on %s (%d-cycle store-to-load round trip, distance %d)", mr.Array, lat, mr.Distance)
+		}
+	}
+	return rec, why
+}
+
 // loopReport builds the per-loop view: achieved and best-case II, trip
 // counts, per-iteration traffic, the limiting resource and the
 // memory-boundedness of this nest in isolation.
-func loopReport(ge *graphEval, st gstats, cfg *Config, nt int64) LoopReport {
+func loopReport(ge *graphEval, st gstats, gd *depend.GraphDeps, cfg *Config, nt int64) LoopReport {
 	gs := ge.gs
 	r := LoopReport{
 		Name:            ge.g.Name,
@@ -498,6 +557,11 @@ func loopReport(ge *graphEval, st gstats, cfg *Config, nt int64) LoopReport {
 	if beats := satMul(st.extBeatsMax, nt); beats > best {
 		best = beats
 		limiter = "dram-bandwidth"
+	}
+	r.RecMII, r.RecWhy = recMII(gd, cfg)
+	if r.RecMII > best {
+		best = r.RecMII
+		limiter = "recurrence"
 	}
 	r.IIBest = best
 	r.IILimiter = limiter

@@ -51,6 +51,9 @@ func (r *Report) Format() string {
 		}
 		fmt.Fprintf(&b, "  loop %s: depth %d, II %d (best pipelined II %d, limited by %s), %s\n",
 			l.Name, l.Depth, l.IIThread, l.IIBest, l.IILimiter, trips)
+		if l.RecMII > 0 {
+			fmt.Fprintf(&b, "    rec-II >= %d: %s\n", l.RecMII, l.RecWhy)
+		}
 		if l.ExtReqsPerIter > 0 || l.LocalPerIter > 0 {
 			bound := "compute-bound"
 			if l.MemBound {

@@ -26,6 +26,7 @@ import (
 
 	"paravis/internal/api"
 	"paravis/internal/core"
+	"paravis/internal/minic"
 	"paravis/internal/parallel"
 	"paravis/internal/perfbound"
 	"paravis/internal/sim"
@@ -243,10 +244,12 @@ func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "<request>"
 	}
-	ds := core.Vet(name, req.Source, buildOptions(req.Defines, 0))
+	opts := buildOptions(req.Defines, 0)
+	ds := core.Vet(name, req.Source, opts)
+	dep := api.ParseDependSummary(req.Source, minic.Options{Defines: opts.Defines})
 	writeJSON(w, http.StatusOK, api.VetReport{
 		SchemaVersion: api.Version,
-		Units:         []api.VetUnit{api.NewVetUnit(name, ds)},
+		Units:         []api.VetUnit{api.NewVetUnit(name, ds, dep)},
 	})
 }
 
@@ -266,11 +269,11 @@ func (s *Server) handlePerf(w http.ResponseWriter, r *http.Request) {
 			writeBuildError(w, err)
 			return
 		}
-		unit = api.NewPerfUnit(name, nil, nil, err)
+		unit = api.NewPerfUnit(name, nil, nil, nil, err)
 	} else {
 		rep := perfbound.Analyze(p.Kernel, p.Sched, req.Params, perfbound.DefaultConfig())
 		ds := staticcheck.CheckPerf(name, p.Kernel, p.Sched, req.Params)
-		unit = api.NewPerfUnit(name, rep, ds, nil)
+		unit = api.NewPerfUnit(name, rep, ds, api.NewDependSummary(p.Fn, req.Params), nil)
 	}
 	writeJSON(w, http.StatusOK, api.PerfReport{
 		SchemaVersion: api.Version,

@@ -82,6 +82,15 @@ type engine struct {
 	profNext int64
 	// siteIDs maps graph index -> interned profiler stall-site id.
 	siteIDs []int
+	// loopIters counts iteration starts per graph, loopExecs completed
+	// executions (frame entry to retirement), and loopSpans the
+	// frame-active cycles, summed over all executions and threads. The
+	// iters/spans ratio is the measured per-loop initiation interval the
+	// static RecMII floor is validated against (the recurrence only
+	// separates consecutive iterations of one execution, hence execs).
+	loopIters []int64
+	loopExecs []int64
+	loopSpans []int64
 
 	// Recycling pools for the hot loop: retired outstanding-VLO records,
 	// external-store payload buffers (returned once the DRAM has copied
@@ -168,6 +177,9 @@ type frame struct {
 	// loopVLO is the parent's outstanding entry for this loop instance.
 	loopVLO *outVLO
 	loopPos int32
+	// enterCycle is when this frame (re)entered the active list; the
+	// entry-to-retirement span feeds the per-loop II measurement.
+	enterCycle int64
 	// finished marks the frame for removal from the thread's active list.
 	finished bool
 
@@ -303,6 +315,9 @@ func newEngine(ck *hw.CKernel, args Args, cfg Config) (*engine, error) {
 	e.occ = make([][]int32, len(ck.Graphs))
 	e.occW = make([][][]occWaiter, len(ck.Graphs))
 	e.siteIDs = make([]int, len(ck.Graphs))
+	e.loopIters = make([]int64, len(ck.Graphs))
+	e.loopExecs = make([]int64, len(ck.Graphs))
+	e.loopSpans = make([]int64, len(ck.Graphs))
 	for gi, cg := range ck.Graphs {
 		e.occ[gi] = make([]int32, cg.Depth)
 		for s := range e.occ[gi] {
@@ -977,6 +992,7 @@ func (e *engine) frameFor(t *thread, gi int) *frame {
 		f.portSleep = false
 		f.holdsOcc = false
 		f.minWait = math.MaxInt32
+		f.enterCycle = e.cycle
 		t.sleepUntil = 0
 		e.lives[t.li].wake = 0
 		e.minWake = 0
@@ -994,6 +1010,7 @@ func (e *engine) frameFor(t *thread, gi int) *frame {
 		vals:      e.allocVals(len(cg.Nodes)),
 		carries:   e.allocVals(cg.NumCarry),
 	}
+	f.enterCycle = e.cycle
 	if !e.cfg.Interp {
 		f.sp = e.ck.Spec[gi]
 	}
@@ -1048,6 +1065,17 @@ func (e *engine) finish() (*Result, error) {
 	if e.cfg.Profile.Enabled {
 		r.Prof = e.prof
 		r.StallsByLoop = e.prof.StallsBySite()
+	}
+	r.ItersByLoop = make(map[string]int64)
+	r.ExecsByLoop = make(map[string]int64)
+	r.ActiveByLoop = make(map[string]int64)
+	for gi, cg := range e.ck.Graphs {
+		if cg.CondIdx < 0 {
+			continue // top region, not a loop
+		}
+		r.ItersByLoop[cg.Name] = e.loopIters[gi]
+		r.ExecsByLoop[cg.Name] = e.loopExecs[gi]
+		r.ActiveByLoop[cg.Name] = e.loopSpans[gi]
 	}
 	for _, s := range e.sems {
 		r.LockAcquisitions += s.Acquisitions

@@ -315,6 +315,7 @@ func drainBlock(f *frame) (blocked, stall bool) {
 
 // beginIteration loads carried-register values into their node slots.
 func (e *engine) beginIteration(f *frame) {
+	e.loopIters[f.gi]++
 	for i, pos := range f.cg.CarryPos {
 		if pos >= 0 {
 			copyVal(&f.vals[pos], &f.carries[i])
@@ -475,6 +476,8 @@ func (e *engine) finishGraph(t *thread, f *frame) {
 		f.pendStalls = 0
 	}
 	e.freeOcc(t, f)
+	e.loopExecs[f.gi]++
+	e.loopSpans[f.gi] += e.cycle - f.enterCycle
 	f.stage = -1
 	f.finished = true
 	if f.parent == nil {

@@ -124,6 +124,18 @@ type Result struct {
 	// stalled in; keys carry the source position (e.g. "for@12:5"). It is
 	// the data behind the hotspot report.
 	StallsByLoop map[string]int64
+
+	// ItersByLoop counts iteration starts per loop graph (all threads and
+	// executions summed), ExecsByLoop completed loop executions (one
+	// frame entry to retirement), and ActiveByLoop the cycles a frame of
+	// that loop was live. ActiveByLoop/ItersByLoop is the measured
+	// initiation interval the static RecMII floor brackets from below
+	// (the floor separates consecutive iterations of one execution, so
+	// only Iters-Execs pairs are constrained). Keys are loop names
+	// ("for@line:col"); recorded whether or not profiling is enabled.
+	ItersByLoop  map[string]int64
+	ExecsByLoop  map[string]int64
+	ActiveByLoop map[string]int64
 }
 
 // TotalFpOps sums FLOPs across threads.

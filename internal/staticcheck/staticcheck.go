@@ -60,6 +60,11 @@ const (
 	RuleFrontend      = "frontend"        // lex/parse/sema failure
 	RuleLower         = "lower"           // lowering failure not explained by an AST rule
 	RulePerfBound     = "perf-bound"      // static performance-bound findings (II, roofline, overflow)
+
+	// Dependence-engine rules (see internal/depend and depend.go here).
+	RuleLoopCarriedDep    = "loop-carried-dep"   // proven loop-carried dependence breaking a parallel/unrolled loop
+	RuleBankConflict      = "bank-conflict"      // DRAM access stride maps every iteration to one bank
+	RuleTransformLegality = "transform-legality" // a paper-ladder transformation is provably illegal for a loop
 )
 
 // ActionNarrowAccesses is the remedy the dynamic advisor attaches to its
@@ -161,6 +166,7 @@ func CheckProgram(file string, prog *minic.Program) []Diagnostic {
 		if ts := findTargetStmt(fn); ts != nil {
 			checkOMP(file, res, ts, &ds)
 			checkStalls(file, res, ts, &ds)
+			checkDepend(file, fn, &ds)
 		}
 	}
 	Sort(ds)

@@ -17,19 +17,26 @@ import (
 var update = flag.Bool("update", false, "rewrite the golden files")
 
 // fixtureRules maps each buggy fixture to the one rule it must trigger
-// and the severity that rule carries.
+// and the severity that rule carries. allow lists other rules whose
+// findings are expected companions at or above that severity (they
+// still land in the golden, they just are not counted as strays).
 var fixtureRules = map[string]struct {
-	rule string
-	sev  Severity
+	rule  string
+	sev   Severity
+	allow map[string]bool
 }{
-	"race.mc":               {RuleOMPRace, SevError},
-	"map_missing.mc":        {RuleOMPMap, SevError},
-	"map_to_written.mc":     {RuleOMPMap, SevWarning},
-	"map_from_unwritten.mc": {RuleOMPMap, SevWarning},
-	"use_before_init.mc":    {RuleUseBeforeInit, SevWarning},
-	"dead_store.mc":         {RuleDeadStore, SevWarning},
-	"unused_var.mc":         {RuleUnusedVar, SevWarning},
-	"stall.mc":              {RuleStallLint, SevInfo},
+	"race.mc":               {rule: RuleOMPRace, sev: SevError},
+	"map_missing.mc":        {rule: RuleOMPMap, sev: SevError},
+	"map_to_written.mc":     {rule: RuleOMPMap, sev: SevWarning},
+	"map_from_unwritten.mc": {rule: RuleOMPMap, sev: SevWarning},
+	"use_before_init.mc":    {rule: RuleUseBeforeInit, sev: SevWarning},
+	"dead_store.mc":         {rule: RuleDeadStore, sev: SevWarning},
+	"unused_var.mc":         {rule: RuleUnusedVar, sev: SevWarning},
+	"stall.mc":              {rule: RuleStallLint, sev: SevInfo},
+	"loop_carried_dep.mc":   {rule: RuleLoopCarriedDep, sev: SevWarning},
+	"bank_conflict.mc":      {rule: RuleBankConflict, sev: SevInfo},
+	"transform_legality.mc": {rule: RuleTransformLegality, sev: SevInfo,
+		allow: map[string]bool{RuleStallLint: true}},
 }
 
 func render(ds []Diagnostic) string {
@@ -66,7 +73,7 @@ func TestFixtureGoldens(t *testing.T) {
 				t.Errorf("expected a %s finding, got:\n%s", want.rule, render(ds))
 			}
 			for _, d := range ds {
-				if d.Severity >= want.sev && d.Rule != want.rule {
+				if d.Severity >= want.sev && d.Rule != want.rule && !want.allow[d.Rule] {
 					t.Errorf("stray %s finding at designated severity: %s", d.Rule, d)
 				}
 				if d.Rule == want.rule && d.Severity != want.sev {
