@@ -99,7 +99,9 @@ func analyzeOne(name, src string, defines map[string]string, params map[string]i
 	if err != nil {
 		return api.NewPerfUnit(name, nil, nil, nil, err)
 	}
-	rep := perfbound.Analyze(prog.Kernel, prog.Sched, params, perfbound.DefaultConfig())
+	cfg := perfbound.DefaultConfig()
+	cfg.TripHints = api.AbsintTripHints(prog.Fn, params)
+	rep := perfbound.Analyze(prog.Kernel, prog.Sched, params, cfg)
 	ds := staticcheck.CheckPerf(name, prog.Kernel, prog.Sched, params)
 	return api.NewPerfUnit(name, rep, ds, api.NewDependSummary(prog.Fn, params), nil)
 }

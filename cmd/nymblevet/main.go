@@ -8,16 +8,19 @@
 //
 // Usage:
 //
-//	nymblevet [-D NAME=VALUE]... [-rule ID] [-json] file.mc...
-//	nymblevet -workloads [-rule ID] [-json]
+//	nymblevet [-D NAME=VALUE]... [-rule ID] [-json|-sarif] file.mc...
+//	nymblevet -workloads [-rule ID] [-json|-sarif]
 //
 // -workloads vets the built-in seed kernels (GEMM versions 1-5 and pi)
 // with their canonical defines. -rule restricts the report to one rule
 // id (e.g. loop-carried-dep); clean/exit status then reflect only that
 // rule. The exit status is 1 if any unit reports an error-severity
 // diagnostic, 0 otherwise (warnings and infos do not fail the run).
-// The -json report carries a "depend" section per unit: the loop-by-loop
-// dependence summary and transformation-legality verdicts.
+// The -json report carries a "depend" section per unit (loop-by-loop
+// dependence summary and transformation-legality verdicts) and an
+// "absint" section (the abstract interpreter's reachability, trip and
+// bounds verdicts). -sarif emits the same findings as a SARIF 2.1.0 log
+// for code-scanning upload.
 package main
 
 import (
@@ -37,12 +40,13 @@ func main() {
 	defines := cli.Defines{}
 	flag.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	asSarif := flag.Bool("sarif", false, "emit the report as a SARIF 2.1.0 log")
 	wl := flag.Bool("workloads", false, "vet the built-in seed workloads instead of files")
 	rule := flag.String("rule", "", "only report diagnostics of this rule id (e.g. loop-carried-dep)")
 	flag.Parse()
-	if *wl == (flag.NArg() > 0) {
-		fmt.Fprintln(os.Stderr, "usage: nymblevet [-D NAME=VALUE] [-rule ID] [-json] file.mc...")
-		fmt.Fprintln(os.Stderr, "       nymblevet -workloads [-rule ID] [-json]")
+	if *wl == (flag.NArg() > 0) || (*asJSON && *asSarif) {
+		fmt.Fprintln(os.Stderr, "usage: nymblevet [-D NAME=VALUE] [-rule ID] [-json|-sarif] file.mc...")
+		fmt.Fprintln(os.Stderr, "       nymblevet -workloads [-rule ID] [-json|-sarif]")
 		os.Exit(2)
 	}
 
@@ -71,13 +75,19 @@ func main() {
 		}
 	}
 
-	if *asJSON {
+	switch {
+	case *asJSON:
 		report := api.VetReport{SchemaVersion: api.Version, Units: units}
 		if err := api.Encode(os.Stdout, report); err != nil {
 			fmt.Fprintln(os.Stderr, "nymblevet:", err)
 			os.Exit(2)
 		}
-	} else {
+	case *asSarif:
+		if err := api.Encode(os.Stdout, api.NewSarif(units)); err != nil {
+			fmt.Fprintln(os.Stderr, "nymblevet:", err)
+			os.Exit(2)
+		}
+	default:
 		for _, u := range units {
 			status := "clean"
 			if !u.Clean {
@@ -106,5 +116,6 @@ func vetOne(name, src string, defines map[string]string, rule string) api.VetUni
 		ds = kept
 	}
 	dep := api.ParseDependSummary(src, minic.Options{Defines: defines})
-	return api.NewVetUnit(name, ds, dep)
+	abs := api.ParseAbsintSummary(src, minic.Options{Defines: defines})
+	return api.NewVetUnit(name, ds, dep, abs)
 }

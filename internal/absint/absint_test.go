@@ -1,0 +1,420 @@
+package absint
+
+import (
+	"strings"
+	"testing"
+
+	"paravis/internal/minic"
+)
+
+func analyzeSrc(t *testing.T, src string, env map[string]int64) *Result {
+	t.Helper()
+	prog, err := minic.Parse(src, minic.Options{})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(prog.Funcs) == 0 {
+		t.Fatalf("no functions")
+	}
+	res := Analyze(prog.Funcs[0], Options{Env: env})
+	if !res.OK {
+		t.Fatalf("solver did not converge")
+	}
+	return res
+}
+
+func loopAt(t *testing.T, res *Result, src, marker string) *LoopFact {
+	t.Helper()
+	line := 0
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, marker) {
+			line = i + 1
+			break
+		}
+	}
+	if line == 0 {
+		t.Fatalf("marker %q not in source", marker)
+	}
+	for _, lf := range res.Loops {
+		if lf.Pos.Line == line {
+			return lf
+		}
+	}
+	t.Fatalf("no loop fact on line %d (marker %q)", line, marker)
+	return nil
+}
+
+func accessAt(t *testing.T, res *Result, src, marker, arr string) *AccessFact {
+	t.Helper()
+	line := 0
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, marker) {
+			line = i + 1
+			break
+		}
+	}
+	if line == 0 {
+		t.Fatalf("marker %q not in source", marker)
+	}
+	for _, f := range res.Accesses {
+		if f.Pos.Line == line && f.Array == arr {
+			return f
+		}
+	}
+	t.Fatalf("no access fact for %s on line %d (marker %q); have %v", arr, line, marker, res.Accesses)
+	return nil
+}
+
+// --- domain unit tests ---
+
+func TestIntervalOps(t *testing.T) {
+	a := Range(2, 5)
+	b := Range(-1, 3)
+	if j := a.Join(b); j.Lo != -1 || j.Hi != 5 {
+		t.Errorf("join = %+v", j)
+	}
+	if m := a.Meet(b); m.Lo != 2 || m.Hi != 3 {
+		t.Errorf("meet = %+v", m)
+	}
+	if s := a.Add(b); s.Lo != 1 || s.Hi != 8 {
+		t.Errorf("add = %+v", s)
+	}
+	if p := a.Mul(Exact(-2)); p.Lo != -10 || p.Hi != -4 {
+		t.Errorf("mul = %+v", p)
+	}
+	if q := Range(0, 59).Div(Exact(4)); q.Lo != 0 || q.Hi != 14 {
+		t.Errorf("div = %+v", q)
+	}
+	if r := Range(0, 59).Rem(Exact(4)); r.Lo != 0 || r.Hi != 3 {
+		t.Errorf("rem = %+v", r)
+	}
+	if r := Range(-7, -1).Rem(Exact(4)); r.Lo != -3 || r.Hi != 0 {
+		t.Errorf("neg rem = %+v", r)
+	}
+	if !Range(3, 2).Empty {
+		t.Errorf("inverted range should be bottom")
+	}
+}
+
+func TestCongruence(t *testing.T) {
+	// x ≡ 0 (mod 4) joined with x ≡ 2 (mod 4) gives mod 2.
+	j := congMod(4, 0).join(congMod(4, 2))
+	if j.Mod != 2 || j.Rem != 0 {
+		t.Errorf("join = %+v", j)
+	}
+	// 4k + 1 stays odd through the product domain.
+	v := exactVal(4).mul(topVal()).add(exactVal(1))
+	if v.C.Mod != 4 || v.C.Rem != 1 {
+		t.Errorf("4k+1 congruence = %+v", v.C)
+	}
+	// Reduction tightens interval ends to congruence members.
+	r := reduce(Val{I: Range(1, 10), C: congMod(4, 0)})
+	if r.I.Lo != 4 || r.I.Hi != 8 {
+		t.Errorf("reduced = %+v", r.I)
+	}
+	// Disjoint congruence and interval is bottom.
+	if !reduce(Val{I: Range(1, 3), C: congMod(8, 5)}).isBottom() {
+		t.Errorf("expected bottom")
+	}
+}
+
+func TestWidenThenNarrow(t *testing.T) {
+	th := []int64{0, 10}
+	w := Range(0, 1).widen(Range(0, 2), th)
+	if !w.HasHi || w.Hi != 10 {
+		t.Errorf("widen to threshold = %+v", w)
+	}
+	w = Range(0, 10).widen(Range(0, 11), th)
+	if w.HasHi {
+		t.Errorf("widen past last threshold should drop bound: %+v", w)
+	}
+}
+
+// --- whole-program facts ---
+
+const tripSrc = `
+void f(int n) {
+  int s = 0;
+  for (int i = 0; i < 16; i++) {
+    s = s + i;
+  }
+  for (int j = 10; j > 0; j -= 2) {
+    s = s + j;
+  }
+  for (int k = 0; k < n; k++) {
+    s = s + k;
+  }
+}
+`
+
+func TestTripCounts(t *testing.T) {
+	res := analyzeSrc(t, tripSrc, nil)
+	lf := loopAt(t, res, tripSrc, "i = 0")
+	if !lf.Trips.Bounded() || lf.Trips.Lo != 16 || lf.Trips.Hi != 16 {
+		t.Errorf("constant loop trips = %+v", lf.Trips)
+	}
+	lf = loopAt(t, res, tripSrc, "j = 10")
+	if !lf.Trips.Bounded() || lf.Trips.Lo != 5 || lf.Trips.Hi != 5 {
+		t.Errorf("down-counting trips = %+v", lf.Trips)
+	}
+	lf = loopAt(t, res, tripSrc, "k = 0")
+	if lf.Trips.HasHi {
+		t.Errorf("symbolic bound should have no upper trip bound: %+v", lf.Trips)
+	}
+	if !lf.Trips.HasLo || lf.Trips.Lo != 0 {
+		t.Errorf("symbolic bound lower = %+v", lf.Trips)
+	}
+}
+
+func TestTripCountsWithEnv(t *testing.T) {
+	res := analyzeSrc(t, tripSrc, map[string]int64{"n": 7})
+	lf := loopAt(t, res, tripSrc, "k = 0")
+	if !lf.Trips.Bounded() || lf.Trips.Lo != 7 || lf.Trips.Hi != 7 {
+		t.Errorf("env-bound trips = %+v", lf.Trips)
+	}
+	hints := res.TripHints()
+	if len(hints) != 3 {
+		t.Errorf("hints = %v", hints)
+	}
+}
+
+const strideSrc = `
+void f(float* out) {
+  #pragma omp target parallel num_threads(4) map(from: out[0:16])
+  {
+    int tid = omp_get_thread_num();
+    int nth = omp_get_num_threads();
+    float acc[16];
+    for (int i = tid; i < 16; i += nth) {
+      acc[i] = 1.0;
+    }
+  }
+}
+`
+
+func TestDistributedLoop(t *testing.T) {
+	res := analyzeSrc(t, strideSrc, nil)
+	lf := loopAt(t, res, strideSrc, "i = tid")
+	// init in [0,3], step 4, bound 16: per-thread trips exactly 4.
+	if !lf.Trips.Bounded() || lf.Trips.Lo != 4 || lf.Trips.Hi != 4 {
+		t.Errorf("distributed trips = %+v", lf.Trips)
+	}
+	f := accessAt(t, res, strideSrc, "acc[i]", "acc")
+	if f.Verdict != InBounds {
+		t.Errorf("acc[i] verdict = %v (index %+v)", f.Verdict, f.Index)
+	}
+}
+
+const laneSrc = `
+void f(int n) {
+  VECTOR a[15];
+  for (int v = 0; v < 60; v++) {
+    a[v / 4][v % 4] = 0.0;
+  }
+}
+`
+
+func TestLaneCongruencePrecision(t *testing.T) {
+	res := analyzeSrc(t, laneSrc, nil)
+	f := accessAt(t, res, laneSrc, "a[v / 4]", "a")
+	if f.Verdict != InBounds {
+		t.Errorf("lane access verdict = %v (dim %d size %d index %+v)",
+			f.Verdict, f.BadDim, f.DimSize, f.Index)
+	}
+	// The element access covers words [Elem, Elem+Width-1]: (v/4)*4 with
+	// the mod-4 congruence gives [0,56], width 4 — exactly depend's view.
+	if !f.ElemOK || !f.Elem.Bounded() || f.Elem.Lo != 0 || f.Elem.Hi != 56 || f.Width != 4 {
+		t.Errorf("flattened elem = %+v width %d", f.Elem, f.Width)
+	}
+	// The lane subscript itself is checked on the VecElem node.
+	var lane *AccessFact
+	for _, af := range res.Accesses {
+		if _, ok := af.Node.(*minic.VecElem); ok {
+			lane = af
+		}
+	}
+	if lane == nil || lane.Verdict != InBounds {
+		t.Errorf("lane verdict = %+v", lane)
+	}
+}
+
+const oobSrc = `
+void f(int n) {
+  float a[8];
+  for (int i = 0; i <= 8; i++) {
+    a[i] = 0.0;
+  }
+  a[8] = 1.0;
+  if (n > 5) {
+    a[n] = 2.0;
+  }
+}
+`
+
+func TestOOBVerdicts(t *testing.T) {
+	res := analyzeSrc(t, oobSrc, nil)
+	f := accessAt(t, res, oobSrc, "a[i]", "a")
+	if f.Verdict != MayOOB {
+		t.Errorf("a[i] verdict = %v", f.Verdict)
+	}
+	f = accessAt(t, res, oobSrc, "a[8] = 1.0", "a")
+	if f.Verdict != OOB {
+		t.Errorf("a[8] verdict = %v", f.Verdict)
+	}
+	f = accessAt(t, res, oobSrc, "a[n]", "a")
+	if f.Verdict != MayOOB {
+		t.Errorf("a[n] under n>5 verdict = %v (index %+v)", f.Verdict, f.Index)
+	}
+}
+
+const refineSrc = `
+void f(int n) {
+  float a[8];
+  if (n >= 0) {
+    if (n < 8) {
+      a[n] = 1.0;
+    }
+  }
+  if (n == 3) {
+    a[n] = 2.0;
+  }
+}
+`
+
+func TestBranchRefinement(t *testing.T) {
+	res := analyzeSrc(t, refineSrc, nil)
+	f := accessAt(t, res, refineSrc, "a[n] = 1.0", "a")
+	if f.Verdict != InBounds {
+		t.Errorf("guarded a[n] verdict = %v (index %+v)", f.Verdict, f.Index)
+	}
+	f = accessAt(t, res, refineSrc, "a[n] = 2.0", "a")
+	if f.Verdict != InBounds {
+		t.Errorf("n==3 a[n] verdict = %v (index %+v)", f.Verdict, f.Index)
+	}
+}
+
+const deadSrc = `
+void f(int n) {
+  int c = 4;
+  if (c < 2) {
+    n = 1;
+  }
+  for (int i = 0; i < c; i++) {
+    if (i >= 0) {
+      n = n + i;
+    }
+  }
+  for (int j = 5; j < 3; j++) {
+    n = n + j;
+  }
+}
+`
+
+func TestDeadBranches(t *testing.T) {
+	res := analyzeSrc(t, deadSrc, nil)
+	var falseIf, trueIf, deadLoop bool
+	for _, cf := range res.Conds {
+		switch {
+		case !cf.IsLoop && cf.AlwaysFalse:
+			falseIf = true
+		case !cf.IsLoop && cf.AlwaysTrue:
+			trueIf = true
+		case cf.IsLoop && cf.AlwaysFalse:
+			deadLoop = true
+		}
+	}
+	if !falseIf {
+		t.Errorf("c<2 not proven always false: %+v", res.Conds)
+	}
+	if !trueIf {
+		t.Errorf("i>=0 not proven always true: %+v", res.Conds)
+	}
+	if !deadLoop {
+		t.Errorf("j loop not proven body-dead: %+v", res.Conds)
+	}
+	lf := loopAt(t, res, deadSrc, "j = 5")
+	if lf.BodyReachable {
+		t.Errorf("dead loop body marked reachable")
+	}
+	if c, ok := lf.Trips.Const(); !ok || c != 0 {
+		t.Errorf("dead loop trips = %+v", lf.Trips)
+	}
+}
+
+const divSrc = `
+void f(int n) {
+  int z = 0;
+  int a = 10 / z;
+  int tid = 0;
+  #pragma omp target parallel num_threads(4) map(to: n)
+  {
+    int t = omp_get_thread_num();
+    int b = 100 / t;
+    int c = 100 / n;
+  }
+}
+`
+
+func TestDivFacts(t *testing.T) {
+	res := analyzeSrc(t, divSrc, nil)
+	var proven, may, silent int
+	for _, d := range res.Divs {
+		switch {
+		case d.ProvenZero:
+			proven++
+		case d.MayZero:
+			may++
+		default:
+			silent++
+		}
+	}
+	if proven != 1 || may != 1 || silent != 1 {
+		t.Errorf("div facts proven=%d may=%d silent=%d (%+v)", proven, may, silent, res.Divs)
+	}
+}
+
+const windowSrc = `
+void f(float* p) {
+  #pragma omp target parallel num_threads(1) map(tofrom: p[0:8])
+  {
+    for (int i = 0; i < 8; i++) {
+      p[i] = p[i] + 1.0;
+    }
+    p[9] = 0.0;
+  }
+}
+`
+
+func TestMappedWindow(t *testing.T) {
+	res := analyzeSrc(t, windowSrc, nil)
+	f := accessAt(t, res, windowSrc, "p[i] = p[i]", "p")
+	if f.Verdict != InBounds {
+		t.Errorf("p[i] verdict = %v (index %+v)", f.Verdict, f.Index)
+	}
+	f = accessAt(t, res, windowSrc, "p[9]", "p")
+	if f.Verdict != OOB {
+		t.Errorf("p[9] verdict = %v", f.Verdict)
+	}
+}
+
+const unreachableLoopSrc = `
+void f(int n) {
+  int on = 0;
+  if (on) {
+    for (int i = 0; i < 4; i++) {
+      n = n + i;
+    }
+  }
+}
+`
+
+func TestUnreachableLoop(t *testing.T) {
+	res := analyzeSrc(t, unreachableLoopSrc, nil)
+	lf := loopAt(t, res, unreachableLoopSrc, "i = 0")
+	if lf.Reachable {
+		t.Errorf("loop inside if(0) marked reachable")
+	}
+	if c, ok := lf.Trips.Const(); !ok || c != 0 {
+		t.Errorf("unreachable loop trips = %+v", lf.Trips)
+	}
+}

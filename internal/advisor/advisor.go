@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"paravis/internal/absint"
 	"paravis/internal/core"
 	"paravis/internal/depend"
 	"paravis/internal/paraver/analysis"
@@ -299,7 +300,10 @@ func Advise(out *core.RunOutput, th Thresholds) []Finding {
 
 // AdviseProgram is Advise plus legality gating: remedies that propose a
 // program transformation (vectorize, block in BRAM, double-buffer) are
-// checked against the static dependence analysis of the kernel source.
+// checked against the static dependence analysis of the kernel source,
+// range-refined by the abstract interpreter where it converges (a "may"
+// dependence between provably disjoint footprints is discharged, so the
+// gate annotates fewer remedies as undecided).
 // A remedy every candidate loop provably forbids is downgraded to an
 // explanatory Info finding naming the blocking dependence — it never
 // silently disappears, because the *diagnosis* (the measured bottleneck)
@@ -310,7 +314,11 @@ func AdviseProgram(p *core.Program, out *core.RunOutput, th Thresholds) []Findin
 	if p == nil || p.Fn == nil {
 		return findings
 	}
-	rep := depend.Analyze(p.Fn, nil)
+	var ranges depend.RangeFn
+	if ai := absint.Analyze(p.Fn, absint.Options{}); ai.OK {
+		ranges = ai.IndexRange
+	}
+	rep := depend.AnalyzeRanges(p.Fn, nil, ranges)
 	for i := range findings {
 		gateFinding(&findings[i], rep)
 	}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 
+	"paravis/internal/absint"
 	"paravis/internal/area"
 	"paravis/internal/core"
 	"paravis/internal/depend"
@@ -31,7 +32,10 @@ import (
 
 // Version is the schema version stamped into every top-level report.
 // v2 added the per-loop "depend" section to VetUnit and PerfUnit.
-const Version = 2
+// v3 added the "absint" abstract-interpretation section to VetUnit and
+// made the depend section range-refined (proven-disjoint "may"
+// dependences are discharged).
+const Version = 3
 
 // Encode writes v as two-space-indented JSON with a trailing newline —
 // the one serialization shared by the CLIs and the daemon.
@@ -157,15 +161,116 @@ type VetUnit struct {
 	// Depend summarizes the static dependence analysis per loop (schema
 	// v2; absent when the unit does not parse or has no target region).
 	Depend []DependLoop `json:"depend,omitempty"`
+	// Absint summarizes the abstract interpretation of the target
+	// function (schema v3; absent on the same terms as Depend).
+	Absint *AbsintSummary `json:"absint,omitempty"`
 }
 
 // NewVetUnit wraps one unit's diagnostics (nil becomes an empty list so
-// the JSON is stable) together with its dependence summary.
-func NewVetUnit(name string, ds []staticcheck.Diagnostic, dep []DependLoop) VetUnit {
+// the JSON is stable) together with its dependence and absint summaries.
+func NewVetUnit(name string, ds []staticcheck.Diagnostic, dep []DependLoop, abs *AbsintSummary) VetUnit {
 	if ds == nil {
 		ds = []staticcheck.Diagnostic{}
 	}
-	return VetUnit{Name: name, Clean: staticcheck.Clean(ds), Diagnostics: ds, Depend: dep}
+	return VetUnit{Name: name, Clean: staticcheck.Clean(ds), Diagnostics: ds, Depend: dep, Absint: abs}
+}
+
+// AbsintSummary is the wire form of the abstract interpreter's verdicts
+// for one function: per-loop reachability and trip brackets plus the
+// per-access bounds verdicts. Intervals are rendered as strings
+// ("[0, 15]", "42", "[0, +inf]") so the JSON stays byte-stable and
+// schema-simple.
+type AbsintSummary struct {
+	Function string `json:"function"`
+	// Converged is false when the interpreter bailed (the sections below
+	// are then empty and nothing is claimed).
+	Converged bool           `json:"converged"`
+	Loops     []AbsintLoop   `json:"loops,omitempty"`
+	Accesses  []AbsintAccess `json:"accesses,omitempty"`
+}
+
+// AbsintLoop is one loop's reachability and trip bracket, keyed by the
+// same "for@line:col" name the depend and perfbound sections use.
+type AbsintLoop struct {
+	Loop      string `json:"loop"`
+	Reachable bool   `json:"reachable"`
+	Trips     string `json:"trips"`
+}
+
+// AbsintAccess is one array access's bounds verdict ("unchecked",
+// "in-bounds", "may-oob", "oob") with the proven subscript interval.
+type AbsintAccess struct {
+	Array   string `json:"array"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Write   bool   `json:"write"`
+	Verdict string `json:"verdict"`
+	// Index is the decisive subscript's interval (the element index for
+	// flattened accesses), present only for may-oob/oob verdicts.
+	Index string `json:"index,omitempty"`
+}
+
+// ParseAbsintSummary parses a source and summarizes the abstract
+// interpretation of its target function. Like ParseDependSummary it
+// returns nil when the source does not parse or lacks a target region.
+func ParseAbsintSummary(src string, opts minic.Options) *AbsintSummary {
+	prog, err := minic.Parse(src, opts)
+	if err != nil {
+		return nil
+	}
+	fn, _, err := minic.FindTarget(prog)
+	if err != nil {
+		return nil
+	}
+	return NewAbsintSummary(fn, nil)
+}
+
+// NewAbsintSummary converts fn's abstract-interpretation result, with
+// symbols bound under env, to its wire form. Loops appear in source
+// order; accesses in the interpreter's deterministic order.
+func NewAbsintSummary(fn *minic.FuncDecl, env map[string]int64) *AbsintSummary {
+	if fn == nil {
+		return nil
+	}
+	ai := absint.Analyze(fn, absint.Options{Env: env})
+	sum := &AbsintSummary{Function: fn.Name, Converged: ai.OK}
+	if !ai.OK {
+		return sum
+	}
+	loops := make([]*absint.LoopFact, 0, len(ai.Loops))
+	for _, lf := range ai.Loops {
+		loops = append(loops, lf)
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		a, b := loops[i].Pos, loops[j].Pos
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	for _, lf := range loops {
+		trips := lf.Trips.String()
+		if !lf.Reachable {
+			trips = "0"
+		}
+		sum.Loops = append(sum.Loops, AbsintLoop{
+			Loop: lf.Name, Reachable: lf.Reachable, Trips: trips,
+		})
+	}
+	for _, a := range ai.Accesses {
+		acc := AbsintAccess{
+			Array:   a.Array,
+			Line:    a.Pos.Line,
+			Col:     a.Pos.Col,
+			Write:   a.Write,
+			Verdict: a.Verdict.String(),
+		}
+		if a.Verdict == absint.MayOOB || a.Verdict == absint.OOB {
+			acc.Index = a.Index.String()
+		}
+		sum.Accesses = append(sum.Accesses, acc)
+	}
+	return sum
 }
 
 // DependLoop is the wire form of one loop's dependence summary: the
@@ -205,12 +310,19 @@ func ParseDependSummary(src string, opts minic.Options) []DependLoop {
 }
 
 // NewDependSummary converts the dependence report of fn, with trip
-// counts folded under env, to its wire form.
+// counts folded under env, to its wire form. When the abstract
+// interpreter converges, its proven index ranges refine the analysis:
+// "may" dependences between accesses whose footprints provably never
+// overlap are discharged (schema v3).
 func NewDependSummary(fn *minic.FuncDecl, env map[string]int64) []DependLoop {
 	if fn == nil {
 		return nil
 	}
-	rep := depend.Analyze(fn, env)
+	var ranges depend.RangeFn
+	if ai := absint.Analyze(fn, absint.Options{Env: env}); ai.OK {
+		ranges = ai.IndexRange
+	}
+	rep := depend.AnalyzeRanges(fn, env, ranges)
 	var out []DependLoop
 	for _, l := range rep.Loops {
 		dl := DependLoop{
@@ -234,6 +346,16 @@ func NewDependSummary(fn *minic.FuncDecl, env map[string]int64) []DependLoop {
 		out = append(out, dl)
 	}
 	return out
+}
+
+// AbsintTripHints returns the abstract interpreter's proven trip
+// brackets for fn under env (nil when nothing was proven), in the form
+// perfbound.Config.TripHints consumes as a folding fallback.
+func AbsintTripHints(fn *minic.FuncDecl, env map[string]int64) map[string][2]int64 {
+	if fn == nil {
+		return nil
+	}
+	return absint.Analyze(fn, absint.Options{Env: env}).TripHints()
 }
 
 // VetReport is nymblevet's -json output and the daemon's /v1/vet

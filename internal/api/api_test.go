@@ -9,12 +9,12 @@ import (
 	"paravis/internal/workloads"
 )
 
-// TestDependSummaryStableAndVersioned: the schema-v2 depend section must
-// be present for the seed kernels, byte-stable across encodings, and
-// carry the three-way legality verdicts.
+// TestDependSummaryStableAndVersioned: the depend and absint sections
+// must be present for the seed kernels, byte-stable across encodings,
+// and carry the three-way legality verdicts.
 func TestDependSummaryStableAndVersioned(t *testing.T) {
-	if Version != 2 {
-		t.Fatalf("schema version = %d, want 2 (depend section added in v2)", Version)
+	if Version != 3 {
+		t.Fatalf("schema version = %d, want 3 (absint section added in v3)", Version)
 	}
 	w := workloads.Units()[0]
 	encode := func() string {
@@ -22,7 +22,11 @@ func TestDependSummaryStableAndVersioned(t *testing.T) {
 		if len(dep) == 0 {
 			t.Fatalf("no depend summary for %s", w.Name)
 		}
-		unit := NewVetUnit(w.Name, nil, dep)
+		abs := ParseAbsintSummary(w.Source, minic.Options{Defines: w.Defines})
+		if abs == nil {
+			t.Fatalf("no absint summary for %s", w.Name)
+		}
+		unit := NewVetUnit(w.Name, nil, dep, abs)
 		var b bytes.Buffer
 		if err := Encode(&b, VetReport{SchemaVersion: Version, Units: []VetUnit{unit}}); err != nil {
 			t.Fatal(err)
@@ -33,7 +37,8 @@ func TestDependSummaryStableAndVersioned(t *testing.T) {
 	if second := encode(); second != first {
 		t.Fatal("depend summary not byte-stable across encodings")
 	}
-	for _, field := range []string{`"depend"`, `"unroll"`, `"tile"`, `"double_buffer"`, `"loop"`} {
+	for _, field := range []string{`"depend"`, `"unroll"`, `"tile"`, `"double_buffer"`, `"loop"`,
+		`"absint"`, `"converged"`, `"trips"`, `"verdict"`} {
 		if !strings.Contains(first, field) {
 			t.Errorf("report lacks %s:\n%s", field, first)
 		}
@@ -48,5 +53,11 @@ func TestDependSummaryAbsentOnBadSource(t *testing.T) {
 	}
 	if dep := ParseDependSummary("void f(int n) { }", minic.Options{}); dep != nil {
 		t.Errorf("no target region should yield nil, got %+v", dep)
+	}
+	if abs := ParseAbsintSummary("void f( {", minic.Options{}); abs != nil {
+		t.Errorf("parse error should yield nil absint summary, got %+v", abs)
+	}
+	if abs := ParseAbsintSummary("void f(int n) { }", minic.Options{}); abs != nil {
+		t.Errorf("no target region should yield nil absint summary, got %+v", abs)
 	}
 }

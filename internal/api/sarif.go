@@ -1,0 +1,154 @@
+package api
+
+// SARIF 2.1.0 export of vet reports. The structs model only the subset
+// of the standard the nymble tools emit; fields marshal in declared
+// order and the rule catalogue comes from staticcheck.AllRules(), so a
+// SARIF log is as byte-stable as the native JSON report.
+
+import (
+	"fmt"
+
+	"paravis/internal/staticcheck"
+)
+
+// SarifSchema is the canonical $schema URI of SARIF 2.1.0 logs.
+const SarifSchema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// Sarif is a SARIF 2.1.0 log with one run.
+type Sarif struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SarifRun `json:"runs"`
+}
+
+// SarifRun is one tool invocation: the driver description with its rule
+// catalogue, and the results.
+type SarifRun struct {
+	Tool    SarifTool     `json:"tool"`
+	Results []SarifResult `json:"results"`
+}
+
+// SarifTool wraps the driver.
+type SarifTool struct {
+	Driver SarifDriver `json:"driver"`
+}
+
+// SarifDriver identifies the producing tool and lists every rule it can
+// fire.
+type SarifDriver struct {
+	Name    string      `json:"name"`
+	Version string      `json:"version"`
+	Rules   []SarifRule `json:"rules"`
+}
+
+// SarifRule is one catalogue entry.
+type SarifRule struct {
+	ID                   string       `json:"id"`
+	ShortDescription     SarifMessage `json:"shortDescription"`
+	DefaultConfiguration SarifConfig  `json:"defaultConfiguration"`
+}
+
+// SarifConfig carries a rule's default reporting level.
+type SarifConfig struct {
+	Level string `json:"level"`
+}
+
+// SarifMessage is SARIF's ubiquitous {"text": ...} wrapper.
+type SarifMessage struct {
+	Text string `json:"text"`
+}
+
+// SarifResult is one finding.
+type SarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   SarifMessage    `json:"message"`
+	Locations []SarifLocation `json:"locations"`
+}
+
+// SarifLocation wraps a physical location.
+type SarifLocation struct {
+	PhysicalLocation SarifPhysical `json:"physicalLocation"`
+}
+
+// SarifPhysical names the artifact and the region within it.
+type SarifPhysical struct {
+	ArtifactLocation SarifArtifact `json:"artifactLocation"`
+	Region           SarifRegion   `json:"region"`
+}
+
+// SarifArtifact is the artifact URI (the unit name: a file path for the
+// CLI).
+type SarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+// SarifRegion is a 1-based start position.
+type SarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifLevel maps the engine's severity ladder onto SARIF's.
+func sarifLevel(s staticcheck.Severity) string {
+	switch s {
+	case staticcheck.SevError:
+		return "error"
+	case staticcheck.SevWarning:
+		return "warning"
+	}
+	return "note"
+}
+
+// NewSarif converts vetted units into one SARIF 2.1.0 run. The rule
+// catalogue lists every rule the engine knows in its stable order;
+// should a diagnostic carry a rule id outside the catalogue it is
+// appended so ruleIndex always resolves.
+func NewSarif(units []VetUnit) *Sarif {
+	driver := SarifDriver{
+		Name:    "nymblevet",
+		Version: fmt.Sprintf("%d", Version),
+		Rules:   []SarifRule{},
+	}
+	index := map[string]int{}
+	addRule := func(id, summary string, sev staticcheck.Severity) {
+		index[id] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, SarifRule{
+			ID:                   id,
+			ShortDescription:     SarifMessage{Text: summary},
+			DefaultConfiguration: SarifConfig{Level: sarifLevel(sev)},
+		})
+	}
+	for _, r := range staticcheck.AllRules() {
+		addRule(r.ID, r.Summary, r.DefaultSeverity)
+	}
+
+	results := []SarifResult{}
+	for _, u := range units {
+		for _, d := range u.Diagnostics {
+			if _, ok := index[d.Rule]; !ok {
+				addRule(d.Rule, "undocumented rule", d.Severity)
+			}
+			results = append(results, SarifResult{
+				RuleID:    d.Rule,
+				RuleIndex: index[d.Rule],
+				Level:     sarifLevel(d.Severity),
+				Message:   SarifMessage{Text: d.Message},
+				Locations: []SarifLocation{{PhysicalLocation: SarifPhysical{
+					ArtifactLocation: SarifArtifact{URI: u.Name},
+					Region: SarifRegion{
+						StartLine:   max(d.Line, 1),
+						StartColumn: max(d.Col, 1),
+					},
+				}}},
+			})
+		}
+	}
+
+	return &Sarif{
+		Schema:  SarifSchema,
+		Version: "2.1.0",
+		Runs:    []SarifRun{{Tool: SarifTool{Driver: driver}, Results: results}},
+	}
+}

@@ -161,12 +161,29 @@ func (r *Report) Loop(name string) *LoopDeps {
 	return nil
 }
 
+// RangeFn is an external range oracle: given an access AST node
+// (*minic.Index or *minic.VecLoad) it reports a PROVEN inclusive range
+// [lo, hi] of the flattened scalar-word index of the access's first
+// element, over every execution of the node, in exactly this package's
+// linearization. ok must be false whenever no sound finite range is
+// known. internal/absint's Result.IndexRange satisfies this contract.
+type RangeFn func(e minic.Expr) (lo, hi int64, ok bool)
+
 // Analyze runs the dependence analysis over fn's omp target region.
 // env maps runtime parameters to known values and may be nil (the vet
 // path): unknown parameters stay symbolic, and the symbolic tests
 // assume only that they are non-negative. A nil target region yields an
 // empty report.
 func Analyze(fn *minic.FuncDecl, env map[string]int64) *Report {
+	return AnalyzeRanges(fn, env, nil)
+}
+
+// AnalyzeRanges is Analyze with an optional range oracle: when the
+// affine lattice answers "may" for an access pair but the oracle proves
+// the two accesses' element footprints disjoint over all executions,
+// the pair cannot alias and the dependence is dropped. Only unproven
+// ("may") verdicts are ever refined — a proven dependence stands.
+func AnalyzeRanges(fn *minic.FuncDecl, env map[string]int64, ranges RangeFn) *Report {
 	ts := findTarget(fn.Body)
 	if ts == nil {
 		return &Report{}
@@ -176,6 +193,7 @@ func Analyze(fn *minic.FuncDecl, env map[string]int64) *Report {
 		nt = 1
 	}
 	w := newWalker(fn, ts, nt, env)
+	w.ranges = ranges
 	w.block(ts.Body)
 	return w.assemble()
 }
@@ -280,7 +298,7 @@ func (w *walker) loopDeps(l *loopInfo, under []*access) []Dep {
 			if f.arr != g.arr || (!f.write && !g.write) {
 				continue
 			}
-			if d, ok := classify(f, g, carriedAt(f, g, l, false, w.nt), false); ok {
+			if d, ok := classify(f, g, w.refineMay(f, g, carriedAt(f, g, l, false, w.nt)), false); ok {
 				addDep(d)
 			}
 			// Cross-thread: only mapped DRAM arrays are shared between
@@ -288,7 +306,7 @@ func (w *walker) loopDeps(l *loopInfo, under []*access) []Dep {
 			// a critical section are mutex-ordered — the race checker
 			// owns those.
 			if l.threadLoop && f.arr.dram && !(f.critical && g.critical) {
-				if d, ok := classify(f, g, carriedAt(f, g, l, true, w.nt), true); ok {
+				if d, ok := classify(f, g, w.refineMay(f, g, carriedAt(f, g, l, true, w.nt)), true); ok {
 					addDep(d)
 				}
 			}
@@ -308,6 +326,43 @@ func (w *walker) loopDeps(l *loopInfo, under []*access) []Dep {
 		return a.Distance < b.Distance
 	})
 	return deps
+}
+
+// refineMay flips a "may" verdict to proven-independent when the range
+// oracle shows the two accesses' element footprints never overlap: a
+// dependence needs a common element, and each access touches only
+// [lo, hi+width-1] over its whole execution. Proven dependences and
+// pairs the oracle has no finite ranges for pass through unchanged.
+func (w *walker) refineMay(f, g *access, r solveRes) solveRes {
+	if r.verdict != vMay || w.ranges == nil || f.node == nil || g.node == nil {
+		return r
+	}
+	flo, fhi, ok := w.ranges(f.node)
+	if !ok {
+		return r
+	}
+	glo, ghi, ok := w.ranges(g.node)
+	if !ok {
+		return r
+	}
+	fend, okF := addNoOv(fhi, f.width-1)
+	gend, okG := addNoOv(ghi, g.width-1)
+	if !okF || !okG {
+		return r
+	}
+	if fend < glo || gend < flo {
+		return solveRes{verdict: vNone}
+	}
+	return r
+}
+
+// addNoOv adds two int64s, failing on overflow.
+func addNoOv(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
 }
 
 // classify turns a solver result for the ordered pair (f, g) into a

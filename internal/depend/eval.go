@@ -185,7 +185,7 @@ func (w *walker) recordIndex(x *minic.Index, write bool) {
 	if !ok {
 		return
 	}
-	a := &access{arr: arr, write: write, pos: x.Pos, width: 1, sub: affBottom()}
+	a := &access{arr: arr, write: write, pos: x.Pos, width: 1, sub: affBottom(), node: x}
 	switch {
 	case arr.dram && len(x.Idx) == 1:
 		a.sub = w.evalAff(x.Idx[0])
@@ -221,7 +221,7 @@ func (w *walker) recordVec(x *minic.VecLoad, write bool) {
 	if t := x.Type(); t != nil && t.Lanes > 1 {
 		width = int64(t.Lanes)
 	}
-	w.push(&access{arr: arr, write: write, pos: x.Pos, width: width, sub: w.evalAff(x.Idx)})
+	w.push(&access{arr: arr, write: write, pos: x.Pos, width: width, sub: w.evalAff(x.Idx), node: x})
 }
 
 func (w *walker) push(a *access) {

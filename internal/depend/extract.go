@@ -89,11 +89,15 @@ type access struct {
 	loops    []*loopInfo
 	pred     bool // under an if: may not execute every iteration
 	critical bool
+	// node is the AST access node, the key an external range oracle
+	// (internal/absint) uses to attach proven element-index ranges.
+	node minic.Expr
 }
 
 type walker struct {
 	nt     int
 	env    map[string]int64
+	ranges RangeFn
 	params map[string]bool
 
 	arrays map[string]*arrayInfo

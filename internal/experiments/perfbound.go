@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 
+	"paravis/internal/absint"
+	"paravis/internal/core"
 	"paravis/internal/perfbound"
 	"paravis/internal/sim"
 	"paravis/internal/workloads"
@@ -27,6 +29,15 @@ func boundConfig(cfg sim.Config) perfbound.Config {
 	}
 	pc.Profile = cfg.Profile
 	return pc
+}
+
+// withTripHints returns cfg with the abstract interpreter's proven trip
+// brackets for p's target function as the evaluator's folding fallback.
+// Hints are the weakest tier — workloads whose trips already fold are
+// untouched, so E10's soundness property is preserved by construction.
+func withTripHints(cfg perfbound.Config, p *core.Program, env map[string]int64) perfbound.Config {
+	cfg.TripHints = absint.Analyze(p.Fn, absint.Options{Env: env}).TripHints()
+	return cfg
 }
 
 // BoundRow cross-validates the static model on one workload: predicted
@@ -69,7 +80,8 @@ func RunBounds(ctx context.Context, opts Options) (*BoundsResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep := perfbound.Analyze(p.Kernel, p.Sched, map[string]int64{"DIM": int64(opts.GEMMDim)}, pcfg)
+		env := map[string]int64{"DIM": int64(opts.GEMMDim)}
+		rep := perfbound.Analyze(p.Kernel, p.Sched, env, withTripHints(pcfg, p, env))
 		run, err := RunGEMM(ctx, v, opts.GEMMDim, opts.Threads, opts.SimCfg)
 		if err != nil {
 			return nil, err
@@ -81,8 +93,8 @@ func RunBounds(ctx context.Context, opts Options) (*BoundsResult, error) {
 		return nil, err
 	}
 	steps := opts.PiSteps[0]
-	rep := perfbound.Analyze(p.Kernel, p.Sched,
-		map[string]int64{"steps": int64(steps), "threads": int64(opts.Threads)}, pcfg)
+	piEnv := map[string]int64{"steps": int64(steps), "threads": int64(opts.Threads)}
+	rep := perfbound.Analyze(p.Kernel, p.Sched, piEnv, withTripHints(pcfg, p, piEnv))
 	piOpts := opts
 	piOpts.PiSteps = opts.PiSteps[:1]
 	piOpts.Quiet = true

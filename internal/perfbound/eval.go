@@ -242,11 +242,20 @@ func iterateTrips(g *ir.Graph, ctx *gctx, init []iv, env map[string]int64) (iv, 
 // the cycle bounds simply report "unbounded". The second result gives,
 // per carried register, its value range inside the body (unknown where
 // untracked).
-func loopTrips(g *ir.Graph, ctx *gctx, init []iv, env map[string]int64) (iv, []iv) {
+func loopTrips(g *ir.Graph, ctx *gctx, init []iv, env map[string]int64, hints map[string][2]int64) (iv, []iv) {
 	if trips, ranges, ok := iterateTrips(g, ctx, init, env); ok {
 		return trips, ranges
 	}
-	return affineTrips(g, ctx, init, env)
+	if trips, ranges := affineTrips(g, ctx, init, env); trips.Known {
+		return trips, ranges
+	}
+	// Externally proven bracket (abstract interpretation): weakest tier,
+	// consulted only when the folding tiers fail. Carry ranges stay
+	// unknown — the hint bounds iterations, not register values.
+	if h, ok := hints[g.Name]; ok && h[0] <= h[1] {
+		return span(h[0], h[1]), make([]iv, g.NumCarry)
+	}
+	return unknown(), make([]iv, g.NumCarry)
 }
 
 func affineTrips(g *ir.Graph, ctx *gctx, init []iv, env map[string]int64) (iv, []iv) {
@@ -360,7 +369,7 @@ type graphEval struct {
 // evalTree evaluates the whole loop nest for one thread context, resolving
 // trip counts top-down: a child's carry-init and live-in intervals come
 // from the parent's node values.
-func evalTree(k *ir.Kernel, s *schedule.Schedule, env map[string]int64, tid iv) *graphEval {
+func evalTree(k *ir.Kernel, s *schedule.Schedule, env map[string]int64, hints map[string][2]int64, tid iv) *graphEval {
 	nt := exact(int64(k.NumThreads))
 	var build func(g *ir.Graph, node *ir.Node, ctx gctx, init []iv, entry iv) *graphEval
 	build = func(g *ir.Graph, node *ir.Node, ctx gctx, init []iv, entry iv) *graphEval {
@@ -370,7 +379,7 @@ func evalTree(k *ir.Kernel, s *schedule.Schedule, env map[string]int64, tid iv) 
 			ctx.carry = make([]iv, g.NumCarry)
 			ge.vals = evalNodes(g, &ctx, env)
 		} else {
-			trips, ranges := loopTrips(g, &ctx, init, env)
+			trips, ranges := loopTrips(g, &ctx, init, env, hints)
 			ge.trips = trips
 			ctx.carry = make([]iv, g.NumCarry)
 			for i := 0; i < g.NumCarry && i < len(ranges); i++ {

@@ -41,6 +41,14 @@ type Config struct {
 	// bounds only approximately. SlackCycles is the additive floor.
 	Slack       float64
 	SlackCycles int64
+	// TripHints supplies externally proven per-entry trip brackets
+	// [lo, hi] keyed by loop name ("for@line:col"), e.g. from
+	// internal/absint's Result.TripHints. They are consulted only as a
+	// fallback when neither concrete iteration nor the affine pattern
+	// bounds a loop, so a nil map leaves every report unchanged. Hints
+	// must be sound over-approximations or the cycle bounds lose their
+	// bracketing guarantee.
+	TripHints map[string][2]int64
 }
 
 // DefaultConfig mirrors sim.DefaultConfig plus the default latency table.
@@ -358,7 +366,7 @@ func Analyze(k *ir.Kernel, s *schedule.Schedule, env map[string]int64, cfg Confi
 	var sumUpper int64
 	upperKnown := true
 	for t := int64(0); t < nt; t++ {
-		tree := evalTree(k, s, env, exact(t))
+		tree := evalTree(k, s, env, cfg.TripHints, exact(t))
 		lb := satAdd(satMul(t, cfg.ThreadStart), lowerExec(tree, stats))
 		if lb > lower {
 			lower = lb
@@ -404,7 +412,7 @@ func Analyze(k *ir.Kernel, s *schedule.Schedule, env map[string]int64, cfg Confi
 
 	// Kernel-wide loop reports from an interval thread id (covers all
 	// threads at once).
-	all := evalTree(k, s, env, span(0, nt-1))
+	all := evalTree(k, s, env, cfg.TripHints, span(0, nt-1))
 	var loops []LoopReport
 	var walkLoops func(ge *graphEval)
 	walkLoops = func(ge *graphEval) {

@@ -247,9 +247,10 @@ func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 	opts := buildOptions(req.Defines, 0)
 	ds := core.Vet(name, req.Source, opts)
 	dep := api.ParseDependSummary(req.Source, minic.Options{Defines: opts.Defines})
+	abs := api.ParseAbsintSummary(req.Source, minic.Options{Defines: opts.Defines})
 	writeJSON(w, http.StatusOK, api.VetReport{
 		SchemaVersion: api.Version,
-		Units:         []api.VetUnit{api.NewVetUnit(name, ds, dep)},
+		Units:         []api.VetUnit{api.NewVetUnit(name, ds, dep, abs)},
 	})
 }
 
@@ -271,7 +272,9 @@ func (s *Server) handlePerf(w http.ResponseWriter, r *http.Request) {
 		}
 		unit = api.NewPerfUnit(name, nil, nil, nil, err)
 	} else {
-		rep := perfbound.Analyze(p.Kernel, p.Sched, req.Params, perfbound.DefaultConfig())
+		cfg := perfbound.DefaultConfig()
+		cfg.TripHints = api.AbsintTripHints(p.Fn, req.Params)
+		rep := perfbound.Analyze(p.Kernel, p.Sched, req.Params, cfg)
 		ds := staticcheck.CheckPerf(name, p.Kernel, p.Sched, req.Params)
 		unit = api.NewPerfUnit(name, rep, ds, api.NewDependSummary(p.Fn, req.Params), nil)
 	}

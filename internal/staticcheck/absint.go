@@ -1,0 +1,107 @@
+package staticcheck
+
+// Abstract-interpretation rules. These are the vet-time consumers of
+// internal/absint: the interpreter's proven facts become diagnostics.
+// The severity split mirrors the depend rules' contract — a proven
+// defect (OOB on every execution, a constant-zero divisor) is an error,
+// a fact the analysis merely could not discharge (may-OOB, a divisor
+// whose range contains zero) is a warning, and anything the interpreter
+// classifies as Unchecked (no finite extent, symbolic windows) stays
+// silent so the seed kernels remain vet-clean.
+
+import (
+	"fmt"
+
+	"paravis/internal/absint"
+	"paravis/internal/minic"
+)
+
+// checkAbsint emits the array-oob, array-oob-may, div-by-zero and
+// dead-branch findings from one function's interpretation result. A
+// non-converged result (ai.OK false) claims nothing.
+func checkAbsint(file string, ai *absint.Result, ds *[]Diagnostic) {
+	if ai == nil || !ai.OK {
+		return
+	}
+	for _, f := range ai.Accesses {
+		switch f.Verdict {
+		case absint.OOB:
+			*ds = append(*ds, diag(file, f.Pos, RuleArrayOOB, SevError,
+				"out-of-bounds %s: %s", accessKind(f), oobDetail(f)))
+		case absint.MayOOB:
+			*ds = append(*ds, diag(file, f.Pos, RuleArrayOOBMay, SevWarning,
+				"possible out-of-bounds %s: %s", accessKind(f), mayDetail(f)))
+		}
+	}
+	for _, d := range ai.Divs {
+		op := "division"
+		if d.IsRem {
+			op = "remainder"
+		}
+		switch {
+		case d.ProvenZero:
+			*ds = append(*ds, diag(file, d.Pos, RuleDivByZero, SevError,
+				"%s by zero: the divisor is always 0", op))
+		case d.MayZero:
+			*ds = append(*ds, diag(file, d.Pos, RuleDivByZero, SevWarning,
+				"possible %s by zero: the divisor ranges over %s, which contains 0", op, d.Divisor))
+		}
+	}
+	for _, c := range ai.Conds {
+		*ds = append(*ds, deadBranchDiag(file, c))
+	}
+}
+
+// accessKind names the access for the message: "write to C" / "read of A".
+func accessKind(f *absint.AccessFact) string {
+	kind := "read of"
+	if f.Write {
+		kind = "write to"
+	}
+	if f.Array == "" {
+		return kind + " array"
+	}
+	return fmt.Sprintf("%s %q", kind, f.Array)
+}
+
+// oobDetail explains why the access is provably outside its extent.
+func oobDetail(f *absint.AccessFact) string {
+	switch {
+	case f.BadDim < 0:
+		// Flattened check (vector load/store against the whole extent).
+		return fmt.Sprintf("element index %s never fits the %d-element extent", f.Index, f.DimSize)
+	default:
+		return fmt.Sprintf("subscript %d is %s, entirely outside [0, %d]", f.BadDim, f.Index, f.DimSize-1)
+	}
+}
+
+// mayDetail explains what the analysis could not prove.
+func mayDetail(f *absint.AccessFact) string {
+	switch {
+	case f.BadDim < 0:
+		return fmt.Sprintf("element index %s may leave the %d-element extent", f.Index, f.DimSize)
+	default:
+		return fmt.Sprintf("subscript %d ranges over %s, not provably within [0, %d]", f.BadDim, f.Index, f.DimSize-1)
+	}
+}
+
+// deadBranchDiag renders one proven-constant condition.
+func deadBranchDiag(file string, c *absint.CondFact) Diagnostic {
+	switch {
+	case c.IsLoop && c.AlwaysFalse:
+		return diag(file, c.Pos, RuleDeadBranch, SevWarning,
+			"loop condition is always false: the body never executes")
+	case c.IsLoop:
+		return diag(file, c.Pos, RuleDeadBranch, SevWarning,
+			"loop condition is always true: the loop can only exit through a return")
+	case c.AlwaysFalse:
+		return diag(file, c.Pos, RuleDeadBranch, SevWarning,
+			"condition is always false: the then branch never executes")
+	default:
+		msg := "condition is always true"
+		if ifs, ok := c.Stmt.(*minic.IfStmt); ok && ifs.Else != nil {
+			msg += ": the else branch never executes"
+		}
+		return diag(file, c.Pos, RuleDeadBranch, SevWarning, "%s", msg)
+	}
+}

@@ -1,6 +1,9 @@
 package staticcheck
 
-import "paravis/internal/minic"
+import (
+	"paravis/internal/absint"
+	"paravis/internal/minic"
+)
 
 // checkUnused reports locals that are never referenced. Parameters are
 // exempt (they document the call signature even when ignored).
@@ -163,8 +166,11 @@ func checkUninit(file string, res *resolution, ds *[]Diagnostic) {
 // variables are exempt. Loops are handled conservatively: the body is
 // analyzed once with every variable the loop mentions assumed live at the
 // bottom (the next iteration may read it), and the pre-loop live set is
-// unioned back afterwards for the zero-trip path.
-func checkDeadStores(file string, res *resolution, ds *[]Diagnostic) {
+// unioned back afterwards for the zero-trip path — unless the abstract
+// interpreter proved the body executes at least once per entry, in which
+// case the zero-trip path is dead and a pre-loop store the body always
+// overwrites becomes reportable.
+func checkDeadStores(file string, res *resolution, ai *absint.Result, ds *[]Diagnostic) {
 	type set = map[*declInfo]bool
 	clone := func(m set) set {
 		c := make(set, len(m))
@@ -251,7 +257,10 @@ func checkDeadStores(file string, res *resolution, ds *[]Diagnostic) {
 			for i := len(st.Init) - 1; i >= 0; i-- {
 				back(st.Init[i], live)
 			}
-			union(live, entry)
+			if lf := ai.Loop(st); lf == nil || !lf.Reachable ||
+				!lf.Trips.HasLo || lf.Trips.Lo < 1 {
+				union(live, entry)
+			}
 		case *minic.ReturnStmt:
 			addUses(st.X, live)
 		case *minic.CriticalStmt:

@@ -10,6 +10,7 @@ package staticcheck
 import (
 	"strings"
 
+	"paravis/internal/absint"
 	"paravis/internal/depend"
 	"paravis/internal/minic"
 )
@@ -27,9 +28,11 @@ const (
 
 // checkDepend runs the dependence analysis over the target region and
 // emits the loop-carried-dep, bank-conflict and transform-legality
-// findings.
-func checkDepend(file string, fn *minic.FuncDecl, ds *[]Diagnostic) {
-	rep := depend.Analyze(fn, nil)
+// findings. The abstract-interpretation result serves as depend's range
+// oracle: proven element-index ranges let "may" dependences between
+// provably disjoint accesses be discharged.
+func checkDepend(file string, fn *minic.FuncDecl, ai *absint.Result, ds *[]Diagnostic) {
+	rep := depend.AnalyzeRanges(fn, nil, ai.IndexRange)
 	for _, l := range rep.Loops {
 		pos := minic.Pos{Line: l.Line, Col: l.Col}
 

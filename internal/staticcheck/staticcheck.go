@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"paravis/internal/absint"
 	"paravis/internal/ir"
 	"paravis/internal/lower"
 	"paravis/internal/minic"
@@ -65,7 +66,47 @@ const (
 	RuleLoopCarriedDep    = "loop-carried-dep"   // proven loop-carried dependence breaking a parallel/unrolled loop
 	RuleBankConflict      = "bank-conflict"      // DRAM access stride maps every iteration to one bank
 	RuleTransformLegality = "transform-legality" // a paper-ladder transformation is provably illegal for a loop
+
+	// Abstract-interpretation rules (see internal/absint and absint.go here).
+	RuleArrayOOB    = "array-oob"     // access proven out of bounds on every execution
+	RuleArrayOOBMay = "array-oob-may" // access with a finite extent the analysis cannot prove safe
+	RuleDivByZero   = "div-by-zero"   // divisor proven (error) or possibly (warning) zero
+	RuleDeadBranch  = "dead-branch"   // branch or loop condition proven constant
 )
+
+// RuleInfo is the static metadata of one rule, published so report
+// emitters (the SARIF writer in internal/api) can describe every rule
+// the engine may fire without hard-coding the list twice.
+type RuleInfo struct {
+	ID      string // stable rule identifier
+	Summary string // one-line description
+	// DefaultSeverity is the severity the rule usually carries; rules
+	// that grade per finding (div-by-zero) list their strongest level.
+	DefaultSeverity Severity
+}
+
+// AllRules returns the full rule catalogue in a stable order.
+func AllRules() []RuleInfo {
+	return []RuleInfo{
+		{RuleOMPRace, "unprotected write to shared state in a parallel region", SevError},
+		{RuleOMPMap, "missing or misdirected map clause on the target region", SevError},
+		{RuleUseBeforeInit, "read of a maybe-uninitialized scalar", SevWarning},
+		{RuleDeadStore, "assignment whose value is never used", SevWarning},
+		{RuleUnusedVar, "declaration never referenced", SevWarning},
+		{RuleStallLint, "scalar DRAM access in an innermost loop body", SevInfo},
+		{RuleIRVerify, "structural IR/schedule verifier failure", SevError},
+		{RuleFrontend, "lex/parse/sema failure", SevError},
+		{RuleLower, "lowering failure not explained by an AST rule", SevError},
+		{RulePerfBound, "static performance-bound finding (II, roofline, overflow)", SevInfo},
+		{RuleLoopCarriedDep, "proven loop-carried dependence breaking a parallel or unrolled loop", SevWarning},
+		{RuleBankConflict, "DRAM access stride maps every iteration to one bank", SevInfo},
+		{RuleTransformLegality, "a paper-ladder transformation is provably illegal for a loop", SevInfo},
+		{RuleArrayOOB, "array or vector access proven out of bounds on every execution", SevError},
+		{RuleArrayOOBMay, "array or vector access the interval analysis cannot prove in bounds", SevWarning},
+		{RuleDivByZero, "divisor proven or possibly zero", SevError},
+		{RuleDeadBranch, "branch or loop condition proven constant", SevWarning},
+	}
+}
 
 // ActionNarrowAccesses is the remedy the dynamic advisor attaches to its
 // narrow-accesses finding; stall-lint uses the identical wording so a
@@ -160,13 +201,15 @@ func CheckProgram(file string, prog *minic.Program) []Diagnostic {
 	var ds []Diagnostic
 	for _, fn := range prog.Funcs {
 		res := resolve(fn)
+		ai := absint.Analyze(fn, absint.Options{})
 		checkUnused(file, res, &ds)
 		checkUninit(file, res, &ds)
-		checkDeadStores(file, res, &ds)
+		checkDeadStores(file, res, ai, &ds)
+		checkAbsint(file, ai, &ds)
 		if ts := findTargetStmt(fn); ts != nil {
 			checkOMP(file, res, ts, &ds)
 			checkStalls(file, res, ts, &ds)
-			checkDepend(file, fn, &ds)
+			checkDepend(file, fn, ai, &ds)
 		}
 	}
 	Sort(ds)

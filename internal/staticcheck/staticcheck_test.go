@@ -37,6 +37,12 @@ var fixtureRules = map[string]struct {
 	"bank_conflict.mc":      {rule: RuleBankConflict, sev: SevInfo},
 	"transform_legality.mc": {rule: RuleTransformLegality, sev: SevInfo,
 		allow: map[string]bool{RuleStallLint: true}},
+	"array_oob.mc":       {rule: RuleArrayOOB, sev: SevError},
+	"array_oob_may.mc":   {rule: RuleArrayOOBMay, sev: SevWarning},
+	"div_by_zero.mc":     {rule: RuleDivByZero, sev: SevError},
+	"div_by_zero_may.mc": {rule: RuleDivByZero, sev: SevWarning},
+	"dead_branch.mc":     {rule: RuleDeadBranch, sev: SevWarning},
+	"dead_store_loop.mc": {rule: RuleDeadStore, sev: SevWarning},
 }
 
 func render(ds []Diagnostic) string {
