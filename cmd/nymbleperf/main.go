@@ -10,11 +10,12 @@
 //
 // Usage:
 //
-//	nymbleperf [-D NAME=VALUE]... [-param NAME=VALUE]... [-json] file.mc...
+//	nymbleperf [-D NAME=VALUE]... [-param NAME=VALUE]... [-json] file.mc|dir...
 //	nymbleperf -workloads [-json]
 //
 // -param supplies integer launch arguments (e.g. -param DIM=64) so
-// data-dependent trip counts fold to constants. -workloads analyzes the
+// data-dependent trip counts fold to constants. A directory argument
+// analyzes every *.mc file inside it. -workloads analyzes the
 // built-in seed kernels (GEMM versions 1-5 and pi) with their canonical
 // defines and parameters.
 package main
@@ -42,7 +43,7 @@ func main() {
 	wl := flag.Bool("workloads", false, "analyze the built-in seed workloads instead of files")
 	flag.Parse()
 	if *wl == (flag.NArg() > 0) {
-		fmt.Fprintln(os.Stderr, "usage: nymbleperf [-D NAME=VALUE] [-param NAME=VALUE] [-json] file.mc...")
+		fmt.Fprintln(os.Stderr, "usage: nymbleperf [-D NAME=VALUE] [-param NAME=VALUE] [-json] file.mc|dir...")
 		fmt.Fprintln(os.Stderr, "       nymbleperf -workloads [-json]")
 		os.Exit(2)
 	}
@@ -53,7 +54,12 @@ func main() {
 			units = append(units, analyzeOne(w.Name, w.Source, w.Defines, w.Params))
 		}
 	} else {
-		for _, path := range flag.Args() {
+		paths, err := cli.ExpandPaths(flag.Args())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nymbleperf:", err)
+			os.Exit(2)
+		}
+		for _, path := range paths {
 			src, err := os.ReadFile(path)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "nymbleperf:", err)

@@ -14,8 +14,12 @@
 //
 // Usage:
 //
-//	nymblesim [-D NAME=VALUE]... [-o dir] [-name base] [-noprofile] [-interp] [-gzip]
-//	          [-j N] [-sweep NAME=v1,v2,...] file.mc arg=value...
+//	nymblesim [-D NAME=VALUE]... [-json] [-o dir] [-name base] [-noprofile] [-interp]
+//	          [-gzip] [-j N] [-sweep NAME=v1,v2,...] file.mc arg=value...
+//
+// -json replaces the text summary with the versioned run-summary
+// document (internal/api.StoredRun) — the same bytes nymbled persists
+// as a run job's summary.json — while still writing the trace bundle.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"syscall"
 
 	"paravis/internal/advisor"
+	"paravis/internal/api"
 	"paravis/internal/cli"
 	"paravis/internal/core"
 	"paravis/internal/parallel"
@@ -41,6 +46,7 @@ func main() {
 	flag.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
 	outDir := flag.String("o", "traces", "output directory for the Paraver bundle")
 	base := flag.String("name", "", "trace base name (default: kernel name)")
+	asJSON := flag.Bool("json", false, "emit the run summary as JSON")
 	noProfile := flag.Bool("noprofile", false, "disable the profiling unit")
 	interp := flag.Bool("interp", false, "force the interpreted engine (per-op dispatch) instead of specialized stage closures")
 	gz := flag.Bool("gzip", false, "gzip-compress the trace body (trace.prv.gz)")
@@ -48,7 +54,7 @@ func main() {
 	workers := flag.Int("j", 0, "max design points simulated concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: nymblesim [-D N=V] [-o dir] [-name base] [-noprofile] [-interp] [-gzip] [-j N] [-sweep NAME=v1,v2,...] file.mc arg=value...")
+		fmt.Fprintln(os.Stderr, "usage: nymblesim [-D N=V] [-json] [-o dir] [-name base] [-noprofile] [-interp] [-gzip] [-j N] [-sweep NAME=v1,v2,...] file.mc arg=value...")
 		os.Exit(2)
 	}
 	if *workers > 0 {
@@ -90,6 +96,37 @@ func main() {
 	out, err := p.Run(ctx, args, cfg)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *asJSON {
+		// The same versioned document nymbled persists as summary.json
+		// (and serves inside the job body), byte for byte; the trace list
+		// names the daemon's downloadable bundle files.
+		doc := api.StoredRun{
+			SchemaVersion: api.Version,
+			Kernel:        p.Kernel.Name,
+			Summary:       api.NewRunSummary(p, out),
+		}
+		if out.Streams != nil {
+			doc.Trace = []string{"trace.prv", "trace.prv.gz", "trace.pcf", "trace.row"}
+		}
+		if err := api.Encode(os.Stdout, doc); err != nil {
+			fatal(err)
+		}
+		if out.Trace != nil {
+			name := *base
+			if name == "" {
+				name = p.Kernel.Name
+			}
+			write := out.WriteTrace
+			if *gz {
+				write = out.WriteTraceGz
+			}
+			if _, err := write(*outDir, name); err != nil {
+				fatal(err)
+			}
+		}
+		return
 	}
 
 	r := out.Result

@@ -8,10 +8,11 @@
 //
 // Usage:
 //
-//	nymblevet [-D NAME=VALUE]... [-rule ID] [-json|-sarif] file.mc...
+//	nymblevet [-D NAME=VALUE]... [-rule ID] [-json|-sarif] file.mc|dir...
 //	nymblevet -workloads [-rule ID] [-json|-sarif]
 //
-// -workloads vets the built-in seed kernels (GEMM versions 1-5 and pi)
+// A directory argument vets every *.mc file inside it. -workloads vets
+// the built-in seed kernels (GEMM versions 1-5 and pi)
 // with their canonical defines. -rule restricts the report to one rule
 // id (e.g. loop-carried-dep); clean/exit status then reflect only that
 // rule. The exit status is 1 if any unit reports an error-severity
@@ -45,7 +46,7 @@ func main() {
 	rule := flag.String("rule", "", "only report diagnostics of this rule id (e.g. loop-carried-dep)")
 	flag.Parse()
 	if *wl == (flag.NArg() > 0) || (*asJSON && *asSarif) {
-		fmt.Fprintln(os.Stderr, "usage: nymblevet [-D NAME=VALUE] [-rule ID] [-json|-sarif] file.mc...")
+		fmt.Fprintln(os.Stderr, "usage: nymblevet [-D NAME=VALUE] [-rule ID] [-json|-sarif] file.mc|dir...")
 		fmt.Fprintln(os.Stderr, "       nymblevet -workloads [-rule ID] [-json|-sarif]")
 		os.Exit(2)
 	}
@@ -56,7 +57,12 @@ func main() {
 			units = append(units, vetOne(w.Name, w.Source, w.Defines, *rule))
 		}
 	} else {
-		for _, path := range flag.Args() {
+		paths, err := cli.ExpandPaths(flag.Args())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nymblevet:", err)
+			os.Exit(2)
+		}
+		for _, path := range paths {
 			src, err := os.ReadFile(path)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "nymblevet:", err)

@@ -12,9 +12,12 @@
 // warm-hit vs coalesced-burst latency through the persistent artifact
 // store); -exp depend runs the dependence-engine cross-validation
 // (E12: static RecMII and dependence verdicts against the simulator's
-// measured per-loop initiation intervals). None of the three is part
-// of -exp all so the default output stays byte-identical across
-// releases. -interp forces the interpreted
+// measured per-loop initiation intervals); -exp optimize runs the
+// transformation-search study (E13: the autotuner rediscovering the
+// §V-C ladder from the naive GEMM, tabulated against the hand-written
+// versions, with -optbudget capping the simulator confirmations).
+// None of the four is part of -exp all so the default output stays
+// byte-identical across releases. -interp forces the interpreted
 // per-op engine instead of the specialized stage closures (the output
 // must be byte-identical either way — the interpreter is the
 // differential-testing oracle). -benchjson records each experiment's
@@ -44,13 +47,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, overhead, fig6, fig7, speedup, fig8, fig9, pi, threads, bounds, serving, depend")
+	exp := flag.String("exp", "all", "experiment to run: all, overhead, fig6, fig7, speedup, fig8, fig9, pi, threads, bounds, serving, depend, optimize")
 	dim := flag.Int("dim", 64, "GEMM matrix dimension (multiple of 16)")
 	piSteps := flag.String("pisteps", "102400,409600,1024000", "comma-separated pi iteration counts")
 	quiet := flag.Bool("quiet", false, "suppress ASCII timeline/sparkline views")
 	workers := flag.Int("j", 0, "max design points simulated concurrently (0 = GOMAXPROCS)")
 	interp := flag.Bool("interp", false, "force the interpreted engine (per-op dispatch) instead of specialized stage closures")
 	benchJSON := flag.String("benchjson", "", "write per-experiment timing/allocation stats as JSON to this path")
+	optBudget := flag.Int("optbudget", 32, "simulator-confirmation budget for -exp optimize")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -187,6 +191,28 @@ func main() {
 			}
 			return r.Format(), nil
 		})
+	}
+	// The transformation-search study (E13) is opt-in like bounds; its
+	// record set carries the search wall time plus the budget contract
+	// (budget vs sims actually spent) that benchgate's -ratio asserts on.
+	if *exp == "optimize" {
+		rec, err := timed("optimize/search", func() error {
+			res, err := experiments.RunOptimize(ctx, opts, *optBudget)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Format())
+			bench = append(bench,
+				benchRecord{Name: "optimize/budget", Iterations: 1, NsPerOp: int64(*optBudget)},
+				benchRecord{Name: "optimize/sims", Iterations: 1, NsPerOp: int64(res.Found.SimsRun)},
+			)
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		bench = append(bench, rec)
+		fmt.Println()
 	}
 	// The serving-path benchmark (E11) is opt-in like bounds, and unlike
 	// the others its record set is per-phase: the cold/warm ratio is what

@@ -51,7 +51,7 @@ func main() {
 	for _, run := range speed.Runs {
 		top := advisor.Top(advisor.AdviseProgram(run.Program, run.Out, advisor.Thresholds{}))
 		fmt.Printf("%-22s -> [%s] %s\n", run.Version, top.Severity, top.Kind)
-		fmt.Printf("%-22s    %s\n", "", top.Action)
+		fmt.Printf("%-22s    %s\n", "", top.Action())
 	}
 
 	if *traces != "" {

@@ -25,6 +25,7 @@ import (
 	"paravis/internal/paraver/analysis"
 	"paravis/internal/profile"
 	"paravis/internal/staticcheck"
+	"paravis/internal/transform"
 )
 
 // Severity ranks findings.
@@ -66,20 +67,64 @@ const (
 	KindHealthy           Kind = "healthy"
 )
 
-// Finding is one diagnosis with its evidence and suggested action.
+// Remedy is the machine-actionable form of a finding's suggested fix:
+// the base wording, the internal/transform pass that implements it
+// mechanically (when one does), suggested pass parameters, and the
+// legality verdict the dependence engine assigned once gated. The human
+// string every report prints is derived from this struct by Render, so
+// the wording lives in exactly one place.
+type Remedy struct {
+	// Action is the base human wording of the fix. Where a static check
+	// predicts the same bottleneck it is the shared staticcheck.Action*
+	// constant, verbatim — the cross-check tests compare bytes.
+	Action string
+	// Pass names the internal/transform pass that applies the fix
+	// ("redistribute", "vectorize", "block-bram", "double-buffer");
+	// empty when the fix is not a mechanical source transformation.
+	Pass string
+	// Params suggests parameters for the pass (e.g. a block size).
+	Params map[string]int64
+	// Legality is the dependence engine's verdict for Pass on the
+	// diagnosed region; meaningful only after AdviseProgram's gate ran.
+	Legality depend.Tri
+	// Why names the blocking dependence when Legality is not Proven.
+	Why string
+	// gated records that the legality gate actually ran, so Render
+	// knows Legality is a verdict rather than a zero value.
+	gated bool
+}
+
+// Render derives the rendered action string from the struct. The exact
+// wording is load-bearing: proven remedies pass through verbatim (the
+// static/dynamic cross-check depends on it), undecided ones gain an
+// annotation, illegal ones are withheld with the blocker named.
+func (r Remedy) Render() string {
+	if !r.gated || r.Legality == depend.Proven {
+		return r.Action
+	}
+	if r.Legality == depend.Illegal {
+		return fmt.Sprintf("suggested remedy is provably illegal here (%s); the bottleneck is real but needs an algorithm-level restructuring instead. Stock remedy withheld: %s", r.Why, r.Action)
+	}
+	return fmt.Sprintf("%s (legality not proven: %s)", r.Action, r.Why)
+}
+
+// Finding is one diagnosis with its evidence and suggested remedy.
 type Finding struct {
 	Kind     Kind
 	Severity Severity
 	// Evidence is the measured signal that triggered the rule.
 	Evidence string
-	// Action is the suggested restructuring, phrased like §V-C.
-	Action string
+	// Remedy is the suggested restructuring, phrased like §V-C.
+	Remedy Remedy
 	// Score orders findings of equal severity (higher = stronger signal).
 	Score float64
 }
 
+// Action is the rendered remedy string the reports print.
+func (f Finding) Action() string { return f.Remedy.Render() }
+
 func (f Finding) String() string {
-	return fmt.Sprintf("[%s] %s: %s -> %s", f.Severity, f.Kind, f.Evidence, f.Action)
+	return fmt.Sprintf("[%s] %s: %s -> %s", f.Severity, f.Kind, f.Evidence, f.Action())
 }
 
 // Thresholds tune the rules; zero values take defaults.
@@ -137,7 +182,7 @@ func Advise(out *core.RunOutput, th Thresholds) []Finding {
 		return []Finding{{
 			Kind: KindHealthy, Severity: Info,
 			Evidence: "no trace available (profiling disabled)",
-			Action:   "enable the profiling unit to collect states and events",
+			Remedy:   Remedy{Action: "enable the profiling unit to collect states and events"},
 		}}
 	}
 
@@ -151,8 +196,11 @@ func Advise(out *core.RunOutput, th Thresholds) []Finding {
 			Severity: severityByScale(spinPct+critPct, th.SpinCriticalPct),
 			Evidence: fmt.Sprintf("%.2f%% of thread time in critical sections and %.2f%% spinning (%d acquisitions, %d contended)",
 				critPct, spinPct, r.LockAcquisitions, r.LockContended),
-			Action: "restructure the work distribution so threads own disjoint outputs and the critical section disappears (paper §V-C, version 2)",
-			Score:  spinPct + critPct,
+			Remedy: Remedy{
+				Action: "restructure the work distribution so threads own disjoint outputs and the critical section disappears (paper §V-C, version 2)",
+				Pass:   transform.PassRedistribute,
+			},
+			Score: spinPct + critPct,
 		})
 	}
 
@@ -180,7 +228,7 @@ func Advise(out *core.RunOutput, th Thresholds) []Finding {
 				// Shared wording with the static stall-lint rule so the
 				// compile-time prediction and this profiled diagnosis can be
 				// cross-checked verbatim.
-				Action: staticcheck.ActionNarrowAccesses,
+				Remedy: Remedy{Action: staticcheck.ActionNarrowAccesses, Pass: transform.PassVectorize},
 				Score:  th.NarrowBytes - avgBytes + 1,
 			})
 		}
@@ -195,18 +243,18 @@ func Advise(out *core.RunOutput, th Thresholds) []Finding {
 		stallFrac := float64(r.TotalStalls()) / float64(busy)
 		if stallFrac > th.StallFrac {
 			sev := severityByScale(100*stallFrac, 100*th.StallFrac)
-			action := staticcheck.ActionBlockInBRAM
+			remedy := Remedy{Action: staticcheck.ActionBlockInBRAM, Pass: transform.PassBlockBRAM}
 			// If local memory already dominates the traffic, blocking is
 			// in place: the residual stalls are the block loads themselves.
 			if r.BRAMWordsMoved > 2*r.DRAM.ThreadWordsMoved {
 				sev = Minor
-				action = "the working set is already staged in BRAM; remaining stalls are block prefetches — consider wider bursts or a deeper outstanding-request window"
+				remedy = Remedy{Action: "the working set is already staged in BRAM; remaining stalls are block prefetches — consider wider bursts or a deeper outstanding-request window"}
 			}
 			findings = append(findings, Finding{
 				Kind:     KindMemoryBound,
 				Severity: sev,
 				Evidence: fmt.Sprintf("%.0f%% of active thread cycles are pipeline stalls on variable-latency operations", 100*stallFrac),
-				Action:   action,
+				Remedy:   remedy,
 				Score:    stallFrac,
 			})
 		}
@@ -224,7 +272,7 @@ func Advise(out *core.RunOutput, th Thresholds) []Finding {
 				ph.MemOnly, ph.ComputeOnly, 100*ph.Overlap()),
 			// Shared wording with the static perf-bound rule (see
 			// staticcheck.ActionDoubleBuffer).
-			Action: staticcheck.ActionDoubleBuffer,
+			Remedy: Remedy{Action: staticcheck.ActionDoubleBuffer, Pass: transform.PassDoubleBuffer},
 			Score:  1 - ph.Overlap(),
 		})
 	}
@@ -251,7 +299,7 @@ func Advise(out *core.RunOutput, th Thresholds) []Finding {
 				Kind:     KindLaunchOverhead,
 				Severity: sev,
 				Evidence: fmt.Sprintf("all threads are simultaneously active for only %.0f%% of the run (software thread-start overhead)", 100*parallel),
-				Action:   "increase the work per launch or batch launches; the host starts threads sequentially over the slave interface (paper §V-D)",
+				Remedy:   Remedy{Action: "increase the work per launch or batch launches; the host starts threads sequentially over the slave interface (paper §V-D)"},
 				Score:    1 - parallel,
 			})
 		}
@@ -274,7 +322,7 @@ func Advise(out *core.RunOutput, th Thresholds) []Finding {
 				Kind:     KindLoadImbalance,
 				Severity: Minor,
 				Evidence: fmt.Sprintf("busiest thread active %d cycles, least busy %d", maxBusy, minBusy),
-				Action:   "redistribute iterations so threads receive equal work",
+				Remedy:   Remedy{Action: "redistribute iterations so threads receive equal work"},
 				Score:    float64(maxBusy-minBusy) / float64(maxBusy),
 			})
 		}
@@ -285,7 +333,7 @@ func Advise(out *core.RunOutput, th Thresholds) []Finding {
 			Kind: KindHealthy, Severity: Info,
 			Evidence: fmt.Sprintf("no dominant bottleneck: %.2f%% lock time, %.3f B/cycle sustained",
 				spinPct+critPct, analysis.AvgBandwidthBytesPerCycle(tr)),
-			Action: "profile at a larger problem size or a finer sampling period to expose secondary effects",
+			Remedy: Remedy{Action: "profile at a larger problem size or a finer sampling period to expose secondary effects"},
 		})
 	}
 
@@ -331,32 +379,34 @@ func AdviseProgram(p *core.Program, out *core.RunOutput, th Thresholds) []Findin
 	return findings
 }
 
-// gateFinding applies the dependence engine's verdict for the
-// transformation a finding's action proposes. The remedy is applicable
-// if SOME candidate loop admits it, so verdicts combine with the most
+// gateFinding applies the dependence engine's verdict for the transform
+// pass a finding's remedy names. The remedy is applicable if SOME
+// candidate loop admits it, so verdicts combine with the most
 // permissive winning: Proven if any loop is proven, else Unknown if any
 // is undecided, else Illegal.
 func gateFinding(f *Finding, rep *depend.Report) {
 	type pick func(l *depend.LoopDeps) (depend.Tri, string, bool)
 	var choose pick
-	switch f.Kind {
-	case KindNarrowAccesses:
+	switch f.Remedy.Pass {
+	case transform.PassVectorize:
 		// Vectorizing the loads widens accesses in loops that move scalar
 		// DRAM traffic; it needs the same independence as unrolling.
 		choose = func(l *depend.LoopDeps) (depend.Tri, string, bool) {
 			return l.Legal.Unroll, l.Legal.UnrollWhy, hasDRAMAccess(l, true)
 		}
-	case KindMemoryBound:
+	case transform.PassBlockBRAM:
 		// Blocking stages the working set: a strip-mine-and-reorder, legal
 		// under the tiling verdict.
 		choose = func(l *depend.LoopDeps) (depend.Tri, string, bool) {
 			return l.Legal.Tile, l.Legal.TileWhy, hasDRAMAccess(l, false)
 		}
-	case KindDistinctPhases:
+	case transform.PassDoubleBuffer:
 		choose = func(l *depend.LoopDeps) (depend.Tri, string, bool) {
 			return l.Legal.DoubleBuffer, l.Legal.DoubleBufferWhy, hasDRAMAccess(l, false)
 		}
 	default:
+		// Redistribute's legality is re-proven by the pass itself when it
+		// fires; remedies without a pass have nothing to gate.
 		return
 	}
 	verdict := depend.Illegal
@@ -378,15 +428,15 @@ func gateFinding(f *Finding, rep *depend.Report) {
 			why = w
 		}
 	}
-	if candidates == 0 || verdict == depend.Proven {
-		return // nothing to gate, or remedy proven legal somewhere
+	if candidates == 0 {
+		return // nothing to gate
 	}
+	f.Remedy.gated = true
+	f.Remedy.Legality = verdict
+	f.Remedy.Why = why
 	if verdict == depend.Illegal {
 		f.Severity = Info
-		f.Action = fmt.Sprintf("suggested remedy is provably illegal here (%s); the bottleneck is real but needs an algorithm-level restructuring instead. Stock remedy withheld: %s", why, f.Action)
-		return
 	}
-	f.Action = fmt.Sprintf("%s (legality not proven: %s)", f.Action, why)
 }
 
 // hasDRAMAccess reports whether the loop touches a DRAM-backed array
@@ -417,7 +467,7 @@ func Format(findings []Finding) string {
 	var sb strings.Builder
 	for i, f := range findings {
 		fmt.Fprintf(&sb, "%d. [%s] %s\n   evidence: %s\n   action:   %s\n",
-			i+1, f.Severity, f.Kind, f.Evidence, f.Action)
+			i+1, f.Severity, f.Kind, f.Evidence, f.Action())
 	}
 	return sb.String()
 }

@@ -163,8 +163,8 @@ func TestNarrowAccessesWordingCrossCheck(t *testing.T) {
 	f := Advise(runVersion(t, v, 32), Thresholds{})
 	for _, fd := range f {
 		if fd.Kind == KindNarrowAccesses {
-			if fd.Action != staticcheck.ActionNarrowAccesses {
-				t.Fatalf("dynamic action diverged from static wording:\n%s", fd.Action)
+			if fd.Action() != staticcheck.ActionNarrowAccesses {
+				t.Fatalf("dynamic action diverged from static wording:\n%s", fd.Action())
 			}
 			return
 		}

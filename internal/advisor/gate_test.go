@@ -8,6 +8,7 @@ import (
 	"paravis/internal/core"
 	"paravis/internal/depend"
 	"paravis/internal/staticcheck"
+	"paravis/internal/transform"
 	"paravis/internal/workloads"
 )
 
@@ -41,20 +42,23 @@ func buildStencil(t *testing.T) *core.Program {
 // dependence — without losing the original suggestion text.
 func TestGateFindingDowngradesIllegalRemedies(t *testing.T) {
 	rep := depend.Analyze(buildStencil(t).Fn, nil)
-	for _, kind := range []Kind{KindNarrowAccesses, KindDistinctPhases} {
-		f := Finding{Kind: kind, Severity: Major, Action: "stock remedy"}
+	for kind, pass := range map[Kind]string{
+		KindNarrowAccesses: transform.PassVectorize,
+		KindDistinctPhases: transform.PassDoubleBuffer,
+	} {
+		f := Finding{Kind: kind, Severity: Major, Remedy: Remedy{Action: "stock remedy", Pass: pass}}
 		gateFinding(&f, rep)
 		if f.Severity != Info {
 			t.Errorf("%s: severity = %s, want info (downgraded)", kind, f.Severity)
 		}
-		if !strings.Contains(f.Action, "provably illegal") {
-			t.Errorf("%s: action does not explain the downgrade: %s", kind, f.Action)
+		if !strings.Contains(f.Action(), "provably illegal") {
+			t.Errorf("%s: action does not explain the downgrade: %s", kind, f.Action())
 		}
-		if !strings.Contains(f.Action, "loop-carried flow dependence on A") {
-			t.Errorf("%s: blocking dependence not named: %s", kind, f.Action)
+		if !strings.Contains(f.Action(), "loop-carried flow dependence on A") {
+			t.Errorf("%s: blocking dependence not named: %s", kind, f.Action())
 		}
-		if !strings.Contains(f.Action, "stock remedy") {
-			t.Errorf("%s: original remedy text dropped: %s", kind, f.Action)
+		if !strings.Contains(f.Action(), "stock remedy") {
+			t.Errorf("%s: original remedy text dropped: %s", kind, f.Action())
 		}
 	}
 }
@@ -64,13 +68,13 @@ func TestGateFindingDowngradesIllegalRemedies(t *testing.T) {
 // memory-bound remedy keeps its severity; it may only gain an annotation.
 func TestGateFindingKeepsUndecidedSeverity(t *testing.T) {
 	rep := depend.Analyze(buildStencil(t).Fn, nil)
-	f := Finding{Kind: KindMemoryBound, Severity: Major, Action: "block the working set"}
+	f := Finding{Kind: KindMemoryBound, Severity: Major, Remedy: Remedy{Action: "block the working set", Pass: transform.PassBlockBRAM}}
 	gateFinding(&f, rep)
 	if f.Severity != Major {
 		t.Errorf("severity = %s, want major (tile not provably illegal)", f.Severity)
 	}
-	if !strings.Contains(f.Action, "block the working set") {
-		t.Errorf("original remedy text dropped: %s", f.Action)
+	if !strings.Contains(f.Action(), "block the working set") {
+		t.Errorf("original remedy text dropped: %s", f.Action())
 	}
 }
 
@@ -89,8 +93,8 @@ func TestAdviseProgramProvenRemedyUnchanged(t *testing.T) {
 	out := runVersion(t, v, 32)
 	for _, fd := range AdviseProgram(p, out, Thresholds{}) {
 		if fd.Kind == KindNarrowAccesses {
-			if fd.Action != staticcheck.ActionNarrowAccesses {
-				t.Fatalf("proven-legal remedy was altered:\n%s", fd.Action)
+			if fd.Action() != staticcheck.ActionNarrowAccesses {
+				t.Fatalf("proven-legal remedy was altered:\n%s", fd.Action())
 			}
 			return
 		}
@@ -125,5 +129,29 @@ func TestAdviseProgramNeverDrops(t *testing.T) {
 		if n != 0 {
 			t.Errorf("finding kind %s dropped or duplicated by gating", k)
 		}
+	}
+}
+
+// TestRemedyStructPopulated: after gating, the structured remedy carries
+// the transform pass name and the machine-readable verdict, and the
+// rendered string is derived from exactly those fields.
+func TestRemedyStructPopulated(t *testing.T) {
+	rep := depend.Analyze(buildStencil(t).Fn, nil)
+	f := Finding{Kind: KindNarrowAccesses, Severity: Major,
+		Remedy: Remedy{Action: "stock remedy", Pass: transform.PassVectorize}}
+	gateFinding(&f, rep)
+	if f.Remedy.Legality != depend.Illegal {
+		t.Errorf("legality = %v, want illegal", f.Remedy.Legality)
+	}
+	if !strings.Contains(f.Remedy.Why, "loop-carried flow dependence on A") {
+		t.Errorf("why does not name the blocker: %q", f.Remedy.Why)
+	}
+	if f.Remedy.Pass != transform.PassVectorize {
+		t.Errorf("pass = %q, want %q", f.Remedy.Pass, transform.PassVectorize)
+	}
+	want := "suggested remedy is provably illegal here (" + f.Remedy.Why +
+		"); the bottleneck is real but needs an algorithm-level restructuring instead. Stock remedy withheld: stock remedy"
+	if f.Action() != want {
+		t.Errorf("render drifted from struct:\n got %q\nwant %q", f.Action(), want)
 	}
 }

@@ -35,7 +35,10 @@ import (
 // v3 added the "absint" abstract-interpretation section to VetUnit and
 // made the depend section range-refined (proven-disjoint "may"
 // dependences are discharged).
-const Version = 3
+// v4 added the optimize family (OptimizeRequest/OptimizeReport) for the
+// transformation search; the existing vet and perf sections are
+// unchanged.
+const Version = 4
 
 // Encode writes v as two-space-indented JSON with a trailing newline —
 // the one serialization shared by the CLIs and the daemon.
@@ -541,6 +544,12 @@ type Job struct {
 	// Trace lists the downloadable bundle files once the job is done
 	// (empty when profiling was disabled).
 	Trace []string `json:"trace,omitempty"`
+	// Optimize carries the search report when the job is an optimize job
+	// (POST /v1/optimize); nil for plain runs.
+	Optimize *OptimizeUnit `json:"optimize,omitempty"`
+	// Artifacts lists the downloadable artifact files of an optimize job
+	// (GET /v1/jobs/{id}/artifacts/{file}).
+	Artifacts []string `json:"artifacts,omitempty"`
 }
 
 // RunSummary is the machine-readable form of nymblesim's run summary.

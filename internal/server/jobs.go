@@ -79,16 +79,18 @@ type job struct {
 	leads    bool
 	detached atomic.Bool
 
-	mu       sync.Mutex
-	state    string
-	kernel   string
-	errMsg   string
-	errKind  string
-	summary  *api.RunSummary
-	trace    []string
-	art      *artifact
-	canceled bool
-	doneAt   time.Time // when the job reached a terminal state
+	mu        sync.Mutex
+	state     string
+	kernel    string
+	errMsg    string
+	errKind   string
+	summary   *api.RunSummary
+	trace     []string
+	optimize  *api.OptimizeUnit // optimize jobs: the search report
+	artifacts []string          // optimize jobs: downloadable files
+	art       *artifact
+	canceled  bool
+	doneAt    time.Time // when the job reached a terminal state
 }
 
 func (j *job) snapshot() api.Job {
@@ -103,6 +105,8 @@ func (j *job) snapshot() api.Job {
 		ErrorKind:     j.errKind,
 		Summary:       j.summary,
 		Trace:         j.trace,
+		Optimize:      j.optimize,
+		Artifacts:     j.artifacts,
 	}
 }
 
@@ -409,7 +413,7 @@ func waitStatus(doc api.Job) int {
 		return 499
 	default:
 		switch doc.ErrorKind {
-		case "max_cycles":
+		case "max_cycles", "compile_error":
 			return http.StatusUnprocessableEntity
 		case "deadline":
 			return http.StatusGatewayTimeout

@@ -6,7 +6,11 @@
 // enqueues a full simulation as an asynchronous job on a bounded worker
 // pool; clients poll GET /v1/jobs/{id} and download the Paraver bundle
 // streamed straight from the profiling unit's record streams — the
-// exact bytes nymblesim would have written to disk.
+// exact bytes nymblesim would have written to disk. POST /v1/optimize
+// runs nymbleopt's transformation search as an asynchronous job whose
+// artifacts (the optimize report, the winning kernel source, and
+// before/after perf reports) download from
+// GET /v1/jobs/{id}/artifacts/{file}.
 //
 // Builds are single-flighted through a content-addressed compile cache
 // (hits are reported via the X-Nymbled-Cache header so the body stays
@@ -157,9 +161,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/vet", s.instrument("vet", s.handleVet))
 	mux.HandleFunc("POST /v1/perf", s.instrument("perf", s.handlePerf))
 	mux.HandleFunc("POST /v1/run", s.instrument("run", s.handleRun))
+	mux.HandleFunc("POST /v1/optimize", s.instrument("optimize", s.handleOptimize))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJobGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs", s.handleJobCancel))
 	mux.HandleFunc("GET /v1/jobs/{id}/trace/{file}", s.instrument("trace", s.handleTrace))
+	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{file}", s.instrument("artifacts", s.handleArtifact))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux

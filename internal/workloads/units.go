@@ -14,6 +14,9 @@ type Unit struct {
 	// Params are the integer launch arguments of the canonical run
 	// (the same values the experiments pass to the simulator).
 	Params map[string]int64
+	// Floats are the float launch arguments of the canonical run (pi's
+	// precomputed step width; empty for the GEMM family).
+	Floats map[string]float64
 }
 
 // UnitName returns the canonical unit name of a GEMM version
@@ -39,6 +42,7 @@ func Units() []Unit {
 		Source:  PiSource,
 		Defines: PiDefines(),
 		Params:  map[string]int64{"steps": 102400, "threads": 8},
+		Floats:  map[string]float64{"step": 1.0 / 102400, "final_sum": 0},
 	})
 	return us
 }
